@@ -1,0 +1,490 @@
+(* Benchmark harness regenerating every table and figure of the zkVC
+   paper's evaluation (see DESIGN.md, experiment index):
+
+     tab1  scheme property matrix (Table I)
+     fig3  matmul proving-time comparison vs prior work (Figure 3)
+     fig6  prove/verify/proof-size/online across sizes (Figure 6)
+     tab2  CRPC × PSQ ablation on groth16 and Spartan (Table II)
+     tab3  ViT token-mixer comparison (Table III)
+     tab4  BERT/GLUE token-mixer comparison (Table IV)
+     abl   design-choice ablations called out in DESIGN.md
+     micro substrate micro-benchmarks (Bechamel)
+
+   Usage: main.exe [--full] [--only SECTIONS] [--scale N]
+     --full       run matmul benches at the paper's dimensions (slow)
+     --scale N    divide matmul dimensions by N (default 4; 1 = paper size)
+     --only ...   comma-separated subset of {tab1,fig3,fig6,tab2,tab3,tab4,abl,micro}
+
+   Absolute times differ from the paper (single-threaded OCaml vs a
+   16-core Threadripper running libsnark/Rust); all claims are about the
+   ratios between schemes measured under identical conditions. Rows
+   labelled "(emulated)" rescale our measured baseline by the paper's
+   reported ratio because the original system cannot run here
+   (DESIGN.md substitution 4). *)
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Mc = Zkvc.Matmul_circuit
+module Mspec = Zkvc.Matmul_spec
+module Spec = Mspec.Make (Fr)
+module Models = Zkvc_nn.Models
+module Compiler = Zkvc_zkml.Compiler
+module Cost = Zkvc_zkml.Cost_model
+module Pm = Zkvc_zkml.Prove_model
+module Ops = Zkvc_zkml.Ops
+module Nl = Zkvc.Nonlinear
+
+let cfg = Nl.default_config
+let rng = Random.State.make [| 0xbe; 0xc4 |]
+
+(* ------------------------------------------------------------------ *)
+(* options                                                              *)
+
+let full = ref false
+let scale = ref 4
+let only : string list ref = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+      full := true;
+      scale := 1;
+      parse rest
+    | "--scale" :: n :: rest ->
+      scale := int_of_string n;
+      parse rest
+    | "--only" :: s :: rest ->
+      only := String.split_on_char ',' s;
+      parse rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let enabled section = !only = [] || List.mem section !only
+
+let header title =
+  Printf.printf "\n======================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "======================================================================\n%!"
+
+let scaled_dims d2 =
+  let d = Mspec.vit_embedding ~dim2:d2 in
+  let s = !scale in
+  Mspec.dims
+    ~a:(Stdlib.max 2 (d.Mspec.a / s))
+    ~n:(Stdlib.max 2 (d.Mspec.n / s))
+    ~b:(Stdlib.max 2 (d.Mspec.b / s))
+
+let random_instance d =
+  let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+  let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+  (x, w)
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                              *)
+
+let run_tab1 () =
+  header "Table I — scheme properties";
+  Printf.printf "%-14s %6s %8s %12s %14s %10s\n" "scheme" "zk" "non-int" "const-proof"
+    "no-trust-setup" "source";
+  List.iter
+    (fun s ->
+      Printf.printf "%-14s %6s %8s %12s %14s %10s\n" s.Cost.scheme_name "yes"
+        (if s.Cost.interactive then "no" else "yes")
+        (if s.Cost.constant_proof then "yes" else "no")
+        (if s.Cost.trusted_setup then "no" else "yes")
+        (if s.Cost.emulated then "(emulated)" else "measured"))
+    Cost.schemes;
+  Printf.printf
+    "zkVC-G/zkVC-S rows correspond to this repository's Groth16/Spartan backends.\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 + Table II share matmul measurements                        *)
+
+let measure backend strategy d inst =
+  let x, w = inst in
+  let _proof, m = Api.run ~rng backend strategy ~x ~w d in
+  m
+
+let run_fig3 () =
+  let d = scaled_dims 128 in
+  header
+    (Format.asprintf
+       "Figure 3 — matmul proving time, dims %a (paper point: [49,64]x[64,128]%s)"
+       Mspec.pp_dims d
+       (if !scale = 1 then "" else Printf.sprintf ", scaled 1/%d" !scale));
+  let inst = random_instance d in
+  let g_vanilla = measure Api.Backend_groth16 Mc.Vanilla d inst in
+  let g_zkvc = measure Api.Backend_groth16 Mc.Crpc_psq d inst in
+  let s_vanilla = measure Api.Backend_spartan Mc.Vanilla d inst in
+  let s_zkvc = measure Api.Backend_spartan Mc.Crpc_psq d inst in
+  Printf.printf "%-14s %12s %12s %10s\n" "scheme" "prove(s)" "vs-groth16" "source";
+  let base = g_vanilla.Api.timings.Api.prove_s in
+  let row name t emulated =
+    Printf.printf "%-14s %12.3f %11.1fx %10s\n" name t (base /. Stdlib.max 1e-9 t)
+      (if emulated then "(emulated)" else "measured")
+  in
+  List.iter
+    (fun s ->
+      if s.Cost.emulated then row s.Cost.scheme_name (base *. s.Cost.paper_prove_s /. 9.12) true)
+    Cost.schemes;
+  row "groth16" base false;
+  row "Spartan" s_vanilla.Api.timings.Api.prove_s false;
+  row "zkVC-G" g_zkvc.Api.timings.Api.prove_s false;
+  row "zkVC-S" s_zkvc.Api.timings.Api.prove_s false;
+  (* a REAL interactive baseline: Thaler's matmul sumcheck, the zkCNN-family
+     technique (no constraint system, not zero-knowledge) *)
+  let x, w = inst in
+  let t0 = Sys.time () in
+  let tproof = Zkvc_gkr.Thaler_matmul.prove ~a:x ~b:w in
+  let t_thaler = Sys.time () -. t0 in
+  row "GKR-matmul" t_thaler false;
+  Printf.printf
+    "GKR-matmul = measured Thaler'13 sumcheck (interactive family, not zk),\n";
+  Printf.printf "             proof %d B vs zkVC-G's 256 B constant.\n"
+    (Zkvc_gkr.Thaler_matmul.proof_size_bytes tproof);
+  Printf.printf
+    "paper shape: zkVC-G ~12.5x faster than vCNN/groth16; zkVC-S ~5x faster than Spartan\n";
+  Printf.printf
+    "measured   : zkVC-G %.1fx faster than groth16; zkVC-S %.1fx faster than Spartan\n%!"
+    (base /. Stdlib.max 1e-9 g_zkvc.Api.timings.Api.prove_s)
+    (s_vanilla.Api.timings.Api.prove_s /. Stdlib.max 1e-9 s_zkvc.Api.timings.Api.prove_s)
+
+let run_fig6 () =
+  header "Figure 6 — prove / verify / proof size / online time across embedding dims";
+  let dims = [ 128; 256; 512 ] in
+  Printf.printf "%-10s %-14s %10s %10s %10s %12s\n" "dim2" "scheme" "prove(s)" "verify(s)"
+    "proof(B)" "online(s)";
+  List.iter
+    (fun d2 ->
+      let d = scaled_dims d2 in
+      let inst = random_instance d in
+      let rows =
+        [ ("groth16", Api.Backend_groth16, Mc.Vanilla);
+          ("Spartan", Api.Backend_spartan, Mc.Vanilla);
+          ("zkVC-G", Api.Backend_groth16, Mc.Crpc_psq);
+          ("zkVC-S", Api.Backend_spartan, Mc.Crpc_psq) ]
+      in
+      List.iter
+        (fun (name, backend, strategy) ->
+          let m = measure backend strategy d inst in
+          (* non-interactive: the verifier's only online work is [verify] *)
+          Printf.printf "%-10d %-14s %10.3f %10.4f %10d %12.4f\n%!" d2 name
+            m.Api.timings.Api.prove_s m.Api.timings.Api.verify_s m.Api.proof_bytes
+            m.Api.timings.Api.verify_s)
+        rows;
+      (* zkCNN is interactive: both parties stay online through proving *)
+      let zkcnn = List.find (fun s -> s.Cost.scheme_name = "zkCNN") Cost.schemes in
+      Printf.printf "%-10d %-14s %10s %10.3f %10d %12s (emulated)\n%!" d2 "zkCNN" "~"
+        zkcnn.Cost.paper_verify_s
+        (int_of_float (zkcnn.Cost.paper_proof_kb *. 1024.))
+        "prove+verify")
+    dims;
+  Printf.printf
+    "shape: zkVC leads all non-interactive schemes in proving; verification and\n";
+  Printf.printf "proof size stay flat, unlike the interactive zkCNN.\n%!"
+
+let run_tab2 () =
+  let d = scaled_dims 128 in
+  header
+    (Format.asprintf "Table II — CRPC x PSQ ablation, dims %a%s" Mspec.pp_dims d
+       (if !scale = 1 then "" else Printf.sprintf " (scaled 1/%d)" !scale));
+  let inst = random_instance d in
+  Printf.printf "%-6s %-6s | %12s %12s | %12s %12s | %12s %9s\n" "CRPC" "PSQ" "g16-prove(s)"
+    "g16-verify" "sp-prove(s)" "sp-verify" "constraints" "nnz(A)";
+  let strategies =
+    [ (false, false, Mc.Vanilla);
+      (false, true, Mc.Vanilla_psq);
+      (true, false, Mc.Crpc);
+      (true, true, Mc.Crpc_psq) ]
+  in
+  let results =
+    List.map
+      (fun (crpc, psq, strategy) ->
+        let g = measure Api.Backend_groth16 strategy d inst in
+        let s = measure Api.Backend_spartan strategy d inst in
+        Printf.printf "%-6s %-6s | %12.3f %12.4f | %12.3f %12.4f | %12d %9d\n%!"
+          (if crpc then "yes" else "no")
+          (if psq then "yes" else "no")
+          g.Api.timings.Api.prove_s g.Api.timings.Api.verify_s s.Api.timings.Api.prove_s
+          s.Api.timings.Api.verify_s g.Api.constraints g.Api.nonzero_a;
+        (crpc, psq, g, s))
+      strategies
+  in
+  let get c p =
+    let _, _, g, _ = List.find (fun (c', p', _, _) -> c = c' && p = p') results in
+    g.Api.timings.Api.prove_s
+  in
+  Printf.printf "\npaper Table II (16-core, [49,64]x[64,128]):\n";
+  List.iter
+    (fun (c, p, pg, vg, ps, vs) ->
+      Printf.printf "%-6s %-6s | %12.2f %12.3f | %12.2f %12.2f\n"
+        (if c then "yes" else "no")
+        (if p then "yes" else "no")
+        pg vg ps vs)
+    Cost.paper_table2;
+  Printf.printf
+    "\nspeedup shape (prove, groth16): CRPC %.1fx, CRPC+PSQ %.1fx (paper: 9.0x, 12.5x)\n%!"
+    (get false false /. Stdlib.max 1e-9 (get true false))
+    (get false false /. Stdlib.max 1e-9 (get true true))
+
+(* ------------------------------------------------------------------ *)
+(* Tables III and IV                                                    *)
+
+let run_tab3 () =
+  header "Table III — token mixers on ViT models (constraints exact; times calibrated)";
+  Printf.printf "calibrating prover cost models with real proofs...\n%!";
+  let calib_g = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_groth16 in
+  let calib_s = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_spartan in
+  Printf.printf "%-14s %-12s %8s %14s %12s %10s %10s %12s %10s\n" "dataset" "variant"
+    "top1(%)" "constraints" "est-P_G(s)" "est/SA" "paper/SA" "paper-P_G" "paper-P_S";
+  let variants =
+    [ Models.Soft_approx; Models.Soft_free_s; Models.Soft_free_p; Models.Zkvc_hybrid ]
+  in
+  List.iter
+    (fun (dataset, arch) ->
+      let rows =
+        List.map (fun v -> Pm.table3_row ~calib_g ~calib_s cfg ~dataset arch v) variants
+      in
+      let approx = List.hd rows in
+      List.iter
+        (fun row ->
+          (* normalised columns: cost relative to SoftApprox., ours vs the
+             paper's — the shape claim under test *)
+          let est_ratio = row.Pm.est_prove_g /. approx.Pm.est_prove_g in
+          let paper_ratio =
+            match row.Pm.paper_prove_g, approx.Pm.paper_prove_g with
+            | Some a, Some b -> Printf.sprintf "%.2f" (a /. b)
+            | _ -> "-"
+          in
+          Printf.printf "%-14s %-12s %8s %14d %12.1f %10.2f %10s %12s %10s\n%!" dataset
+            (Models.variant_name row.Pm.variant)
+            (match row.Pm.paper_top1 with Some a -> Printf.sprintf "%.1f" a | None -> "-")
+            row.Pm.constraints row.Pm.est_prove_g est_ratio paper_ratio
+            (match row.Pm.paper_prove_g with Some v -> Printf.sprintf "%.1f" v | None -> "-")
+            (match row.Pm.paper_prove_s with Some v -> Printf.sprintf "%.1f" v | None -> "-"))
+        rows)
+    [ ("Cifar-10", Models.vit_cifar10);
+      ("TinyImageNet", Models.vit_tiny_imagenet);
+      ("ImageNet", Models.vit_imagenet) ];
+  Printf.printf
+    "\naccuracy columns are the paper's reported values (no datasets in this\n";
+  Printf.printf
+    "container; DESIGN.md substitution 3). Shape to check: within each dataset\n";
+  Printf.printf "SoftFree-P < zkVC < SoftFree-S < SoftApprox in proving cost.\n%!"
+
+let run_tab4 () =
+  header "Table IV — token mixers on BERT (GLUE)";
+  let calib_g = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_groth16 in
+  let calib_s = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_spartan in
+  Printf.printf "%-12s %7s %7s %7s %7s %14s %12s %8s %9s %12s %12s\n" "variant" "MNLI"
+    "QNLI" "SST-2" "MRPC" "constraints" "est-P_G(s)" "est/SA" "paper/SA" "paper-P_G"
+    "paper-P_S";
+  let sa_counts =
+    (Compiler.total_counts cfg (Compiler.compile Models.bert_glue Models.Soft_approx))
+      .Ops.constraints
+  in
+  let sa_paper = 1299.5 in
+  let variants =
+    [ (Models.Soft_approx, "SoftApprox.");
+      (Models.Soft_free_s, "SoftFree-S");
+      (Models.Soft_free_l, "SoftFree-L");
+      (Models.Zkvc_hybrid, "zkVC") ]
+  in
+  List.iter
+    (fun (variant, vname) ->
+      let layers = Compiler.compile Models.bert_glue variant in
+      let counts = Compiler.total_counts cfg layers in
+      let paper = List.find_opt (fun (v, _, _, _, _, _, _) -> v = vname) Cost.paper_table4 in
+      let acc f = match paper with Some row -> Printf.sprintf "%.1f" (f row) | None -> "-" in
+      ignore calib_s;
+      let est = Cost.estimate calib_g counts.Ops.constraints in
+      let est_sa = Cost.estimate calib_g sa_counts in
+      let paper_ratio =
+        match paper with
+        | Some (_, _, _, _, _, pg, _) -> Printf.sprintf "%.2f" (pg /. sa_paper)
+        | None -> "-"
+      in
+      Printf.printf "%-12s %7s %7s %7s %7s %14d %12.1f %8.2f %9s %12s %12s\n%!" vname
+        (acc (fun (_, a, _, _, _, _, _) -> a))
+        (acc (fun (_, _, a, _, _, _, _) -> a))
+        (acc (fun (_, _, _, a, _, _, _) -> a))
+        (acc (fun (_, _, _, _, a, _, _) -> a))
+        counts.Ops.constraints est (est /. est_sa) paper_ratio
+        (acc (fun (_, _, _, _, _, pg, _) -> pg))
+        (acc (fun (_, _, _, _, _, _, ps) -> ps)))
+    variants;
+  Printf.printf "\nshape to check: SoftFree-L < zkVC < SoftFree-S < SoftApprox.\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md)                                                *)
+
+let run_ablations () =
+  header "Ablations";
+  (* 1. PSQ wire density *)
+  let d = scaled_dims 128 in
+  Printf.printf "[abl-psq] wire statistics at %s:\n" (Format.asprintf "%a" Mspec.pp_dims d);
+  let x, w = random_instance d in
+  List.iter
+    (fun strategy ->
+      let cs, _, _ = Api.build_circuit strategy ~x ~w d in
+      let s = Api.Cs.stats cs in
+      Printf.printf
+        "  %-12s constraints=%-8d vars=%-8d nnz(A)=%-8d nnz(B)=%-8d nnz(C)=%d\n%!"
+        (Mc.strategy_name strategy) s.Api.Cs.constraints s.Api.Cs.variables
+        s.Api.Cs.nonzero_a s.Api.Cs.nonzero_b s.Api.Cs.nonzero_c)
+    Mc.all_strategies;
+  (* 2. NTT vs schoolbook crossover *)
+  Printf.printf "[abl-ntt] polynomial multiplication crossover:\n";
+  let module P = Zkvc_poly.Dense_poly.Make (Fr) in
+  List.iter
+    (fun deg ->
+      let p1 = P.random rng ~degree:deg and p2 = P.random rng ~degree:deg in
+      let time f =
+        let t0 = Sys.time () in
+        ignore (f ());
+        Sys.time () -. t0
+      in
+      let ts = time (fun () -> P.mul_schoolbook p1 p2) in
+      let tn = time (fun () -> P.mul_ntt p1 p2) in
+      Printf.printf "  degree %-6d schoolbook %.4fs ntt %.4fs -> %s wins\n%!" deg ts tn
+        (if ts < tn then "schoolbook" else "ntt"))
+    [ 16; 64; 256; 1024 ];
+  (* 3. Pippenger vs naive MSM *)
+  Printf.printf "[abl-msm] MSM n=2048:\n";
+  let module Msm = Zkvc_curve.Msm.Make (Zkvc_curve.G1) in
+  let points = Array.init 2048 (fun _ -> Zkvc_curve.G1.random rng) in
+  let scalars = Array.init 2048 (fun _ -> Fr.to_bigint (Fr.random rng)) in
+  let t0 = Sys.time () in
+  ignore (Msm.msm_bigint points scalars);
+  let t_pip = Sys.time () -. t0 in
+  let t0 = Sys.time () in
+  ignore
+    (Msm.msm_naive ~mul:Zkvc_curve.G1.mul (Array.sub points 0 128) (Array.sub scalars 0 128));
+  let t_naive = (Sys.time () -. t0) *. (2048. /. 128.) in
+  Printf.printf "  pippenger %.3fs vs naive (extrapolated) %.3fs -> %.1fx\n%!" t_pip t_naive
+    (t_naive /. Stdlib.max 1e-9 t_pip);
+  (* 4. softmax squaring depth vs accuracy *)
+  Printf.printf "[abl-exp] exponential approximation error by squaring depth n:\n";
+  List.iter
+    (fun n ->
+      let c =
+        { cfg with Nl.exp_squarings = n; clip_log2 = Stdlib.min (cfg.Nl.fractional_bits + n) 11 }
+      in
+      let s = float_of_int (Nl.scale c) in
+      let max_err = ref 0. in
+      for i = 0 to 200 do
+        let v = float_of_int i /. 25. in
+        let approx = float_of_int (Nl.Reference.exp_neg c (int_of_float (v *. s))) /. s in
+        max_err := Stdlib.max !max_err (abs_float (approx -. exp (-.v)))
+      done;
+      let unit_cost =
+        (Compiler.Counter.count c (Ops.Op_softmax { rows = 1; len = 8 })).Ops.constraints
+      in
+      Printf.printf "  n=%d  max|err|=%.4f  softmax-row(8) constraints=%d\n%!" n !max_err
+        unit_cost)
+    [ 2; 3; 4; 5; 6 ];
+  (* 5. Spartan opening mode: Hyrax fold (sqrt) vs IPA (log) *)
+  Printf.printf "[abl-open] Spartan witness opening: Hyrax fold vs inner-product argument:\n";
+  let module Spartan = Zkvc_spartan.Spartan in
+  let module Bld = Zkvc_r1cs.Builder.Make (Fr) in
+  let module Gg = Zkvc_r1cs.Gadgets.Make (Fr) in
+  let module Lc = Zkvc_r1cs.Lc.Make (Fr) in
+  let open_circuit =
+    let b = Bld.create () in
+    let x0 = Bld.alloc b (Fr.of_int 3) in
+    let acc = ref (Lc.of_var x0) in
+    for _ = 1 to 4096 do
+      acc := Lc.of_var (Gg.mul b !acc !acc)
+    done;
+    Bld.finalize b
+  in
+  let cs, assignment = open_circuit in
+  let inst = Spartan.preprocess cs in
+  let skey = Spartan.setup inst in
+  List.iter
+    (fun (name, mode) ->
+      let t0 = Sys.time () in
+      let proof = Spartan.prove ~opening_mode:mode rng skey inst assignment in
+      let t_p = Sys.time () -. t0 in
+      let t0 = Sys.time () in
+      let ok = Spartan.verify skey inst ~public_inputs:[] proof in
+      let t_v = Sys.time () -. t0 in
+      Printf.printf "  %-12s proof=%-6dB prove=%.3fs verify=%.3fs ok=%b\n%!" name
+        (Spartan.proof_size_bytes proof) t_p t_v ok)
+    [ ("hyrax-fold", `Hyrax_fold); ("ipa", `Ipa) ];
+  (* 6. real per-op proofs on both backends *)
+  Printf.printf "[abl-ops] real proofs of individual NN ops:\n";
+  List.iter
+    (fun (label, op) ->
+      List.iter
+        (fun (bname, backend) ->
+          let nc, tp, tv, bytes = Pm.prove_op backend cfg op in
+          Printf.printf "  %-22s %-8s n=%-7d prove=%.3fs verify=%.4fs proof=%dB\n%!" label
+            bname nc tp tv bytes)
+        [ ("groth16", Cost.Backend_groth16); ("spartan", Cost.Backend_spartan) ])
+    [ ("softmax(1x8)", Ops.Op_softmax { rows = 1; len = 8 });
+      ("gelu(x32)", Ops.Op_gelu 32);
+      ("layernorm(1x16)", Ops.Op_layernorm { rows = 1; cols = 16 });
+      ("matmul crpc+psq 8x8x8", Ops.Op_matmul (Mspec.dims ~a:8 ~n:8 ~b:8)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                             *)
+
+let run_micro () =
+  header "Micro-benchmarks (Bechamel; substrate kernels)";
+  let open Bechamel in
+  let module D = Zkvc_poly.Domain.Make (Fr) in
+  let x = Fr.random rng and y = Fr.random rng in
+  let f12 = Zkvc_curve.Fq12.random rng in
+  let g1a = Zkvc_curve.G1.random rng and g1b = Zkvc_curve.G1.random rng in
+  let dom = D.create 1024 in
+  let coeffs = Array.init 1024 (fun _ -> Fr.random rng) in
+  let data = Bytes.create 1024 in
+  let tests =
+    [ Test.make ~name:"fr-mul" (Staged.stage (fun () -> ignore (Fr.mul x y)));
+      Test.make ~name:"fr-inv" (Staged.stage (fun () -> ignore (Fr.inv x)));
+      Test.make ~name:"fq12-mul" (Staged.stage (fun () -> ignore (Zkvc_curve.Fq12.mul f12 f12)));
+      Test.make ~name:"g1-add" (Staged.stage (fun () -> ignore (Zkvc_curve.G1.add g1a g1b)));
+      Test.make ~name:"ntt-1024"
+        (Staged.stage (fun () ->
+             let a = Array.copy coeffs in
+             D.ntt dom a));
+      Test.make ~name:"sha256-1k" (Staged.stage (fun () -> ignore (Zkvc_hash.Sha256.digest data)))
+    ]
+  in
+  List.iter
+    (fun t ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ())
+          [ Toolkit.Instance.monotonic_clock ] t
+      in
+      let res =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name r ->
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> Printf.printf "  %-12s %12.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "  %-12s (no estimate)\n%!" name)
+        res)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "zkVC reproduction bench harness (scale=1/%d%s)\n" !scale
+    (if !full then " full" else "");
+  if enabled "tab1" then run_tab1 ();
+  if enabled "fig3" then run_fig3 ();
+  if enabled "fig6" then run_fig6 ();
+  if enabled "tab2" then run_tab2 ();
+  if enabled "tab3" then run_tab3 ();
+  if enabled "tab4" then run_tab4 ();
+  if enabled "abl" then run_ablations ();
+  if enabled "micro" then run_micro ();
+  Printf.printf "\nbench complete.\n"

@@ -1,0 +1,172 @@
+(* zkvc command-line interface.
+
+   $ zkvc_cli count  --dims 49,64,128 --strategy crpc+psq
+   $ zkvc_cli prove  --dims 8,8,16 --strategy crpc+psq --backend spartan
+   $ zkvc_cli model  --arch cifar10 --variant zkvc
+*)
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Mc = Zkvc.Matmul_circuit
+module Mspec = Zkvc.Matmul_spec
+module Spec = Mspec.Make (Fr)
+module Models = Zkvc_nn.Models
+module Compiler = Zkvc_zkml.Compiler
+module Ops = Zkvc_zkml.Ops
+
+open Cmdliner
+
+let cfg = Zkvc.Nonlinear.default_config
+
+(* ---- shared converters ---- *)
+
+let dims_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ a; n; b ] ->
+      (try Ok (Mspec.dims ~a:(int_of_string a) ~n:(int_of_string n) ~b:(int_of_string b))
+       with _ -> Error (`Msg "dims must be three positive integers a,n,b"))
+    | _ -> Error (`Msg "dims must look like 49,64,128")
+  in
+  let print fmt d = Mspec.pp_dims fmt d in
+  Arg.conv (parse, print)
+
+let strategy_conv =
+  let assoc =
+    List.map (fun s -> (Mc.strategy_name s, s)) Mc.all_strategies
+  in
+  Arg.enum assoc
+
+let backend_conv =
+  Arg.enum [ ("groth16", Api.Backend_groth16); ("spartan", Api.Backend_spartan) ]
+
+let arch_conv =
+  Arg.enum
+    [ ("cifar10", Models.vit_cifar10);
+      ("tiny-imagenet", Models.vit_tiny_imagenet);
+      ("imagenet", Models.vit_imagenet);
+      ("bert", Models.bert_glue) ]
+
+let variant_conv =
+  Arg.enum
+    [ ("softapprox", Models.Soft_approx);
+      ("softfree-s", Models.Soft_free_s);
+      ("softfree-p", Models.Soft_free_p);
+      ("softfree-l", Models.Soft_free_l);
+      ("zkvc", Models.Zkvc_hybrid) ]
+
+let dims_arg =
+  Arg.(value & opt dims_conv (Mspec.dims ~a:8 ~n:8 ~b:16)
+       & info [ "dims" ] ~docv:"A,N,B" ~doc:"Matrix dimensions [A,N]x[N,B].")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Mc.Crpc_psq
+       & info [ "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Matmul encoding: vanilla, vanilla+psq, crpc or crpc+psq.")
+
+(* ---- count ---- *)
+
+let count_cmd =
+  let run d =
+    Printf.printf "%-12s %12s %12s %10s\n" "strategy" "constraints" "variables" "nnz(A)";
+    List.iter
+      (fun strategy ->
+        let c = Compiler.Counter.count ~strategy cfg (Ops.Op_matmul d) in
+        let x = Spec.random_matrix (Random.State.make [| 1 |]) ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:16 in
+        let w = Spec.random_matrix (Random.State.make [| 2 |]) ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:16 in
+        let cs, _, _ = Api.build_circuit strategy ~x ~w d in
+        let s = Api.Cs.stats cs in
+        Printf.printf "%-12s %12d %12d %10d\n" (Mc.strategy_name strategy) c.Ops.constraints
+          c.Ops.variables s.Api.Cs.nonzero_a)
+      Mc.all_strategies;
+    0
+  in
+  let doc = "Report R1CS sizes of the four matmul encodings at given dimensions." in
+  Cmd.v (Cmd.info "count" ~doc) Term.(const run $ dims_arg)
+
+(* ---- prove ---- *)
+
+let prove_cmd =
+  let backend_arg =
+    Arg.(value & opt backend_conv Api.Backend_groth16
+         & info [ "backend" ] ~docv:"BACKEND" ~doc:"groth16 or spartan.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run d strategy backend seed =
+    let rng = Random.State.make [| seed |] in
+    let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+    let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+    let _proof, m = Api.run ~rng backend strategy ~x ~w d in
+    Format.printf "%a@." Api.pp_measurement m;
+    0
+  in
+  let doc = "Prove a random matmul instance and verify it (prints timings)." in
+  Cmd.v (Cmd.info "prove" ~doc)
+    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg)
+
+(* ---- model ---- *)
+
+let model_cmd =
+  let arch_arg =
+    Arg.(value & opt arch_conv Models.vit_cifar10
+         & info [ "arch" ] ~docv:"ARCH" ~doc:"cifar10, tiny-imagenet, imagenet or bert.")
+  in
+  let variant_arg =
+    Arg.(value & opt variant_conv Models.Zkvc_hybrid
+         & info [ "variant" ] ~docv:"VARIANT"
+             ~doc:"softapprox, softfree-s, softfree-p, softfree-l or zkvc.")
+  in
+  let run arch variant strategy =
+    let layers = Compiler.compile arch variant in
+    Printf.printf "%s / %s (matmuls: %s)\n" arch.Models.arch_name
+      (Models.variant_name variant) (Mc.strategy_name strategy);
+    List.iter
+      (fun { Compiler.label; ops } ->
+        let c =
+          List.fold_left
+            (fun acc op -> acc + (Compiler.Counter.count ~strategy cfg op).Ops.constraints)
+            0 ops
+        in
+        Printf.printf "  %-24s %14d constraints\n" label c)
+      layers;
+    let total = Compiler.total_counts ~strategy cfg layers in
+    let mm, other = Compiler.matmul_split ~strategy cfg layers in
+    Printf.printf "total: %d constraints (%d matmul + %d non-linear/quantization), %d variables\n"
+      total.Ops.constraints mm other total.Ops.variables;
+    0
+  in
+  let doc = "Compile a paper model to verifiable ops and print exact budgets." in
+  Cmd.v (Cmd.info "model" ~doc) Term.(const run $ arch_arg $ variant_arg $ strategy_arg)
+
+(* ---- gkr ---- *)
+
+let gkr_cmd =
+  let run d seed =
+    let rng = Random.State.make [| seed |] in
+    let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+    let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+    let y = Spec.multiply x w in
+    let t0 = Sys.time () in
+    let proof = Zkvc_gkr.Thaler_matmul.prove ~a:x ~b:w in
+    let t_prove = Sys.time () -. t0 in
+    let t0 = Sys.time () in
+    let ok = Zkvc_gkr.Thaler_matmul.verify ~a:x ~b:w ~c:y proof in
+    let t_verify = Sys.time () -. t0 in
+    Printf.printf
+      "thaler-matmul %s: prove=%.4fs verify=%.4fs proof=%dB verified=%b\n"
+      (Format.asprintf "%a" Mspec.pp_dims d)
+      t_prove t_verify
+      (Zkvc_gkr.Thaler_matmul.proof_size_bytes proof)
+      ok;
+    if ok then 0 else 1
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let doc = "Prove a matmul with the interactive-family Thaler'13 sumcheck (GKR baseline)." in
+  Cmd.v (Cmd.info "gkr" ~doc) Term.(const run $ dims_arg $ seed_arg)
+
+let () =
+  let doc = "zkVC: fast zero-knowledge proofs for verifiable matrix multiplication" in
+  let info = Cmd.info "zkvc_cli" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval' (Cmd.group info [ count_cmd; prove_cmd; model_cmd; gkr_cmd ]))

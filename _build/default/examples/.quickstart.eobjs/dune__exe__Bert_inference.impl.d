@@ -1,0 +1,1 @@
+examples/bert_inference.ml: List Printf Random String Zkvc Zkvc_field Zkvc_nn Zkvc_zkml

@@ -1,0 +1,1 @@
+examples/matmul_ablation.ml: Array Format List Printf Zkvc Zkvc_field Zkvc_r1cs

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Random Zkvc Zkvc_field

@@ -1,0 +1,1 @@
+examples/softmax_attention.ml: Array List Printf Random Sys Zkvc Zkvc_field Zkvc_groth16 Zkvc_nn Zkvc_r1cs Zkvc_spartan Zkvc_zkml

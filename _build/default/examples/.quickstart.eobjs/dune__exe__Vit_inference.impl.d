@@ -1,0 +1,1 @@
+examples/vit_inference.ml: Array Format List Printf Random Sys Zkvc Zkvc_field Zkvc_groth16 Zkvc_nn Zkvc_r1cs Zkvc_zkml

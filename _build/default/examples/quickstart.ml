@@ -1,0 +1,42 @@
+(* Quickstart: prove that Y = X·W with zkVC's CRPC+PSQ encoding on the
+   Groth16 backend, then verify. Run with:
+
+     dune exec examples/quickstart.exe *)
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Mspec = Zkvc.Matmul_spec
+module Spec = Mspec.Make (Fr)
+
+let () =
+  let rng = Random.State.make [| 42 |] in
+
+  (* a small matrix product: X is the prover's private input (e.g. user
+     data), W the private model weights, Y the public claimed output *)
+  let d = Mspec.dims ~a:4 ~n:8 ~b:4 in
+  let x = Spec.random_matrix rng ~rows:4 ~cols:8 ~bound:100 in
+  let w = Spec.random_matrix rng ~rows:8 ~cols:4 ~bound:100 in
+
+  Printf.printf "proving Y = X*W for %s with CRPC+PSQ on Groth16...\n%!"
+    (Format.asprintf "%a" Mspec.pp_dims d);
+
+  let _proof, m =
+    Api.run ~rng Api.Backend_groth16 Zkvc.Matmul_circuit.Crpc_psq ~x ~w d
+  in
+
+  Printf.printf "  constraints : %d (vanilla would need %d)\n" m.Api.constraints
+    (Zkvc.Matmul_circuit.expected_constraints Zkvc.Matmul_circuit.Vanilla d);
+  Printf.printf "  proof size  : %d bytes\n" m.Api.proof_bytes;
+  Printf.printf "  setup       : %.3f s (one-off)\n" m.Api.timings.Api.setup_s;
+  Printf.printf "  prove       : %.3f s\n" m.Api.timings.Api.prove_s;
+  Printf.printf "  verify      : %.4f s\n" m.Api.timings.Api.verify_s;
+  Printf.printf "proof verified.\n";
+
+  (* the same statement on the transparent (no-trusted-setup) backend *)
+  Printf.printf "\nsame statement on Spartan (transparent)...\n%!";
+  let _proof, m =
+    Api.run ~rng Api.Backend_spartan Zkvc.Matmul_circuit.Crpc_psq ~x ~w d
+  in
+  Printf.printf "  prove %.3f s, verify %.4f s, proof %d bytes\n"
+    m.Api.timings.Api.prove_s m.Api.timings.Api.verify_s m.Api.proof_bytes;
+  Printf.printf "proof verified.\n"

@@ -1,0 +1,1 @@
+lib/core/api.ml: Array Format Matmul_circuit Matmul_spec Random Sys Zkvc_field Zkvc_groth16 Zkvc_r1cs Zkvc_spartan

@@ -1,0 +1,1 @@
+lib/core/api.mli: Format Matmul_circuit Matmul_spec Random Zkvc_field Zkvc_groth16 Zkvc_r1cs Zkvc_spartan

@@ -1,0 +1,1 @@
+lib/core/matmul_circuit.ml: Array List Matmul_spec Zkvc_field Zkvc_num Zkvc_r1cs Zkvc_transcript

@@ -1,0 +1,1 @@
+lib/core/matmul_circuit.mli: Matmul_spec Zkvc_field Zkvc_r1cs

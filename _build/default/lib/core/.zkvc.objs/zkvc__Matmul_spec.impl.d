@@ -1,0 +1,1 @@
+lib/core/matmul_spec.ml: Array Format Random Zkvc_field

@@ -1,0 +1,1 @@
+lib/core/matmul_spec.mli: Format Random Zkvc_field

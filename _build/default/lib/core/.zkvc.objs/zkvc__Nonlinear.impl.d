@@ -1,0 +1,1 @@
+lib/core/nonlinear.ml: Array List Stdlib Zkvc_field Zkvc_num Zkvc_r1cs

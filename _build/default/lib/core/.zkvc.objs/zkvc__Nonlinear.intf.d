@@ -1,0 +1,1 @@
+lib/core/nonlinear.mli: Zkvc_field Zkvc_r1cs

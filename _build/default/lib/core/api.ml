@@ -1,0 +1,106 @@
+(** High-level zkVC API over the BN254 scalar field: build a matmul
+    statement with any strategy, prove it with either backend (zkVC-G =
+    Groth16, zkVC-S = Spartan), verify, and collect the timing /
+    size measurements the paper's tables report. *)
+
+module Fr = Zkvc_field.Fr
+module Groth16 = Zkvc_groth16.Groth16
+module Spartan = Zkvc_spartan.Spartan
+module Qap = Groth16.Qap
+module Cs = Zkvc_r1cs.Constraint_system.Make (Fr)
+module Bld = Zkvc_r1cs.Builder.Make (Fr)
+module Mc = Matmul_circuit.Make (Fr)
+module Spec = Matmul_spec.Make (Fr)
+
+type backend = Backend_groth16 | Backend_spartan
+
+let backend_name = function
+  | Backend_groth16 -> "groth16"
+  | Backend_spartan -> "spartan"
+
+type timings =
+  { setup_s : float;
+    prove_s : float;
+    verify_s : float }
+
+type measurement =
+  { strategy : Matmul_circuit.strategy;
+    backend : backend;
+    dims : Matmul_spec.dims;
+    constraints : int;
+    variables : int;
+    nonzero_a : int;
+    proof_bytes : int;
+    timings : timings }
+
+type proof =
+  | Groth16_proof of Groth16.proof
+  | Spartan_proof of Spartan.proof
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(** Build the matmul circuit for the given strategy. For CRPC strategies
+    the challenge is derived by Fiat–Shamir from X, W and Y (commit-then-
+    prove flow); the same derivation runs on the verifier side. *)
+let build_circuit strategy ~x ~w d =
+  let y = Spec.multiply x w in
+  let challenge =
+    if Matmul_circuit.uses_challenge strategy then Some (Mc.derive_challenge ~x ~w ~y)
+    else None
+  in
+  let b = Bld.create () in
+  let _wires, _y = Mc.build b strategy ?challenge ~x ~w d in
+  let cs, assignment = Bld.finalize b in
+  (cs, assignment, y)
+
+(** Prove + verify once, returning the proof and a full measurement row.
+    The Groth16 setup time is reported separately and — like the paper —
+    excluded from proving time. *)
+let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
+  let (cs, assignment, _y), _build_time = time (fun () -> build_circuit strategy ~x ~w d) in
+  let stats = Cs.stats cs in
+  let public_inputs =
+    Array.to_list (Array.sub assignment 1 (Cs.num_inputs cs))
+  in
+  let proof, proof_bytes, timings =
+    match backend with
+    | Backend_groth16 ->
+      let qap, t_qap = time (fun () -> Qap.create cs) in
+      let (pk, vk), t_setup = time (fun () -> Groth16.setup rng qap) in
+      let proof, t_prove = time (fun () -> Groth16.prove rng pk qap assignment) in
+      let ok, t_verify = time (fun () -> Groth16.verify vk ~public_inputs proof) in
+      if not ok then failwith "zkvc: groth16 proof failed to verify";
+      ( Groth16_proof proof,
+        Groth16.proof_size_bytes proof,
+        { setup_s = t_qap +. t_setup; prove_s = t_prove; verify_s = t_verify } )
+    | Backend_spartan ->
+      let inst, t_pre = time (fun () -> Spartan.preprocess cs) in
+      let key, t_key = time (fun () -> Spartan.setup inst) in
+      let proof, t_prove = time (fun () -> Spartan.prove rng key inst assignment) in
+      let ok, t_verify =
+        time (fun () -> Spartan.verify key inst ~public_inputs proof)
+      in
+      if not ok then failwith "zkvc: spartan proof failed to verify";
+      ( Spartan_proof proof,
+        Spartan.proof_size_bytes proof,
+        { setup_s = t_pre +. t_key; prove_s = t_prove; verify_s = t_verify } )
+  in
+  ( proof,
+    { strategy;
+      backend;
+      dims = d;
+      constraints = stats.Cs.constraints;
+      variables = stats.Cs.variables;
+      nonzero_a = stats.Cs.nonzero_a;
+      proof_bytes;
+      timings } )
+
+let pp_measurement fmt m =
+  Format.fprintf fmt
+    "%-12s %-8s %a  constraints=%-8d vars=%-8d nnzA=%-8d proof=%dB  setup=%.3fs prove=%.3fs verify=%.4fs"
+    (Matmul_circuit.strategy_name m.strategy)
+    (backend_name m.backend) Matmul_spec.pp_dims m.dims m.constraints m.variables
+    m.nonzero_a m.proof_bytes m.timings.setup_s m.timings.prove_s m.timings.verify_s

@@ -1,0 +1,50 @@
+(** High-level zkVC API over the BN254 scalar field: build a matmul
+    statement with any encoding strategy, prove it with either backend
+    (zkVC-G = Groth16, zkVC-S = Spartan), verify, and collect the
+    timing/size measurements the paper's tables report. *)
+
+module Fr = Zkvc_field.Fr
+module Cs : module type of Zkvc_r1cs.Constraint_system.Make (Fr)
+
+type backend = Backend_groth16 | Backend_spartan
+
+val backend_name : backend -> string
+
+type timings = { setup_s : float; prove_s : float; verify_s : float }
+
+type measurement =
+  { strategy : Matmul_circuit.strategy;
+    backend : backend;
+    dims : Matmul_spec.dims;
+    constraints : int;
+    variables : int;
+    nonzero_a : int;
+    proof_bytes : int;
+    timings : timings }
+
+type proof =
+  | Groth16_proof of Zkvc_groth16.Groth16.proof
+  | Spartan_proof of Zkvc_spartan.Spartan.proof
+
+(** Compile the statement: for CRPC strategies the challenge is derived by
+    Fiat–Shamir from X, W and Y. Returns (system, full assignment, Y). *)
+val build_circuit :
+  Matmul_circuit.strategy ->
+  x:Fr.t array array ->
+  w:Fr.t array array ->
+  Matmul_spec.dims ->
+  Cs.t * Fr.t array * Fr.t array array
+
+(** Prove and verify once; setup time is reported separately and — like
+    the paper — excluded from proving time. Raises [Failure] if the
+    produced proof does not verify. *)
+val run :
+  ?rng:Random.State.t ->
+  backend ->
+  Matmul_circuit.strategy ->
+  x:Fr.t array array ->
+  w:Fr.t array array ->
+  Matmul_spec.dims ->
+  proof * measurement
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,170 @@
+(** zkVC's arithmetic approximations of the Transformer's non-linear
+    functions (paper Section III-C), as R1CS gadgets over fixed-point
+    values.
+
+    Quantization convention: a real value [v] is carried as the wire value
+    [round(v · S)] with scale [S = 2^fractional_bits]. SoftMax inputs are
+    unsigned (softmax is shift-invariant, so logits are pre-offset);
+    GELU inputs are signed, embedded in the field as [v mod p].
+
+    The exponential on negative inputs uses the paper's iterated-squaring
+    form  [e^{-d} ≈ (1 − d/2^n)^{2^n}]  with clipping to 0 for
+    [d ≥ 2^clip_log2 / S] — three bit decompositions and [n] squarings,
+    exactly the shape zkVC describes. *)
+
+module Bigint = Zkvc_num.Bigint
+
+type config =
+  { fractional_bits : int; (* S = 2^fractional_bits *)
+    value_bits : int; (* quantized magnitudes live below 2^value_bits *)
+    exp_squarings : int; (* n in (1 - d/2^n)^(2^n) *)
+    clip_log2 : int (* clip e^{-d} to 0 when d ≥ 2^clip_log2 (quantized) *) }
+
+(** 8 fractional bits, inputs below 2^16, 5 squarings, clip beyond
+    d/S ≥ 8 — a good accuracy/cost balance for Transformer logits. *)
+let default_config =
+  { fractional_bits = 8; value_bits = 16; exp_squarings = 5; clip_log2 = 11 }
+
+let scale cfg = 1 lsl cfg.fractional_bits
+
+let validate cfg =
+  if cfg.clip_log2 >= cfg.value_bits then
+    invalid_arg "Nonlinear: clip_log2 must be below value_bits";
+  if cfg.clip_log2 > cfg.fractional_bits + cfg.exp_squarings then
+    invalid_arg "Nonlinear: clip threshold too high for the squaring depth"
+
+(** Float reference semantics of the circuit (bit-exact integer model),
+    used by tests and by the quantized NN inference. *)
+module Reference = struct
+  (* The base (1 - d/(S·2^n)) is carried at the finer scale S' = S·2^n so
+     that S' - d is exact; the n squarings stay at scale S' and the final
+     shift by n bits returns to scale S. *)
+  let exp_neg cfg d =
+    validate cfg;
+    let s' = 1 lsl (cfg.fractional_bits + cfg.exp_squarings) in
+    if d >= 1 lsl cfg.clip_log2 then 0
+    else begin
+      let p = ref (s' - d) in
+      for _ = 1 to cfg.exp_squarings do
+        p := !p * !p / s'
+      done;
+      !p lsr cfg.exp_squarings
+    end
+
+  let softmax cfg xs =
+    let m = Array.fold_left Stdlib.max xs.(0) xs in
+    let es = Array.map (fun x -> exp_neg cfg (m - x)) xs in
+    let total = Array.fold_left ( + ) 0 es in
+    Array.map (fun e -> e * scale cfg / total) es
+
+  let gelu cfg x =
+    let s = scale cfg in
+    ((x * x) + (2 * s * x) + (4 * s * s)) / (8 * s)
+end
+
+module Make (F : Zkvc_field.Field_intf.S) = struct
+  module L = Zkvc_r1cs.Lc.Make (F)
+  module B = Zkvc_r1cs.Builder.Make (F)
+  module G = Zkvc_r1cs.Gadgets.Make (F)
+
+  (** [exp_neg b cfg d] constrains and returns a wire holding
+      [S·e^{-d/S}] (approximately), for a non-negative quantized
+      difference [d < 2^value_bits]. *)
+  let exp_neg b cfg d =
+    validate cfg;
+    (* finer scale S' = S·2^n: the base S' - d is exact (see Reference) *)
+    let s' = 1 lsl (cfg.fractional_bits + cfg.exp_squarings) in
+    let bits = G.bits_of b ~width:cfg.value_bits d in
+    let bit_lc i = L.of_var (List.nth bits i) in
+    (* hi = the bits at and above clip_log2; keep = (hi = 0) *)
+    let hi =
+      let acc = ref L.zero and coeff = ref F.one in
+      for i = cfg.clip_log2 to cfg.value_bits - 1 do
+        acc := L.add !acc (L.scale !coeff (bit_lc i));
+        coeff := F.double !coeff
+      done;
+      !acc
+    in
+    let keep = G.is_zero b hi in
+    (* lo = d mod 2^clip_log2 (free: reuse the decomposition) *)
+    let lo =
+      let acc = ref L.zero and coeff = ref F.one in
+      for i = 0 to cfg.clip_log2 - 1 do
+        acc := L.add !acc (L.scale !coeff (bit_lc i));
+        coeff := F.double !coeff
+      done;
+      !acc
+    in
+    (* base = S' - lo > 0 because lo < 2^clip_log2 ≤ S' *)
+    let base = L.sub (L.constant (F.of_int s')) lo in
+    let p = ref base in
+    for _ = 1 to cfg.exp_squarings do
+      let sq = G.mul b !p !p in
+      let quot, _rem =
+        G.div_by_constant b
+          ~q_width:(cfg.fractional_bits + cfg.exp_squarings + 2)
+          (L.of_var sq) (Bigint.of_int s')
+      in
+      p := L.of_var quot
+    done;
+    (* back to scale S *)
+    let e_full, _ =
+      G.div_by_constant b ~q_width:(cfg.fractional_bits + 2) !p
+        (Bigint.of_int (1 lsl cfg.exp_squarings))
+    in
+    G.select b (L.of_var keep) (L.of_var e_full) L.zero
+
+  (** SoftMax over a vector of quantized logit wires; returns wires holding
+      quantized probabilities (scale S). Implements the paper's recipe:
+      max via comparisons + membership product, normalisation by
+      subtraction, clipped iterated-squaring exponentials, and one
+      verified division per element. *)
+  let softmax b cfg xs =
+    if xs = [] then invalid_arg "Nonlinear.softmax: empty";
+    let s = scale cfg in
+    let m = G.max_of b ~width:cfg.value_bits (List.map L.of_var xs) in
+    let es =
+      List.map (fun x -> exp_neg b cfg (L.sub (L.of_var m) (L.of_var x))) xs
+    in
+    (* materialise the total on a wire: keeps every per-element division
+       constraint O(1)-sized instead of dragging a |xs|-term combination *)
+    let total_lc = List.fold_left (fun acc e -> L.add acc (L.of_var e)) L.zero es in
+    let total_wire = B.alloc b (B.eval b total_lc) in
+    G.assert_equal b (L.of_var total_wire) total_lc;
+    let total = L.of_var total_wire in
+    let count_bits =
+      let rec go k p = if p >= List.length xs then k else go (k + 1) (2 * p) in
+      go 0 1
+    in
+    List.map
+      (fun e ->
+        let q, _r =
+          G.div_rem b
+            ~q_width:(cfg.fractional_bits + 1)
+            ~r_width:(cfg.fractional_bits + count_bits + 1)
+            (L.scale (F.of_int s) (L.of_var e))
+            total
+        in
+        q)
+      es
+
+  (** GELU(x) ≈ x²/8 + x/4 + 1/2 (the paper's polynomial), on a signed
+      quantized wire with |x| < 2^(value_bits−1). The dividend
+      x² + 2Sx + 4S² = (x+S)² + 3S² is always positive, so the division
+      gadget sees a genuine non-negative integer. *)
+  let gelu b cfg x =
+    validate cfg;
+    let s = scale cfg in
+    let x2 = G.mul b (L.of_var x) (L.of_var x) in
+    let dividend =
+      L.add (L.of_var x2)
+        (L.add
+           (L.scale (F.of_int (2 * s)) (L.of_var x))
+           (L.constant (F.of_int (4 * s * s))))
+    in
+    let q, _r =
+      G.div_by_constant b ~q_width:(2 * cfg.value_bits) dividend
+        (Bigint.of_int (8 * s))
+    in
+    q
+end

@@ -1,0 +1,49 @@
+(** zkVC's arithmetic approximations of the Transformer's non-linear
+    functions (paper Section III-C) as R1CS gadgets over fixed-point
+    values, plus a bit-exact integer reference model shared with the
+    quantized neural-network forward pass. *)
+
+type config =
+  { fractional_bits : int; (** scale S = 2^fractional_bits *)
+    value_bits : int; (** quantized magnitudes live below 2^value_bits *)
+    exp_squarings : int; (** n in (1 − d/2ⁿ)^(2ⁿ) *)
+    clip_log2 : int (** clip e^{−d} to 0 when d ≥ 2^clip_log2 (quantized) *) }
+
+(** 8 fractional bits, 16-bit values, 5 squarings, clip beyond d/S ≥ 8. *)
+val default_config : config
+
+(** [2^fractional_bits]. *)
+val scale : config -> int
+
+(** Raises [Invalid_argument] for inconsistent configurations. *)
+val validate : config -> unit
+
+(** Bit-exact integer semantics of the circuits below. *)
+module Reference : sig
+  (** [exp_neg cfg d ≈ S·e^{−d/S}] for a non-negative quantized [d]. *)
+  val exp_neg : config -> int -> int
+
+  (** Quantized softmax of a logit vector (scale-S probabilities). *)
+  val softmax : config -> int array -> int array
+
+  (** GELU(x) ≈ x²/8 + x/4 + 1/2 in fixed point, signed input. *)
+  val gelu : config -> int -> int
+end
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  module L : module type of Zkvc_r1cs.Lc.Make (F)
+  module B : module type of Zkvc_r1cs.Builder.Make (F)
+
+  (** Constrained wire holding [Reference.exp_neg cfg d] for a
+      non-negative quantized difference below [2^value_bits]. Three bit
+      decompositions + n squarings, the paper's recipe. *)
+  val exp_neg : B.t -> config -> L.t -> L.var
+
+  (** SoftMax over non-negative quantized logit wires: max via
+      comparisons + membership product, clipped exponentials, one verified
+      division per element. Matches [Reference.softmax] bit for bit. *)
+  val softmax : B.t -> config -> L.var list -> L.var list
+
+  (** GELU polynomial approximation on a signed quantized wire. *)
+  val gelu : B.t -> config -> L.var -> L.var
+end

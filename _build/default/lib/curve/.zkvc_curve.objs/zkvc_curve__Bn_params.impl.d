@@ -1,0 +1,1 @@
+lib/curve/bn_params.ml: List Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/curve/bn_params.mli: Zkvc_num

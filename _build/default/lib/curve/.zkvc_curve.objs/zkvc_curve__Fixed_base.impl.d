@@ -1,0 +1,1 @@
+lib/curve/fixed_base.ml: Array Stdlib Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/curve/fixed_base.mli: Zkvc_field Zkvc_num

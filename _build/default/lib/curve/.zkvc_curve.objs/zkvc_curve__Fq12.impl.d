@@ -1,0 +1,1 @@
+lib/curve/fq12.ml: Format Fq2 Fq6 Zkvc_num

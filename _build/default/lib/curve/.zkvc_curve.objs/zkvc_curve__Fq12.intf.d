@@ -1,0 +1,1 @@
+lib/curve/fq12.mli: Format Fq2 Fq6 Random Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/curve/fq2.ml: Bytes Format Zkvc_field Zkvc_num

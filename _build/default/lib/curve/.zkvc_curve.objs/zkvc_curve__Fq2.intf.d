@@ -1,0 +1,1 @@
+lib/curve/fq2.mli: Bytes Format Random Zkvc_field Zkvc_num

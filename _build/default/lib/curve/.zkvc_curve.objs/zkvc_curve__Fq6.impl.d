@@ -1,0 +1,1 @@
+lib/curve/fq6.ml: Format Fq2

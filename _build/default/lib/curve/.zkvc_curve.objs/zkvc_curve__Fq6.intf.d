@@ -1,0 +1,1 @@
+lib/curve/fq6.mli: Format Fq2 Random

@@ -1,0 +1,1 @@
+lib/curve/g1.ml: Bytes Weierstrass Zkvc_field Zkvc_num

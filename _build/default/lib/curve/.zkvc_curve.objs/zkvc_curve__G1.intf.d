@@ -1,0 +1,1 @@
+lib/curve/g1.mli: Bytes Format Random Zkvc_field Zkvc_num

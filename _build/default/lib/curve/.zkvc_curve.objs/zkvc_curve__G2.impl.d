@@ -1,0 +1,1 @@
+lib/curve/g2.ml: Bn_params Bytes Fq2 Weierstrass Zkvc_field Zkvc_num

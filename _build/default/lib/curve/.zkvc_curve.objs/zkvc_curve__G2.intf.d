@@ -1,0 +1,1 @@
+lib/curve/g2.mli: Bytes Format Fq2 Random Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/curve/msm.ml: Array Stdlib Zkvc_field Zkvc_num

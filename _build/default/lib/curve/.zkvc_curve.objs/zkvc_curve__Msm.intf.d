@@ -1,0 +1,1 @@
+lib/curve/msm.mli: Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/curve/pairing.ml: Bn_params Fq12 G1 G2 Lazy List Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/curve/pairing.mli: Fq12 G1 G2

@@ -1,0 +1,1 @@
+lib/curve/weierstrass.ml: Bytes Format Zkvc_num

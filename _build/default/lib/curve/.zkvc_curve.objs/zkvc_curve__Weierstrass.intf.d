@@ -1,0 +1,1 @@
+lib/curve/weierstrass.mli: Bytes Format Zkvc_num

@@ -1,0 +1,20 @@
+(** Fixed-base scalar multiplication with a precomputed window table.
+    Used by the Groth16 setup, which performs one scalar multiplication
+    per wire per CRS query; an 8-bit window costs ~32 group additions per
+    scalar instead of ~380 double-and-adds. *)
+
+module Make (G : sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val double : t -> t
+end) : sig
+  type table
+
+  (** Precompute the window table for a base point. *)
+  val create : ?window:int -> G.t -> table
+
+  val mul_bigint : table -> Zkvc_num.Bigint.t -> G.t
+  val mul : table -> Zkvc_field.Fr.t -> G.t
+end

@@ -1,0 +1,68 @@
+(** Quadratic extension Fq12 = Fq6[w]/(w² − v). Since v³ = ξ we get w⁶ = ξ,
+    which is exactly the relation the D-type sextic twist of BN254 needs:
+    the untwisting map sends a G2 point (x', y') ∈ E'(Fq2) to
+    (x'·w², y'·w³) ∈ E(Fq12). *)
+
+module Bigint = Zkvc_num.Bigint
+
+type t = { c0 : Fq6.t; c1 : Fq6.t }
+
+let make c0 c1 = { c0; c1 }
+let zero = make Fq6.zero Fq6.zero
+let one = make Fq6.one Fq6.zero
+
+let equal a b = Fq6.equal a.c0 b.c0 && Fq6.equal a.c1 b.c1
+let is_zero a = equal a zero
+let is_one a = equal a one
+
+let add a b = make (Fq6.add a.c0 b.c0) (Fq6.add a.c1 b.c1)
+let sub a b = make (Fq6.sub a.c0 b.c0) (Fq6.sub a.c1 b.c1)
+let neg a = make (Fq6.neg a.c0) (Fq6.neg a.c1)
+
+(* (a0 + a1 w)(b0 + b1 w) = (a0b0 + a1b1 v) + (a0b1 + a1b0) w *)
+let mul a b =
+  let m00 = Fq6.mul a.c0 b.c0 in
+  let m11 = Fq6.mul a.c1 b.c1 in
+  let cross = Fq6.mul (Fq6.add a.c0 a.c1) (Fq6.add b.c0 b.c1) in
+  make (Fq6.add m00 (Fq6.mul_by_v m11)) (Fq6.sub cross (Fq6.add m00 m11))
+
+let sqr a =
+  let m00 = Fq6.sqr a.c0 in
+  let m11 = Fq6.sqr a.c1 in
+  let cross = Fq6.sqr (Fq6.add a.c0 a.c1) in
+  make (Fq6.add m00 (Fq6.mul_by_v m11)) (Fq6.sub cross (Fq6.add m00 m11))
+
+let conj a = make a.c0 (Fq6.neg a.c1)
+
+let inv a =
+  (* 1/(a0 + a1 w) = (a0 - a1 w)/(a0² - a1² v) *)
+  let denom = Fq6.sub (Fq6.sqr a.c0) (Fq6.mul_by_v (Fq6.sqr a.c1)) in
+  let dinv = Fq6.inv denom in
+  make (Fq6.mul a.c0 dinv) (Fq6.neg (Fq6.mul a.c1 dinv))
+
+let pow base e =
+  if Bigint.sign e < 0 then invalid_arg "Fq12.pow";
+  let nb = Bigint.num_bits e in
+  let acc = ref one in
+  for i = nb - 1 downto 0 do
+    acc := sqr !acc;
+    if Bigint.bit e i then acc := mul !acc base
+  done;
+  !acc
+
+(** Embedding of an E'(Fq2) x-coordinate: x'·w² = (0, x', 0) in the c0 part. *)
+let of_twist_x x' = make (Fq6.make Fq2.zero x' Fq2.zero) Fq6.zero
+
+(** Embedding of an E'(Fq2) y-coordinate: y'·w³ = (0, y', 0)·w. *)
+let of_twist_y y' = make Fq6.zero (Fq6.make Fq2.zero y' Fq2.zero)
+
+(** Line function value λ·x_Q − y_Q + c with x_Q = x'w², y_Q = y'w³ and
+    λ, c ∈ Fq: a sparse Fq12 element assembled without full multiplications. *)
+let line_value ~lambda ~c ~xq ~yq =
+  let a = Fq6.make (Fq2.of_fq c) (Fq2.mul_by_fq lambda xq) Fq2.zero in
+  let b = Fq6.make Fq2.zero (Fq2.neg yq) Fq2.zero in
+  make a b
+
+let random st = make (Fq6.random st) (Fq6.random st)
+
+let pp fmt a = Format.fprintf fmt "[%a; %a]" Fq6.pp a.c0 Fq6.pp a.c1

@@ -1,0 +1,33 @@
+(** Quadratic extension Fq12 = Fq6[w]/(w² − v), the pairing target field.
+    Since v³ = ξ we get w⁶ = ξ, the relation the D-type sextic twist
+    needs: untwisting maps (x', y') ∈ E'(Fq2) to (x'·w², y'·w³). *)
+
+type t = { c0 : Fq6.t; c1 : Fq6.t }
+
+val make : Fq6.t -> Fq6.t -> t
+val zero : t
+val one : t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_one : t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val sqr : t -> t
+val conj : t -> t
+val inv : t -> t
+val pow : t -> Zkvc_num.Bigint.t -> t
+
+(** Embedding of an E'(Fq2) x-coordinate: [x'·w²]. *)
+val of_twist_x : Fq2.t -> t
+
+(** Embedding of an E'(Fq2) y-coordinate: [y'·w³]. *)
+val of_twist_y : Fq2.t -> t
+
+(** Sparse Miller-loop line value [λ·x_Q − y_Q + c] with λ, c ∈ Fq and
+    [x_Q = x'·w²], [y_Q = y'·w³]. *)
+val line_value : lambda:Zkvc_field.Fq.t -> c:Zkvc_field.Fq.t -> xq:Fq2.t -> yq:Fq2.t -> t
+
+val random : Random.State.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** BN254 G1: [y² = x³ + 3] over Fq, prime order [r], generator (1, 2). *)
+
+module Fq = Zkvc_field.Fq
+module Fr = Zkvc_field.Fr
+module Bigint = Zkvc_num.Bigint
+
+include Weierstrass.Make (Fq) (struct let b = Fq.of_int 3 end)
+
+let generator = of_affine (Fq.one, Fq.of_int 2)
+
+let () = assert (is_on_curve generator)
+
+(** Scalar multiplication by a field scalar (the common case in SNARKs). *)
+let mul_fr p s = mul p (Fr.to_bigint s)
+
+let random st = mul_fr generator (Fr.random st)
+
+(** Order check: cofactor is 1, so membership = on-curve. *)
+let in_subgroup p = is_on_curve p
+
+module Fq_sqrt = Zkvc_field.Sqrt.Make (Fq)
+
+(* SEC1-style compression: tag 0 = infinity, 2/3 = parity of y. *)
+let size_in_bytes_compressed = 1 + Fq.size_in_bytes
+
+let to_bytes_compressed p =
+  match to_affine p with
+  | None -> Bytes.make size_in_bytes_compressed '\000'
+  | Some (x, y) ->
+    let parity = if Bigint.bit (Fq.to_bigint y) 0 then '\003' else '\002' in
+    Bytes.cat (Bytes.make 1 parity) (Fq.to_bytes x)
+
+let of_bytes_compressed_exn b =
+  if Bytes.length b <> size_in_bytes_compressed then
+    invalid_arg "G1.of_bytes_compressed_exn: length";
+  match Bytes.get b 0 with
+  | '\000' -> zero
+  | ('\002' | '\003') as tag ->
+    let x = Fq.of_bytes_exn (Bytes.sub b 1 Fq.size_in_bytes) in
+    let rhs = Fq.add (Fq.mul x (Fq.sqr x)) (Fq.of_int 3) in
+    (match Fq_sqrt.sqrt rhs with
+     | None -> invalid_arg "G1.of_bytes_compressed_exn: x not on curve"
+     | Some y ->
+       let want_odd = tag = '\003' in
+       let y = if Bigint.bit (Fq.to_bigint y) 0 = want_odd then y else Fq.neg y in
+       of_affine (x, y))
+  | _ -> invalid_arg "G1.of_bytes_compressed_exn: bad tag"

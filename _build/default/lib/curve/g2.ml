@@ -1,0 +1,78 @@
+(** BN254 G2: the D-type sextic twist [y² = x³ + 3/ξ] over Fq2 with
+    ξ = 9 + u. The group of interest is the order-[r] subgroup; its cofactor
+    is [q − 1 + t] ({!Bn_params.g2_cofactor}).
+
+    The generator is not hard-coded: it is derived at module initialisation
+    by finding a curve point with a small x-coordinate and clearing the
+    cofactor, then checked to have order exactly [r]. This removes any
+    dependence on transcribed constants. *)
+
+module Fr = Zkvc_field.Fr
+module Bigint = Zkvc_num.Bigint
+
+include Weierstrass.Make (Fq2) (struct
+  let b = Fq2.div (Fq2.of_int 3) Fq2.xi
+end)
+
+let b_twist = Fq2.div (Fq2.of_int 3) Fq2.xi
+
+let generator =
+  let rec search k =
+    if k > 1000 then failwith "G2: no generator found (unreachable)"
+    else begin
+      let x = Fq2.make (Zkvc_field.Fq.of_int k) Zkvc_field.Fq.one in
+      let rhs = Fq2.add (Fq2.mul x (Fq2.sqr x)) b_twist in
+      match Fq2.sqrt rhs with
+      | None -> search (k + 1)
+      | Some y ->
+        let p = of_affine (x, y) in
+        let g = mul p Bn_params.g2_cofactor in
+        if is_zero g then search (k + 1) else g
+    end
+  in
+  search 0
+
+let () =
+  assert (is_on_curve generator);
+  (* order exactly r: r·G = O and G ≠ O *)
+  assert (is_zero (mul generator Bn_params.r))
+
+let mul_fr p s = mul p (Fr.to_bigint s)
+
+let random st = mul_fr generator (Fr.random st)
+
+let in_subgroup p = is_on_curve p && is_zero (mul p Bn_params.r)
+
+(* parity bit that always flips under negation: low bit of c0, falling
+   back to c1 when c0 = 0 *)
+let fq2_parity (v : Fq2.t) =
+  let low c = Bigint.bit (Zkvc_field.Fq.to_bigint c) 0 in
+  if Zkvc_field.Fq.is_zero v.Fq2.c0 then low v.Fq2.c1 else low v.Fq2.c0
+
+let size_in_bytes_compressed = 1 + Fq2.size_in_bytes
+
+let to_bytes_compressed p =
+  match to_affine p with
+  | None -> Bytes.make size_in_bytes_compressed '\000'
+  | Some (x, y) ->
+    let tag = if fq2_parity y then '\003' else '\002' in
+    Bytes.cat (Bytes.make 1 tag) (Fq2.to_bytes x)
+
+let of_bytes_compressed_exn b =
+  if Bytes.length b <> size_in_bytes_compressed then
+    invalid_arg "G2.of_bytes_compressed_exn: length";
+  match Bytes.get b 0 with
+  | '\000' -> zero
+  | ('\002' | '\003') as tag ->
+    let x = Fq2.of_bytes_exn (Bytes.sub b 1 Fq2.size_in_bytes) in
+    let rhs = Fq2.add (Fq2.mul x (Fq2.sqr x)) b_twist in
+    (match Fq2.sqrt rhs with
+     | None -> invalid_arg "G2.of_bytes_compressed_exn: x not on curve"
+     | Some y ->
+       let want_odd = tag = '\003' in
+       let y = if fq2_parity y = want_odd then y else Fq2.neg y in
+       let p = of_affine (x, y) in
+       if not (in_subgroup p) then
+         invalid_arg "G2.of_bytes_compressed_exn: outside the r-order subgroup";
+       p)
+  | _ -> invalid_arg "G2.of_bytes_compressed_exn: bad tag"

@@ -1,0 +1,74 @@
+(** Multi-scalar multiplication via Pippenger's bucket method — the
+    dominant cost of the Groth16 prover, so the benchmarked CRPC/PSQ
+    variable-count reductions translate directly into fewer bucket
+    additions here. *)
+
+module Bigint = Zkvc_num.Bigint
+module Fr = Zkvc_field.Fr
+
+module type Group = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val double : t -> t
+end
+
+module Make (G : Group) = struct
+  (* Empirically reasonable window size for single-threaded Pippenger. *)
+  let window_bits n =
+    if n < 8 then 2
+    else if n < 32 then 4
+    else if n < 256 then 6
+    else if n < 4096 then 9
+    else if n < 65536 then 12
+    else 14
+
+  let scalar_bits = 254
+
+  (* digit w of s in base 2^c *)
+  let digit s c w =
+    let lo = w * c in
+    let hi = Stdlib.min (lo + c) scalar_bits in
+    let d = ref 0 in
+    for i = hi - 1 downto lo do
+      d := (!d lsl 1) lor (if Bigint.bit s i then 1 else 0)
+    done;
+    !d
+
+  let msm_bigint points scalars =
+    let n = Array.length points in
+    if n <> Array.length scalars then invalid_arg "Msm: length mismatch";
+    if n = 0 then G.zero
+    else begin
+      let c = window_bits n in
+      let nwin = (scalar_bits + c - 1) / c in
+      let result = ref G.zero in
+      for w = nwin - 1 downto 0 do
+        for _ = 1 to c do
+          result := G.double !result
+        done;
+        let buckets = Array.make ((1 lsl c) - 1) G.zero in
+        for i = 0 to n - 1 do
+          let d = digit scalars.(i) c w in
+          if d > 0 then buckets.(d - 1) <- G.add buckets.(d - 1) points.(i)
+        done;
+        (* sum_j j*bucket_j via a running suffix sum *)
+        let running = ref G.zero and acc = ref G.zero in
+        for j = Array.length buckets - 1 downto 0 do
+          running := G.add !running buckets.(j);
+          acc := G.add !acc !running
+        done;
+        result := G.add !result !acc
+      done;
+      !result
+    end
+
+  let msm points scalars = msm_bigint points (Array.map Fr.to_bigint scalars)
+
+  (** Reference implementation for tests: Σ naive scalar muls. *)
+  let msm_naive ~mul points scalars =
+    let acc = ref G.zero in
+    Array.iteri (fun i p -> acc := G.add !acc (mul p scalars.(i))) points;
+    !acc
+end

@@ -1,0 +1,26 @@
+(** Multi-scalar multiplication (Pippenger's bucket method) — the dominant
+    cost of the Groth16 prover. The CRPC/PSQ variable-count reductions
+    translate directly into fewer bucket additions here. *)
+
+module Bigint = Zkvc_num.Bigint
+module Fr = Zkvc_field.Fr
+
+module type Group = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val double : t -> t
+end
+
+module Make (G : Group) : sig
+  (** [msm_bigint points scalars = Σ scalars_i · points_i]. Raises
+      [Invalid_argument] on length mismatch. *)
+  val msm_bigint : G.t array -> Bigint.t array -> G.t
+
+  val msm : G.t array -> Fr.t array -> G.t
+
+  (** Reference implementation for tests: sum of naive scalar
+      multiplications using the supplied [mul]. *)
+  val msm_naive : mul:(G.t -> 'scalar -> G.t) -> G.t array -> 'scalar array -> G.t
+end

@@ -1,0 +1,84 @@
+module Fq = Zkvc_field.Fq
+module Bigint = Zkvc_num.Bigint
+
+let gt_one = Fq12.one
+
+(* Tate Miller loop, affine coordinates. T runs through multiples of the G1
+   point; each line is evaluated at the untwisted G2 point
+   (x_Q w², y_Q w³). We use the negated line λx − y + c, which differs from
+   the textbook one by a factor −1 ∈ Fq that the final exponentiation
+   kills. *)
+let miller_loop p q =
+  if G1.is_zero p || G2.is_zero q then Fq12.one
+  else begin
+    let px, py =
+      match G1.to_affine p with Some a -> a | None -> assert false
+    in
+    let qx, qy =
+      match G2.to_affine q with Some a -> a | None -> assert false
+    in
+    let f = ref Fq12.one in
+    let tx = ref px and ty = ref py and t_inf = ref false in
+    let line lambda =
+      let c = Fq.sub !ty (Fq.mul lambda !tx) in
+      f := Fq12.mul !f (Fq12.line_value ~lambda ~c ~xq:qx ~yq:qy)
+    in
+    let tangent_step () =
+      (* λ = 3 tx² / 2 ty; ty ≠ 0 because T has odd prime order *)
+      let lambda =
+        let n = Fq.mul (Fq.of_int 3) (Fq.sqr !tx) in
+        Fq.div n (Fq.double !ty)
+      in
+      line lambda;
+      let x3 = Fq.sub (Fq.sqr lambda) (Fq.double !tx) in
+      let y3 = Fq.sub (Fq.mul lambda (Fq.sub !tx x3)) !ty in
+      tx := x3;
+      ty := y3
+    in
+    let addition_step () =
+      if !t_inf then begin
+        tx := px; ty := py; t_inf := false
+      end
+      else if Fq.equal !tx px then begin
+        if Fq.equal !ty py then tangent_step ()
+        else t_inf := true (* vertical line: factor eliminated *)
+      end
+      else begin
+        let lambda = Fq.div (Fq.sub py !ty) (Fq.sub px !tx) in
+        line lambda;
+        let x3 = Fq.sub (Fq.sub (Fq.sqr lambda) !tx) px in
+        let y3 = Fq.sub (Fq.mul lambda (Fq.sub !tx x3)) !ty in
+        tx := x3;
+        ty := y3
+      end
+    in
+    let r = Bn_params.r in
+    for i = Bigint.num_bits r - 2 downto 0 do
+      f := Fq12.sqr !f;
+      if not !t_inf then tangent_step ();
+      if Bigint.bit r i then addition_step ()
+    done;
+    (* after the loop T = r·P = O, consumed by the final vertical line *)
+    assert !t_inf;
+    !f
+  end
+
+let final_exp_exponent =
+  lazy
+    (let q12 = Bigint.pow Bn_params.q 12 in
+     let num = Bigint.sub q12 Bigint.one in
+     let e, rem = Bigint.divmod num Bn_params.r in
+     assert (Bigint.is_zero rem);
+     e)
+
+let final_exponentiation f = Fq12.pow f (Lazy.force final_exp_exponent)
+
+let pairing p q = final_exponentiation (miller_loop p q)
+
+let multi_pairing pairs =
+  let m =
+    List.fold_left
+      (fun acc (p, q) -> Fq12.mul acc (miller_loop p q))
+      Fq12.one pairs
+  in
+  final_exponentiation m

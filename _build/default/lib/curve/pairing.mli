@@ -1,0 +1,23 @@
+(** Reduced Tate pairing e : G1 × G2 → GT ⊂ Fq12* on BN254.
+
+    The Miller loop runs over the bits of the group order [r] with affine
+    line functions; vertical lines are omitted (denominator elimination is
+    sound here because every dropped factor lies in Fq6, which the
+    [(q¹²−1)/r] final exponentiation annihilates). The final exponentiation
+    is a plain big-integer square-and-multiply — slower than the optimal-ate
+    hard-part decomposition but correct by construction; see DESIGN.md
+    (substitution 1). *)
+
+val miller_loop : G1.t -> G2.t -> Fq12.t
+
+val final_exponentiation : Fq12.t -> Fq12.t
+
+(** [pairing p q = final_exponentiation (miller_loop p q)]. *)
+val pairing : G1.t -> G2.t -> Fq12.t
+
+(** Product of pairings sharing one final exponentiation — the Groth16
+    verification pattern. *)
+val multi_pairing : (G1.t * G2.t) list -> Fq12.t
+
+(** Identity of GT. *)
+val gt_one : Fq12.t

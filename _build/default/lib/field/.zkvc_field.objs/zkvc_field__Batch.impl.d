@@ -1,0 +1,1 @@
+lib/field/batch.ml: Array Field_intf

@@ -1,0 +1,1 @@
+lib/field/batch.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/field_intf.ml: Bytes Format Random Zkvc_num

@@ -1,0 +1,1 @@
+lib/field/fq.mli: Field_intf

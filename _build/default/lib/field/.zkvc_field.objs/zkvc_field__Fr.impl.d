@@ -1,0 +1,1 @@
+lib/field/fr.ml: Montgomery

@@ -1,0 +1,1 @@
+lib/field/fr.mli: Field_intf

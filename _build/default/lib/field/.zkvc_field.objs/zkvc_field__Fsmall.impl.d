@@ -1,0 +1,1 @@
+lib/field/fsmall.ml: Bytes Format Int Random Zkvc_num

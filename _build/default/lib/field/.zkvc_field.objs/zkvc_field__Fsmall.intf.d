@@ -1,0 +1,1 @@
+lib/field/fsmall.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/montgomery.ml: Array Bytes Field_intf Format Zkvc_num

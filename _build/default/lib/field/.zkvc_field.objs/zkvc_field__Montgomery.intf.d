@@ -1,0 +1,1 @@
+lib/field/montgomery.mli: Field_intf

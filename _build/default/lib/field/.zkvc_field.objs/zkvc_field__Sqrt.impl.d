@@ -1,0 +1,1 @@
+lib/field/sqrt.ml: Field_intf Zkvc_num

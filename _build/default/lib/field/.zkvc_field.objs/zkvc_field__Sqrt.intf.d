@@ -1,0 +1,1 @@
+lib/field/sqrt.mli: Field_intf

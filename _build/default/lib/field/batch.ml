@@ -1,0 +1,19 @@
+module Make (F : Field_intf.S) = struct
+  let invert_all a =
+    let n = Array.length a in
+    if n > 0 then begin
+      (* prefix.(i) = a.(0) * ... * a.(i) *)
+      let prefix = Array.make n F.one in
+      prefix.(0) <- a.(0);
+      for i = 1 to n - 1 do
+        prefix.(i) <- F.mul prefix.(i - 1) a.(i)
+      done;
+      let inv_all = ref (F.inv prefix.(n - 1)) in
+      for i = n - 1 downto 1 do
+        let ai = a.(i) in
+        a.(i) <- F.mul !inv_all prefix.(i - 1);
+        inv_all := F.mul !inv_all ai
+      done;
+      a.(0) <- !inv_all
+    end
+end

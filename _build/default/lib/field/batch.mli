@@ -1,0 +1,8 @@
+(** Batch field inversion (Montgomery's trick): [n] inversions for the price
+    of one inversion and [3n] multiplications. *)
+
+module Make (F : Field_intf.S) : sig
+  (** [invert_all a] inverts every element in place.
+      Raises [Division_by_zero] if any element is zero. *)
+  val invert_all : F.t array -> unit
+end

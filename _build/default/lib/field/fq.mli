@@ -1,0 +1,3 @@
+(** Base field of BN254 — coordinate field of G1 and of the pairing tower. *)
+
+include Field_intf.S

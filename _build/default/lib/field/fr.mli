@@ -1,0 +1,3 @@
+(** Scalar field of BN254 — the circuit field of zkVC. *)
+
+include Field_intf.S

@@ -1,0 +1,4 @@
+(** Small NTT-friendly prime field [p = 15 * 2^27 + 1 = 2013265921] used to
+    speed up property-based tests of the generic layers. *)
+
+include Field_intf.S

@@ -1,0 +1,197 @@
+module Bigint = Zkvc_num.Bigint
+
+let limb_bits = 26
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+module Make (M : sig
+  val modulus : string
+end) : Field_intf.S = struct
+  type t = int array (* Montgomery form, k limbs, canonical in [0, p) *)
+
+  let modulus = Bigint.of_string M.modulus
+  let () = assert (Bigint.gt modulus Bigint.one && not (Bigint.is_even modulus))
+  let bits = Bigint.num_bits modulus
+  let k = (bits + limb_bits - 1) / limb_bits
+  let size_in_bytes = (bits + 7) / 8
+
+  let limbs_of_bigint n =
+    let a = Array.make k 0 in
+    let rec go n i =
+      if not (Bigint.is_zero n) then begin
+        (match Bigint.to_int_opt (Bigint.erem n (Bigint.of_int limb_base)) with
+         | Some v -> a.(i) <- v
+         | None -> assert false);
+        go (Bigint.shift_right n limb_bits) (i + 1)
+      end
+    in
+    go n 0;
+    a
+
+  let bigint_of_limbs a =
+    let acc = ref Bigint.zero in
+    for i = k - 1 downto 0 do
+      acc := Bigint.add (Bigint.shift_left !acc limb_bits) (Bigint.of_int a.(i))
+    done;
+    !acc
+
+  let p_limbs = limbs_of_bigint modulus
+
+  (* -p[0]^{-1} mod 2^26, via Newton iteration on the odd limb. *)
+  let n0' =
+    let p0 = p_limbs.(0) in
+    let x = ref 1 in
+    for _ = 1 to 5 do
+      x := (!x * (2 - (p0 * !x))) land limb_mask
+    done;
+    (limb_base - !x) land limb_mask
+
+  let r2 =
+    let r = Bigint.shift_left Bigint.one (limb_bits * k) in
+    limbs_of_bigint (Bigint.erem (Bigint.mul r r) modulus)
+
+  let geq_p t =
+    (* compare t (k limbs) with p *)
+    let rec go i = if i < 0 then true else if t.(i) <> p_limbs.(i) then t.(i) > p_limbs.(i) else go (i - 1) in
+    go (k - 1)
+
+  let sub_p_inplace t =
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let s = t.(i) - p_limbs.(i) - !borrow in
+      if s < 0 then begin t.(i) <- s + limb_base; borrow := 1 end
+      else begin t.(i) <- s; borrow := 0 end
+    done
+
+  (* CIOS Montgomery multiplication (Koç–Acar–Kaliski). *)
+  let mont_mul a b =
+    let t = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let s = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- s land limb_mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(k) + !c in
+      t.(k) <- s land limb_mask;
+      t.(k + 1) <- s lsr limb_bits;
+      let m = (t.(0) * n0') land limb_mask in
+      let s = t.(0) + (m * p_limbs.(0)) in
+      c := s lsr limb_bits;
+      for j = 1 to k - 1 do
+        let s = t.(j) + (m * p_limbs.(j)) + !c in
+        t.(j - 1) <- s land limb_mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(k) + !c in
+      t.(k - 1) <- s land limb_mask;
+      c := s lsr limb_bits;
+      t.(k) <- t.(k + 1) + !c;
+      t.(k + 1) <- 0
+    done;
+    let r = Array.sub t 0 k in
+    if t.(k) <> 0 || geq_p r then sub_p_inplace r;
+    r
+
+  let zero = Array.make k 0
+
+  let of_bigint n = mont_mul (limbs_of_bigint (Bigint.erem n modulus)) r2
+  let to_bigint a =
+    let one_raw = Array.make k 0 in
+    one_raw.(0) <- 1;
+    bigint_of_limbs (mont_mul a one_raw)
+
+  let one = of_bigint Bigint.one
+
+  let of_int n = of_bigint (Bigint.of_int n)
+  let of_string s = of_bigint (Bigint.of_string s)
+  let to_string a = Bigint.to_string (to_bigint a)
+
+  let equal a b = a = b
+  let is_zero a = equal a zero
+  let is_one a = equal a one
+
+  let add a b =
+    let t = Array.make k 0 in
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      let s = a.(i) + b.(i) + !carry in
+      t.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done;
+    if !carry <> 0 || geq_p t then sub_p_inplace t;
+    t
+
+  let sub a b =
+    let t = Array.make k 0 in
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let s = a.(i) - b.(i) - !borrow in
+      if s < 0 then begin t.(i) <- s + limb_base; borrow := 1 end
+      else begin t.(i) <- s; borrow := 0 end
+    done;
+    if !borrow <> 0 then begin
+      let carry = ref 0 in
+      for i = 0 to k - 1 do
+        let s = t.(i) + p_limbs.(i) + !carry in
+        t.(i) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done
+    end;
+    t
+
+  let neg a = if is_zero a then a else sub zero a
+  let mul = mont_mul
+  let sqr a = mont_mul a a
+  let double a = add a a
+
+  let pow base e =
+    if Bigint.sign e < 0 then invalid_arg "Montgomery.pow: negative exponent";
+    let nb = Bigint.num_bits e in
+    let acc = ref one in
+    for i = nb - 1 downto 0 do
+      acc := sqr !acc;
+      if Bigint.bit e i then acc := mul !acc base
+    done;
+    !acc
+
+  let pow_int base e = pow base (Bigint.of_int e)
+
+  let p_minus_2 = Bigint.sub modulus Bigint.two
+
+  let inv a = if is_zero a then raise Division_by_zero else pow a p_minus_2
+
+  let div a b = mul a (inv b)
+
+  let two_adicity =
+    let rec go n s = if Bigint.is_even n then go (Bigint.shift_right n 1) (s + 1) else s in
+    go (Bigint.sub modulus Bigint.one) 0
+
+  let two_adic_root =
+    (* c^((p-1)/2^s) has order dividing 2^s; exact order 2^s iff its
+       2^(s-1)-th power is non-trivial. *)
+    let odd_part = Bigint.shift_right (Bigint.sub modulus Bigint.one) two_adicity in
+    let half_order = Bigint.shift_left Bigint.one (two_adicity - 1) in
+    let rec search c =
+      if c > 1000 then failwith "Montgomery: no 2-adic root found"
+      else begin
+        let w = pow (of_int c) odd_part in
+        if not (is_one (pow w half_order)) then w else search (c + 1)
+      end
+    in
+    search 2
+
+  let random st = of_bigint (Bigint.random st modulus)
+
+  let to_bytes a = Bigint.to_bytes_be (to_bigint a) size_in_bytes
+
+  let of_bytes_exn b =
+    if Bytes.length b <> size_in_bytes then invalid_arg "Montgomery.of_bytes_exn: bad length";
+    let n = Bigint.of_bytes_be b in
+    if Bigint.ge n modulus then invalid_arg "Montgomery.of_bytes_exn: not canonical";
+    of_bigint n
+
+  let pp fmt a = Format.pp_print_string fmt (to_string a)
+end

@@ -1,0 +1,8 @@
+(** Fixed-width Montgomery-form prime field, generated from a modulus given
+    in decimal. Elements are arrays of 26-bit limbs in native ints; the hot
+    path (CIOS Montgomery multiplication) never allocates big integers. *)
+
+module Make (M : sig
+  (** Decimal representation of an odd prime. *)
+  val modulus : string
+end) : Field_intf.S

@@ -1,0 +1,50 @@
+module Bigint = Zkvc_num.Bigint
+
+module Make (F : Field_intf.S) = struct
+  let p_minus_1 = Bigint.sub F.modulus Bigint.one
+
+  (* p - 1 = odd_part · 2^two_adicity *)
+  let odd_part = Bigint.shift_right p_minus_1 F.two_adicity
+
+  let legendre_exp = Bigint.shift_right p_minus_1 1
+
+  let is_square a = F.is_zero a || F.is_one (F.pow a legendre_exp)
+
+  (* Tonelli–Shanks; the required order-2^s non-residue element is exactly
+     the field's two-adic root of unity. *)
+  let sqrt a =
+    if F.is_zero a then Some F.zero
+    else if not (F.is_one (F.pow a legendre_exp)) then None
+    else begin
+      let m = ref F.two_adicity in
+      let c = ref F.two_adic_root in
+      let t = ref (F.pow a odd_part) in
+      let r =
+        ref (F.pow a (Bigint.shift_right (Bigint.add odd_part Bigint.one) 1))
+      in
+      let rec loop () =
+        if F.is_one !t then Some !r
+        else begin
+          (* least i with t^(2^i) = 1 *)
+          let i = ref 0 and probe = ref !t in
+          while not (F.is_one !probe) do
+            probe := F.sqr !probe;
+            incr i
+          done;
+          if !i >= !m then None (* unreachable for residues *)
+          else begin
+            let b = ref !c in
+            for _ = 1 to !m - !i - 1 do
+              b := F.sqr !b
+            done;
+            m := !i;
+            c := F.sqr !b;
+            t := F.mul !t !c;
+            r := F.mul !r !b;
+            loop ()
+          end
+        end
+      in
+      loop ()
+    end
+end

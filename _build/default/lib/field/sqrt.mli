@@ -1,0 +1,12 @@
+(** Generic square roots in prime fields (Tonelli–Shanks, driven by the
+    field's 2-adic root of unity). Works for any odd characteristic,
+    including p ≡ 1 (mod 4) where the simple exponentiation trick fails. *)
+
+module Make (F : Field_intf.S) : sig
+  (** [sqrt a] is a square root of [a] when one exists ([None] for
+      non-residues). Which of the two roots is returned is unspecified. *)
+  val sqrt : F.t -> F.t option
+
+  (** Euler criterion: true iff [a] is zero or a quadratic residue. *)
+  val is_square : F.t -> bool
+end

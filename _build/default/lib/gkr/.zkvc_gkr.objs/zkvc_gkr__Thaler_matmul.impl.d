@@ -1,0 +1,1 @@
+lib/gkr/thaler_matmul.ml: Array List Zkvc_field Zkvc_poly Zkvc_spartan Zkvc_transcript

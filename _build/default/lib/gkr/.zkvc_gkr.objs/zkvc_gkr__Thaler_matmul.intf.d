@@ -1,0 +1,1 @@
+lib/gkr/thaler_matmul.mli: Zkvc_field

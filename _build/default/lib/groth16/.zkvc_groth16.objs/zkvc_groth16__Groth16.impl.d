@@ -1,0 +1,1 @@
+lib/groth16/groth16.ml: Array Bytes List Zkvc_curve Zkvc_field Zkvc_num Zkvc_qap Zkvc_r1cs Zkvc_transcript

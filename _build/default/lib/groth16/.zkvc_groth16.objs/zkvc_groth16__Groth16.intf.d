@@ -1,0 +1,1 @@
+lib/groth16/groth16.mli: Bytes Random Zkvc_curve Zkvc_field Zkvc_qap Zkvc_r1cs

@@ -1,0 +1,206 @@
+module Fr = Zkvc_field.Fr
+module Bigint = Zkvc_num.Bigint
+module G1 = Zkvc_curve.G1
+module G2 = Zkvc_curve.G2
+module Fq12 = Zkvc_curve.Fq12
+module Pairing = Zkvc_curve.Pairing
+module Qap = Zkvc_qap.Qap.Make (Fr)
+module Cs = Zkvc_r1cs.Constraint_system.Make (Fr)
+module Msm_g1 = Zkvc_curve.Msm.Make (G1)
+module Msm_g2 = Zkvc_curve.Msm.Make (G2)
+module Fb_g1 = Zkvc_curve.Fixed_base.Make (G1)
+module Fb_g2 = Zkvc_curve.Fixed_base.Make (G2)
+
+type proving_key =
+  { alpha_g1 : G1.t;
+    beta_g1 : G1.t;
+    beta_g2 : G2.t;
+    delta_g1 : G1.t;
+    delta_g2 : G2.t;
+    a_query : G1.t array; (* per wire: A_j(tau)·G1 *)
+    b_g1_query : G1.t array;
+    b_g2_query : G2.t array;
+    h_query : G1.t array; (* tau^i Z(tau)/delta · G1 *)
+    l_query : G1.t array (* per aux wire: (beta A_j + alpha B_j + C_j)/delta · G1 *) }
+
+type verifying_key =
+  { vk_alpha_g1 : G1.t;
+    vk_beta_g2 : G2.t;
+    vk_gamma_g2 : G2.t;
+    vk_delta_g2 : G2.t;
+    vk_ic : G1.t array (* per public wire incl. constant: (beta A_j + alpha B_j + C_j)/gamma · G1 *) }
+
+type proof = { a : G1.t; b : G2.t; c : G1.t }
+
+let g1_bytes = 64 (* uncompressed affine: 2 × 32-byte Fq *)
+let g2_bytes = 128
+
+let proof_size_bytes (_ : proof) = (2 * g1_bytes) + g2_bytes
+
+(* Wire format: tagged uncompressed points (see Weierstrass.to_bytes);
+   3 tag bytes longer than the canonical 256-byte size reported above. *)
+let proof_to_bytes p =
+  Bytes.concat Bytes.empty [ G1.to_bytes p.a; G2.to_bytes p.b; G1.to_bytes p.c ]
+
+let proof_of_bytes_exn bytes =
+  let g1w = G1.size_in_bytes and g2w = G2.size_in_bytes in
+  if Bytes.length bytes <> (2 * g1w) + g2w then
+    invalid_arg "Groth16.proof_of_bytes_exn: length";
+  let a = G1.of_bytes_exn (Bytes.sub bytes 0 g1w) in
+  let b = G2.of_bytes_exn (Bytes.sub bytes g1w g2w) in
+  let c = G1.of_bytes_exn (Bytes.sub bytes (g1w + g2w) g1w) in
+  if not (G2.in_subgroup b) then
+    invalid_arg "Groth16.proof_of_bytes_exn: B outside the r-order subgroup";
+  { a; b; c }
+
+(* Compressed wire format: 33 + 65 + 33 = 131 bytes. *)
+let proof_to_bytes_compressed p =
+  Bytes.concat Bytes.empty
+    [ G1.to_bytes_compressed p.a; G2.to_bytes_compressed p.b; G1.to_bytes_compressed p.c ]
+
+let proof_of_bytes_compressed_exn bytes =
+  let g1w = G1.size_in_bytes_compressed and g2w = G2.size_in_bytes_compressed in
+  if Bytes.length bytes <> (2 * g1w) + g2w then
+    invalid_arg "Groth16.proof_of_bytes_compressed_exn: length";
+  let a = G1.of_bytes_compressed_exn (Bytes.sub bytes 0 g1w) in
+  let b = G2.of_bytes_compressed_exn (Bytes.sub bytes g1w g2w) in
+  let c = G1.of_bytes_compressed_exn (Bytes.sub bytes (g1w + g2w) g1w) in
+  { a; b; c }
+
+let verifying_key_size_bytes vk =
+  g1_bytes + (3 * g2_bytes) + (Array.length vk.vk_ic * g1_bytes)
+
+let rec nonzero st = let x = Fr.random st in if Fr.is_zero x then nonzero st else x
+
+let setup st qap =
+  let rec sample_tau () =
+    let tau = nonzero st in
+    match Qap.evaluate_at qap tau with
+    | ev -> (tau, ev)
+    | exception Invalid_argument _ -> sample_tau ()
+  in
+  let _tau, ev = sample_tau () in
+  let alpha = nonzero st
+  and beta = nonzero st
+  and gamma = nonzero st
+  and delta = nonzero st in
+  let gamma_inv = Fr.inv gamma and delta_inv = Fr.inv delta in
+  let t1 = Fb_g1.create G1.generator in
+  let t2 = Fb_g2.create G2.generator in
+  let g1 = Fb_g1.mul t1 and g2 = Fb_g2.mul t2 in
+  let nv = Qap.num_vars qap in
+  let ni = Qap.num_inputs qap in
+  let beta_a_alpha_b_c j =
+    Fr.add (Fr.add (Fr.mul beta ev.Qap.a_at.(j)) (Fr.mul alpha ev.Qap.b_at.(j))) ev.Qap.c_at.(j)
+  in
+  let pk =
+    { alpha_g1 = g1 alpha;
+      beta_g1 = g1 beta;
+      beta_g2 = g2 beta;
+      delta_g1 = g1 delta;
+      delta_g2 = g2 delta;
+      a_query = Array.init nv (fun j -> g1 ev.Qap.a_at.(j));
+      b_g1_query = Array.init nv (fun j -> g1 ev.Qap.b_at.(j));
+      b_g2_query = Array.init nv (fun j -> g2 ev.Qap.b_at.(j));
+      h_query =
+        Array.map (fun tp -> g1 (Fr.mul (Fr.mul tp ev.Qap.z_at) delta_inv)) ev.Qap.tau_powers;
+      l_query =
+        Array.init (nv - ni - 1) (fun k ->
+            g1 (Fr.mul (beta_a_alpha_b_c (ni + 1 + k)) delta_inv)) }
+  in
+  let vk =
+    { vk_alpha_g1 = pk.alpha_g1;
+      vk_beta_g2 = pk.beta_g2;
+      vk_gamma_g2 = g2 gamma;
+      vk_delta_g2 = pk.delta_g2;
+      vk_ic = Array.init (ni + 1) (fun j -> g1 (Fr.mul (beta_a_alpha_b_c j) gamma_inv)) }
+  in
+  (pk, vk)
+
+let prove st pk qap assignment =
+  let nv = Qap.num_vars qap in
+  if Array.length assignment <> nv then invalid_arg "Groth16.prove: assignment length";
+  let ni = Qap.num_inputs qap in
+  let r = Fr.random st and s = Fr.random st in
+  let h = Qap.h_coeffs qap assignment in
+  let a =
+    G1.add pk.alpha_g1
+      (G1.add (Msm_g1.msm pk.a_query assignment) (G1.mul_fr pk.delta_g1 r))
+  in
+  let b2 =
+    G2.add pk.beta_g2
+      (G2.add (Msm_g2.msm pk.b_g2_query assignment) (G2.mul_fr pk.delta_g2 s))
+  in
+  let b1 =
+    G1.add pk.beta_g1
+      (G1.add (Msm_g1.msm pk.b_g1_query assignment) (G1.mul_fr pk.delta_g1 s))
+  in
+  let aux = Array.sub assignment (ni + 1) (nv - ni - 1) in
+  let c =
+    let l_part = Msm_g1.msm pk.l_query aux in
+    let h_part = Msm_g1.msm pk.h_query h in
+    G1.add
+      (G1.add l_part h_part)
+      (G1.add
+         (G1.add (G1.mul_fr a s) (G1.mul_fr b1 r))
+         (G1.neg (G1.mul_fr pk.delta_g1 (Fr.mul r s))))
+  in
+  { a; b = b2; c }
+
+let ic_sum vk public_inputs =
+  List.fold_left
+    (fun (acc, j) x -> (G1.add acc (G1.mul_fr vk.vk_ic.(j) x), j + 1))
+    (vk.vk_ic.(0), 1) public_inputs
+  |> fst
+
+(* Batch verification: with random weights z_i, the k pairing equations
+   collapse into (k + 3) Miller loops sharing one final exponentiation:
+     Π e(−z_i·A_i, B_i) · e((Σz_i)·α, β) · e(Σ z_i·IC_i, γ)
+       · e(Σ z_i·C_i, δ) = 1.
+   Weights are derived by Fiat–Shamir from the statements and proofs, so
+   no trusted randomness is needed. *)
+let verify_batch vk instances =
+  let lengths_ok =
+    List.for_all
+      (fun (io, _) -> List.length io = Array.length vk.vk_ic - 1)
+      instances
+  in
+  if instances = [] then true
+  else if not lengths_ok then false
+  else begin
+    let module T = Zkvc_transcript.Transcript in
+    let module Ch = T.Challenge (Fr) in
+    let tr = T.create ~label:"zkvc.groth16.batch" in
+    List.iter
+      (fun (io, proof) ->
+        Ch.absorb_list tr ~label:"io" io;
+        T.absorb_bytes tr ~label:"proof" (proof_to_bytes proof))
+      instances;
+    let weighted = List.map (fun inst -> (Ch.challenge tr ~label:"z", inst)) instances in
+    let sum_g1 f =
+      List.fold_left (fun acc (z, inst) -> G1.add acc (G1.mul_fr (f inst) z)) G1.zero weighted
+    in
+    let alpha_scale = List.fold_left (fun acc (z, _) -> Fr.add acc z) Fr.zero weighted in
+    let pairs =
+      List.map (fun (z, (_, proof)) -> (G1.neg (G1.mul_fr proof.a z), proof.b)) weighted
+      @ [ (G1.mul_fr vk.vk_alpha_g1 alpha_scale, vk.vk_beta_g2);
+          (sum_g1 (fun (io, _) -> ic_sum vk io), vk.vk_gamma_g2);
+          (sum_g1 (fun (_, proof) -> proof.c), vk.vk_delta_g2) ]
+    in
+    Fq12.is_one (Pairing.multi_pairing pairs)
+  end
+
+let verify vk ~public_inputs proof =
+  if List.length public_inputs <> Array.length vk.vk_ic - 1 then false
+  else begin
+    (* e(A,B) = e(alpha,beta) · e(ic,gamma) · e(C,delta)  ⇔
+       e(-A,B) · e(alpha,beta) · e(ic,gamma) · e(C,delta) = 1 *)
+    let check =
+      Pairing.multi_pairing
+        [ (G1.neg proof.a, proof.b);
+          (vk.vk_alpha_g1, vk.vk_beta_g2);
+          (ic_sum vk public_inputs, vk.vk_gamma_g2);
+          (proof.c, vk.vk_delta_g2) ]
+    in
+    Fq12.is_one check
+  end

@@ -1,0 +1,61 @@
+(** Groth16 zk-SNARK (EUROCRYPT 2016) over BN254 — zkVC's "zkVC-G"
+    backend. Constant-size proofs (two G1 points and one G2 point),
+    constant-time verification (one multi-pairing), trusted setup.
+
+    Prover cost is dominated by multi-scalar multiplications of size
+    [num_vars] / [num_constraints] and by the NTTs computing the QAP
+    quotient — precisely the quantities CRPC and PSQ shrink. *)
+
+module Fr = Zkvc_field.Fr
+module Qap : module type of Zkvc_qap.Qap.Make (Fr)
+module Cs : module type of Zkvc_r1cs.Constraint_system.Make (Fr)
+
+type proving_key
+
+type verifying_key
+
+type proof =
+  { a : Zkvc_curve.G1.t;
+    b : Zkvc_curve.G2.t;
+    c : Zkvc_curve.G1.t }
+
+(** Canonical (uncompressed affine) proof size: 2·64 + 128 bytes. *)
+val proof_size_bytes : proof -> int
+
+(** Wire encoding (tagged uncompressed points; 259 bytes). *)
+val proof_to_bytes : proof -> Bytes.t
+
+(** Parses {!proof_to_bytes} output. Validates lengths, curve membership
+    of all three points and the G2 subgroup check; raises
+    [Invalid_argument] on any failure. *)
+val proof_of_bytes_exn : Bytes.t -> proof
+
+(** Compressed wire encoding (131 bytes: x-coordinates + parity tags). *)
+val proof_to_bytes_compressed : proof -> Bytes.t
+
+(** Decompresses and validates (curve equations + G2 subgroup). *)
+val proof_of_bytes_compressed_exn : Bytes.t -> proof
+
+(** Trusted setup for one circuit. The "toxic waste" (tau, alpha, beta,
+    gamma, delta) is sampled from the given PRNG and dropped. *)
+val setup : Random.State.t -> Qap.t -> proving_key * verifying_key
+
+(** Produce a proof from a full satisfying assignment (as returned by
+    {!Zkvc_r1cs.Builder}). Randomised: proofs are perfectly
+    zero-knowledge. *)
+val prove : Random.State.t -> proving_key -> Qap.t -> Fr.t array -> proof
+
+(** [verify vk ~public_inputs proof]: public inputs in canonical wire
+    order, excluding the constant-one wire. *)
+val verify : verifying_key -> public_inputs:Fr.t list -> proof -> bool
+
+(** Batch verification of several (public_inputs, proof) pairs under one
+    verifying key: (k + 3) Miller loops and a single final exponentiation
+    instead of k independent 4-pairing checks. Random weights are derived
+    by Fiat–Shamir from the statements, so a batch that verifies contains
+    only valid proofs (up to soundness error k/|F_r|). *)
+val verify_batch : verifying_key -> (Fr.t list * proof) list -> bool
+
+(** Byte size of the verifying key (grows only with the public input
+    count). *)
+val verifying_key_size_bytes : verifying_key -> int

@@ -1,0 +1,1 @@
+lib/hashing/merkle.ml: Array Bytes Lazy List Sha256

@@ -1,0 +1,68 @@
+type t =
+  { levels : Bytes.t array array; (* levels.(0) = hashed leaves, last = [| root |] *)
+    num_leaves : int }
+
+let hash_leaf data =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "\x00";
+  Sha256.update ctx data;
+  Sha256.finalize ctx
+
+let hash_node left right =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "\x01";
+  Sha256.update ctx left;
+  Sha256.update ctx right;
+  Sha256.finalize ctx
+
+let empty_leaf_hash = lazy (hash_leaf Bytes.empty)
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let of_leaves leaves =
+  let num_leaves = List.length leaves in
+  if num_leaves = 0 then invalid_arg "Merkle.of_leaves: empty";
+  let width = next_pow2 num_leaves in
+  let level0 = Array.make width (Lazy.force empty_leaf_hash) in
+  List.iteri (fun i leaf -> level0.(i) <- hash_leaf leaf) leaves;
+  let rec build acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let parent =
+        Array.init (Array.length level / 2) (fun i ->
+            hash_node level.(2 * i) level.((2 * i) + 1))
+      in
+      build (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (build [] level0); num_leaves }
+
+let root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+let num_leaves t = t.num_leaves
+
+let path t i =
+  if i < 0 || i >= t.num_leaves then invalid_arg "Merkle.path: index out of range";
+  let rec go level idx acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let sibling = t.levels.(level).(idx lxor 1) in
+      go (level + 1) (idx / 2) (sibling :: acc)
+    end
+  in
+  go 0 i []
+
+let verify ~root:expected ~leaf ~index ~path =
+  let rec go node idx = function
+    | [] -> Bytes.equal node expected
+    | sibling :: rest ->
+      let node =
+        if idx land 1 = 0 then hash_node node sibling else hash_node sibling node
+      in
+      go node (idx / 2) rest
+  in
+  go (hash_leaf leaf) index path

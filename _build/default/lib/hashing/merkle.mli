@@ -1,0 +1,20 @@
+(** Binary Merkle tree over SHA-256, with authentication paths. Leaves are
+    arbitrary byte strings; the tree is padded to a power of two with the
+    hash of the empty string. Domain separation: leaves are hashed with a
+    [0x00] prefix and internal nodes with [0x01], preventing second-preimage
+    splices between levels. *)
+
+type t
+
+val of_leaves : Bytes.t list -> t
+
+val root : t -> Bytes.t
+
+val num_leaves : t -> int
+
+(** Authentication path (sibling hashes, leaf level first) for leaf [i].
+    Raises [Invalid_argument] when out of range. *)
+val path : t -> int -> Bytes.t list
+
+(** [verify ~root ~leaf ~index ~path] checks an authentication path. *)
+val verify : root:Bytes.t -> leaf:Bytes.t -> index:int -> path:Bytes.t list -> bool

@@ -1,0 +1,1 @@
+lib/kzg/kzg.ml: Array Zkvc_curve Zkvc_field Zkvc_poly Zkvc_transcript

@@ -1,0 +1,1 @@
+lib/kzg/kzg.mli: Random Zkvc_curve Zkvc_field Zkvc_poly

@@ -1,0 +1,75 @@
+module Fr = Zkvc_field.Fr
+module G1 = Zkvc_curve.G1
+module G2 = Zkvc_curve.G2
+module Fq12 = Zkvc_curve.Fq12
+module Pairing = Zkvc_curve.Pairing
+module Msm = Zkvc_curve.Msm.Make (G1)
+module Fb = Zkvc_curve.Fixed_base.Make (G1)
+module P = Zkvc_poly.Dense_poly.Make (Fr)
+module T = Zkvc_transcript.Transcript
+module Ch = T.Challenge (Fr)
+
+type srs =
+  { powers_g1 : G1.t array; (* τ^i · G1, i = 0..degree *)
+    tau_g2 : G2.t (* τ · G2 *) }
+
+let setup st ~degree =
+  if degree < 0 then invalid_arg "Kzg.setup: negative degree";
+  let tau = Fr.random st in
+  let table = Fb.create G1.generator in
+  let powers_g1 =
+    let acc = ref Fr.one in
+    Array.init (degree + 1) (fun i ->
+        if i > 0 then acc := Fr.mul !acc tau;
+        Fb.mul table !acc)
+  in
+  { powers_g1; tau_g2 = G2.mul_fr G2.generator tau }
+
+let max_degree srs = Array.length srs.powers_g1 - 1
+
+type commitment = G1.t
+
+let commit srs p =
+  let coeffs = P.coeffs p in
+  if Array.length coeffs > Array.length srs.powers_g1 then
+    invalid_arg "Kzg.commit: polynomial exceeds SRS degree";
+  if Array.length coeffs = 0 then G1.zero
+  else Msm.msm (Array.sub srs.powers_g1 0 (Array.length coeffs)) coeffs
+
+type opening =
+  { point : Fr.t;
+    value : Fr.t;
+    witness : G1.t }
+
+(* q(x) = (p(x) - p(z)) / (x - z): exact division by construction. *)
+let open_at srs p point =
+  let value = P.eval p point in
+  let shifted = P.sub p (P.constant value) in
+  let divisor = P.of_list [ Fr.neg point; Fr.one ] in
+  let q, rem = P.divmod shifted divisor in
+  assert (P.is_zero rem);
+  { point; value; witness = commit srs q }
+
+(* e(C − value·G, G2) = e(W, τ·G2 − point·G2)
+   ⇔ e(C − value·G, G2) · e(−W, τ·G2 − point·G2) = 1 *)
+let verify srs c opening =
+  let lhs_g1 = G1.add c (G1.neg (G1.mul_fr G1.generator opening.value)) in
+  let rhs_g2 = G2.add srs.tau_g2 (G2.neg (G2.mul_fr G2.generator opening.point)) in
+  Fq12.is_one
+    (Pairing.multi_pairing
+       [ (lhs_g1, G2.generator); (G1.neg opening.witness, rhs_g2) ])
+
+let commit_matrix srs m =
+  let coeffs = Array.concat (Array.to_list m) in
+  commit srs (P.of_coeffs coeffs)
+
+let derive_challenge c ~x ~y =
+  let tr = T.create ~label:"zkvc.crpc.kzg-challenge" in
+  T.absorb_bytes tr ~label:"w-comm" (G1.to_bytes c);
+  let absorb_matrix label m =
+    T.absorb_int tr ~label:(label ^ ".rows") (Array.length m);
+    Array.iter (fun row -> Ch.absorb_array tr ~label row) m
+  in
+  absorb_matrix "x" x;
+  absorb_matrix "y" y;
+  Ch.challenge tr ~label:"z"

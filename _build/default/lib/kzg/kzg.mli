@@ -1,0 +1,48 @@
+(** KZG polynomial commitments (Kate–Zaverucha–Goldberg, ASIACRYPT 2010)
+    over BN254: constant-size commitments and opening proofs, verified
+    with one pairing equation.
+
+    Two roles in this repository: (1) the binding weight commitment of the
+    CRPC commit-then-challenge flow — the model owner commits to W once
+    and every proof's challenge is derived from that commitment; (2) the
+    commitment layer of the halo2/vCNN-style systems the paper compares
+    against. *)
+
+module Fr = Zkvc_field.Fr
+module G1 = Zkvc_curve.G1
+module G2 = Zkvc_curve.G2
+module P : module type of Zkvc_poly.Dense_poly.Make (Fr)
+
+type srs
+
+(** Powers-of-tau setup supporting polynomials of degree ≤ [degree].
+    The trapdoor τ is sampled from the PRNG and dropped. *)
+val setup : Random.State.t -> degree:int -> srs
+
+val max_degree : srs -> int
+
+type commitment = G1.t
+
+(** Constant-size (one G1 point) commitment.
+    Raises [Invalid_argument] beyond the SRS degree. *)
+val commit : srs -> P.t -> commitment
+
+type opening =
+  { point : Fr.t;
+    value : Fr.t;
+    witness : G1.t }
+
+(** Opening proof for [p(point)]. *)
+val open_at : srs -> P.t -> Fr.t -> opening
+
+(** One pairing check: [e(C − value·G, G2) = e(W, τG2 − point·G2)]. *)
+val verify : srs -> commitment -> opening -> bool
+
+(** Commit to a weight matrix (rows flattened into one polynomial) — the
+    reusable binding commitment for CRPC challenge derivation. *)
+val commit_matrix : srs -> Fr.t array array -> commitment
+
+(** Fiat–Shamir challenge bound to a weight commitment and the
+    (public or claimed) X and Y matrices. *)
+val derive_challenge :
+  commitment -> x:Fr.t array array -> y:Fr.t array array -> Fr.t

@@ -1,0 +1,1 @@
+lib/nn/models.ml: List Printf Stdlib Tensor Token_mixer Transformer

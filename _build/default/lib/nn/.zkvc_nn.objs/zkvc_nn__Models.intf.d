@@ -1,0 +1,1 @@
+lib/nn/models.mli: Random Token_mixer Transformer

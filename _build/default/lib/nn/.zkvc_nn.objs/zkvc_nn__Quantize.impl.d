@@ -1,0 +1,1 @@
+lib/nn/quantize.ml: Array Float Stdlib Tensor Zkvc

@@ -1,0 +1,1 @@
+lib/nn/token_mixer.ml: List Option Quantize Stdlib Tensor

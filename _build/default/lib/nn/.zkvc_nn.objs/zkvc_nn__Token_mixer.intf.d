@@ -1,0 +1,1 @@
+lib/nn/token_mixer.mli: Quantize Random Tensor Zkvc

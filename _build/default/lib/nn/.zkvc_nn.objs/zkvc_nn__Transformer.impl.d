@@ -1,0 +1,1 @@
+lib/nn/transformer.ml: Array List Option Quantize Tensor Token_mixer Zkvc

@@ -1,0 +1,1 @@
+lib/nn/transformer.mli: Quantize Random Tensor Token_mixer Zkvc

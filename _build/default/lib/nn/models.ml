@@ -1,0 +1,160 @@
+(** The model zoo of the paper's evaluation (Section IV):
+
+    - CIFAR-10 ViT: 7 layers, 4 heads, hidden 256, patch 4 (32×32 → 64 tokens)
+    - Tiny-ImageNet ViT: 9 layers, 12 heads, hidden 192, patch 4 (64×64 → 256 tokens)
+    - ImageNet hierarchical (Swin/MetaFormer-style): 12 layers in 4 stages,
+      dims 64/128/320/512, patch 4 (224×224 → 3136 tokens, pooled ×4 per stage)
+    - BERT: 4 layers, 4 heads, hidden 256, 128-token sequences (GLUE)
+
+    Each architecture can be instantiated with any token-mixer variant from
+    Tables III/IV: SoftApprox (all softmax attention), SoftFree-S (all
+    scaling attention), SoftFree-P (all pooling), SoftFree-L (all linear
+    mixing), or the zkVC hybrid chosen by the planner. *)
+
+type variant = Soft_approx | Soft_free_s | Soft_free_p | Soft_free_l | Zkvc_hybrid
+
+let variant_name = function
+  | Soft_approx -> "SoftApprox."
+  | Soft_free_s -> "SoftFree-S"
+  | Soft_free_p -> "SoftFree-P"
+  | Soft_free_l -> "SoftFree-L"
+  | Zkvc_hybrid -> "zkVC"
+
+type arch =
+  { arch_name : string;
+    domain : [ `Vision | `Nlp ];
+    tokens : int;
+    patch_dim : int;
+    heads : int;
+    mlp_ratio : int;
+    num_classes : int;
+    (* (blocks, dim, pool-factor-entering-this-stage) per stage *)
+    stage_spec : (int * int * int) list }
+
+let vit_cifar10 =
+  { arch_name = "ViT-CIFAR10";
+    domain = `Vision;
+    tokens = 64; (* (32/4)² *)
+    patch_dim = 4 * 4 * 3;
+    heads = 4;
+    mlp_ratio = 2;
+    num_classes = 10;
+    stage_spec = [ (7, 256, 1) ] }
+
+let vit_tiny_imagenet =
+  { arch_name = "ViT-TinyImageNet";
+    domain = `Vision;
+    tokens = 256; (* (64/4)² *)
+    patch_dim = 4 * 4 * 3;
+    heads = 12;
+    mlp_ratio = 2;
+    num_classes = 200;
+    stage_spec = [ (9, 192, 1) ] }
+
+let vit_imagenet =
+  { arch_name = "ViT-ImageNet-hier";
+    domain = `Vision;
+    tokens = 3136; (* (224/4)² *)
+    patch_dim = 4 * 4 * 3;
+    heads = 4;
+    mlp_ratio = 2;
+    num_classes = 1000;
+    stage_spec = [ (3, 64, 1); (3, 128, 4); (3, 320, 4); (3, 512, 4) ] }
+
+let bert_glue =
+  { arch_name = "BERT-4L";
+    domain = `Nlp;
+    tokens = 128;
+    patch_dim = 256 (* embedding lookup output, treated as input features *);
+    heads = 4;
+    mlp_ratio = 4;
+    num_classes = 3 (* MNLI-style *);
+    stage_spec = [ (4, 256, 1) ] }
+
+let all_archs = [ vit_cifar10; vit_tiny_imagenet; vit_imagenet; bert_glue ]
+
+(** The planner's per-block mixer choice. The hybrid keeps softmax-free
+    mixers on the early blocks (long token sequences) and reintroduces
+    softmax attention in the later blocks, as described in the paper's
+    Results section; for NLP it blends linear mixing with scaling
+    attention. *)
+let mixer_for arch variant ~block_index ~total_blocks ~tokens =
+  match variant with
+  | Soft_approx -> Token_mixer.Softmax_attn
+  | Soft_free_s -> Token_mixer.Scaling_attn
+  | Soft_free_p -> Token_mixer.Pooling
+  | Soft_free_l -> Token_mixer.Linear_mix
+  | Zkvc_hybrid ->
+    (* softmax-free mixers early; softmax attention reintroduced only on
+       the last third of the blocks and only where the token sequence is
+       short (the paper's "later transformer layers with shorter token
+       sequences") *)
+    let late = block_index * 3 >= 2 * total_blocks in
+    (match arch.domain with
+     | `Vision ->
+       if late && tokens <= 64 then Token_mixer.Softmax_attn
+       else if late then Token_mixer.Scaling_attn
+       else Token_mixer.Pooling
+     | `Nlp -> if late then Token_mixer.Scaling_attn else Token_mixer.Linear_mix)
+
+(** Instantiate an architecture with seeded synthetic weights. *)
+let build st arch variant =
+  let total_blocks = List.fold_left (fun acc (nb, _, _) -> acc + nb) 0 arch.stage_spec in
+  let first_dim = match arch.stage_spec with (_, d, _) :: _ -> d | [] -> assert false in
+  let block_counter = ref 0 in
+  let prev_dim = ref first_dim and cur_tokens = ref arch.tokens in
+  let stages =
+    List.mapi
+      (fun stage_idx (nblocks, dim, pool) ->
+        let downsample =
+          if stage_idx = 0 then None
+          else begin
+            cur_tokens := !cur_tokens / pool;
+            Some
+              ( pool,
+                Tensor.random_gaussian st !prev_dim dim
+                  ~std:(1. /. sqrt (float_of_int !prev_dim)) )
+          end
+        in
+        let tokens = !cur_tokens in
+        let blocks =
+          List.init nblocks (fun _ ->
+              let kind =
+                mixer_for arch variant ~block_index:!block_counter ~total_blocks ~tokens
+              in
+              incr block_counter;
+              Transformer.make_block st ~kind ~tokens ~dim ~heads:arch.heads
+                ~mlp_ratio:arch.mlp_ratio)
+        in
+        prev_dim := dim;
+        { Transformer.blocks; tokens; dim; downsample })
+      arch.stage_spec
+  in
+  { Transformer.name = Printf.sprintf "%s/%s" arch.arch_name (variant_name variant);
+    patch_dim = arch.patch_dim;
+    embed =
+      Tensor.random_gaussian st arch.patch_dim first_dim
+        ~std:(1. /. sqrt (float_of_int arch.patch_dim));
+    stages;
+    head =
+      (let last_dim = match List.rev arch.stage_spec with (_, d, _) :: _ -> d | [] -> assert false in
+       Tensor.random_gaussian st last_dim arch.num_classes
+         ~std:(1. /. sqrt (float_of_int last_dim)));
+    num_classes = arch.num_classes }
+
+(** Scaled-down replica of an architecture (same shape family, reduced
+    tokens/dims) for end-to-end proving in tests and quick benches. *)
+let shrink arch ~factor =
+  (* keep the token count divisible by the product of the stage pools *)
+  let total_pool = List.fold_left (fun acc (_, _, p) -> acc * p) 1 arch.stage_spec in
+  let tokens =
+    let t = Stdlib.max total_pool (arch.tokens / factor) in
+    t / total_pool * total_pool
+  in
+  { arch with
+    arch_name = arch.arch_name ^ "-small";
+    tokens;
+    stage_spec =
+      List.map
+        (fun (nb, dim, pool) -> (Stdlib.max 1 (nb / 2), Stdlib.max 8 (dim / factor), pool))
+        arch.stage_spec }

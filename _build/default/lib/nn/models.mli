@@ -1,0 +1,38 @@
+(** The model zoo of the paper's evaluation (Section IV): CIFAR-10 ViT
+    (7L/4H/256), Tiny-ImageNet ViT (9L/12H/192), hierarchical ImageNet
+    ViT (12L, dims 64/128/320/512), and BERT-4L for GLUE — each
+    instantiable with any token-mixer variant from Tables III/IV. *)
+
+type variant = Soft_approx | Soft_free_s | Soft_free_p | Soft_free_l | Zkvc_hybrid
+
+val variant_name : variant -> string
+
+type arch =
+  { arch_name : string;
+    domain : [ `Vision | `Nlp ];
+    tokens : int;
+    patch_dim : int;
+    heads : int;
+    mlp_ratio : int;
+    num_classes : int;
+    stage_spec : (int * int * int) list
+        (** per stage: (blocks, dim, pool factor entering the stage) *) }
+
+val vit_cifar10 : arch
+val vit_tiny_imagenet : arch
+val vit_imagenet : arch
+val bert_glue : arch
+val all_archs : arch list
+
+(** The planner's per-block mixer choice. The zkVC hybrid keeps
+    softmax-free mixers early and reintroduces softmax attention only on
+    late blocks with short token sequences (paper, Results). *)
+val mixer_for :
+  arch -> variant -> block_index:int -> total_blocks:int -> tokens:int -> Token_mixer.kind
+
+(** Instantiate with seeded synthetic weights (DESIGN.md substitution 3). *)
+val build : Random.State.t -> arch -> variant -> Transformer.t
+
+(** Scaled-down replica (same shape family) for end-to-end proving in
+    tests and examples; keeps tokens divisible by the stage pools. *)
+val shrink : arch -> factor:int -> arch

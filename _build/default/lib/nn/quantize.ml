@@ -1,0 +1,147 @@
+(** Integer quantization (NITI-style fixed point): a real value [v] is
+    carried as [round(v·S)] with [S = 2^fractional_bits] from
+    {!Zkvc.Nonlinear.config}. The integer operations here are the exact
+    semantics of the R1CS gadgets, so "quantized forward pass" and
+    "circuit witness" agree bit for bit. *)
+
+type qmatrix = { rows : int; cols : int; data : int array }
+
+let create rows cols v = { rows; cols; data = Array.make (rows * cols) v }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun i -> f (i / cols) (i mod cols)) }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+(* floor division, matching the field gadgets on non-negative operands and
+   extending with floor semantics on negatives *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let scale cfg = Zkvc.Nonlinear.scale cfg
+
+let quantize cfg (t : Tensor.t) =
+  let s = float_of_int (scale cfg) in
+  init (Tensor.rows t) (Tensor.cols t) (fun i j ->
+      int_of_float (Float.round (Tensor.get t i j *. s)))
+
+let dequantize cfg m =
+  let s = float_of_int (scale cfg) in
+  Tensor.init m.rows m.cols (fun i j -> float_of_int (get m i j) /. s)
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Quantize.add: shape";
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) + b.data.(i)) }
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+(** Integer matmul followed by rescale: both operands at scale S, result at
+    scale S (divide the raw S²-scaled accumulation by S). *)
+let matmul_rescale cfg a b =
+  if a.cols <> b.rows then invalid_arg "Quantize.matmul_rescale: dims";
+  let s = scale cfg in
+  init a.rows b.cols (fun i j ->
+      let acc = ref 0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc + (get a i k * get b k j)
+      done;
+      fdiv !acc s)
+
+(** Raw integer matmul without rescaling (result at scale S²); this is the
+    operation the matmul circuits prove. *)
+let matmul_raw a b =
+  if a.cols <> b.rows then invalid_arg "Quantize.matmul_raw: dims";
+  init a.rows b.cols (fun i j ->
+      let acc = ref 0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc + (get a i k * get b k j)
+      done;
+      !acc)
+
+let scale_div m d = { m with data = Array.map (fun v -> fdiv v d) m.data }
+
+(** Row-wise quantized softmax via the clipped iterated-squaring
+    exponential (identical to the circuit gadget). *)
+let softmax_rows cfg m =
+  let out = create m.rows m.cols 0 in
+  for i = 0 to m.rows - 1 do
+    let row = Array.init m.cols (fun j -> get m i j) in
+    let probs = Zkvc.Nonlinear.Reference.softmax cfg row in
+    for j = 0 to m.cols - 1 do
+      set out i j probs.(j)
+    done
+  done;
+  out
+
+let softmax_cols cfg m = transpose (softmax_rows cfg (transpose m))
+
+let gelu cfg m = { m with data = Array.map (Zkvc.Nonlinear.Reference.gelu cfg) m.data }
+
+(** Integer square root (floor), the witness the layer-norm gadget checks
+    with [r² ≤ v < (r+1)²]. *)
+let isqrt v =
+  if v < 0 then invalid_arg "Quantize.isqrt: negative";
+  let top = ref 1 in
+  while !top * !top <= v do
+    top := !top * 2
+  done;
+  let bit = ref (!top / 2) and rem = ref v and acc = ref 0 in
+  while !bit > 0 do
+    if !rem >= (2 * !acc * !bit) + (!bit * !bit) then begin
+      rem := !rem - ((2 * !acc * !bit) + (!bit * !bit));
+      acc := !acc + !bit
+    end;
+    bit := !bit / 2
+  done;
+  !acc
+
+(** Quantized per-row layer normalisation: mean and variance by floor
+    division, 1/σ through [isqrt]. Gain fixed to 1 and bias 0 (the learned
+    affine is folded into the next linear layer). *)
+let layernorm cfg m =
+  let s = scale cfg in
+  let out = create m.rows m.cols 0 in
+  for i = 0 to m.rows - 1 do
+    let sum = ref 0 in
+    for j = 0 to m.cols - 1 do
+      sum := !sum + get m i j
+    done;
+    let mean = fdiv !sum m.cols in
+    let var = ref 0 in
+    for j = 0 to m.cols - 1 do
+      let d = get m i j - mean in
+      var := !var + (d * d)
+    done;
+    let var = fdiv !var m.cols in
+    (* sigma at scale S: sqrt(var·S²) since var is at scale S² already:
+       var = Σ(dS)²/n is (σ·S)², so isqrt gives σ·S directly *)
+    let sigma = Stdlib.max 1 (isqrt var) in
+    for j = 0 to m.cols - 1 do
+      set out i j (fdiv ((get m i j - mean) * s) sigma)
+    done
+  done;
+  out
+
+let mean_rows m =
+  init 1 m.cols (fun _ j ->
+      let sum = ref 0 in
+      for i = 0 to m.rows - 1 do
+        sum := !sum + get m i j
+      done;
+      fdiv !sum m.rows)
+
+let pool_rows m factor =
+  if m.rows mod factor <> 0 then invalid_arg "Quantize.pool_rows: factor";
+  init (m.rows / factor) m.cols (fun i j ->
+      let sum = ref 0 in
+      for k = 0 to factor - 1 do
+        sum := !sum + get m ((i * factor) + k) j
+      done;
+      fdiv !sum factor)
+
+let argmax_row m i =
+  let best = ref 0 in
+  for j = 1 to m.cols - 1 do
+    if get m i j > get m i !best then best := j
+  done;
+  !best

@@ -1,0 +1,47 @@
+(** Integer quantization (NITI-style fixed point): a real [v] is carried
+    as [round(v·S)] with [S = 2^fractional_bits] from
+    {!Zkvc.Nonlinear.config}. The integer operations here are the exact
+    semantics of the R1CS gadgets, so the quantized forward pass and the
+    circuit witness agree bit for bit (a tested invariant). *)
+
+type qmatrix = { rows : int; cols : int; data : int array }
+
+val create : int -> int -> int -> qmatrix
+val init : int -> int -> (int -> int -> int) -> qmatrix
+val get : qmatrix -> int -> int -> int
+val set : qmatrix -> int -> int -> int -> unit
+
+(** Floor division (toward −∞), matching the verified-division gadgets. *)
+val fdiv : int -> int -> int
+
+val scale : Zkvc.Nonlinear.config -> int
+val quantize : Zkvc.Nonlinear.config -> Tensor.t -> qmatrix
+val dequantize : Zkvc.Nonlinear.config -> qmatrix -> Tensor.t
+val add : qmatrix -> qmatrix -> qmatrix
+val transpose : qmatrix -> qmatrix
+
+(** Integer matmul of two scale-S operands, rescaled back to scale S. *)
+val matmul_rescale : Zkvc.Nonlinear.config -> qmatrix -> qmatrix -> qmatrix
+
+(** Raw integer matmul (result at scale S²) — what the matmul circuits
+    prove. *)
+val matmul_raw : qmatrix -> qmatrix -> qmatrix
+
+(** Element-wise floor division by a constant. *)
+val scale_div : qmatrix -> int -> qmatrix
+
+(** Row-wise quantized softmax (clipped iterated-squaring exponential). *)
+val softmax_rows : Zkvc.Nonlinear.config -> qmatrix -> qmatrix
+
+val softmax_cols : Zkvc.Nonlinear.config -> qmatrix -> qmatrix
+val gelu : Zkvc.Nonlinear.config -> qmatrix -> qmatrix
+
+(** Floor integer square root. *)
+val isqrt : int -> int
+
+(** Quantized per-row layer normalisation (σ via {!isqrt}). *)
+val layernorm : Zkvc.Nonlinear.config -> qmatrix -> qmatrix
+
+val mean_rows : qmatrix -> qmatrix
+val pool_rows : qmatrix -> int -> qmatrix
+val argmax_row : qmatrix -> int -> int

@@ -1,0 +1,180 @@
+(** The token mixers the paper compares (Table III / IV):
+
+    - [Softmax_attn]  — standard multi-head self-attention ("SoftApprox."
+      when its softmax is the ZKP-friendly approximation);
+    - [Scaling_attn]  — softmax-free scaling attention (Shen et al. /
+      non-local style): Q · (Kᵀ·V) / #tokens — linear complexity and no
+      softmax gadgets at all, the paper's SoftFree-S;
+    - [Pooling]       — MetaFormer-style average pooling, SoftFree-P;
+    - [Linear_mix]    — FNet-style fixed linear transform over the token
+      dimension, SoftFree-L. *)
+
+type kind = Softmax_attn | Scaling_attn | Pooling | Linear_mix
+
+let kind_name = function
+  | Softmax_attn -> "softmax"
+  | Scaling_attn -> "scaling"
+  | Pooling -> "pooling"
+  | Linear_mix -> "linear"
+
+type params =
+  { kind : kind;
+    heads : int;
+    wq : Tensor.t; (* dim × dim; unused by Pooling/Linear_mix *)
+    wk : Tensor.t;
+    wv : Tensor.t;
+    wo : Tensor.t;
+    token_mix : Tensor.t option (* tokens × tokens, Linear_mix only *) }
+
+let create st ~kind ~tokens ~dim ~heads =
+  let std = 1. /. sqrt (float_of_int dim) in
+  let mk () = Tensor.random_gaussian st dim dim ~std in
+  { kind;
+    heads;
+    wq = mk ();
+    wk = mk ();
+    wv = mk ();
+    wo = mk ();
+    token_mix =
+      (match kind with
+       | Linear_mix ->
+         Some (Tensor.random_gaussian st tokens tokens ~std:(1. /. sqrt (float_of_int tokens)))
+       | Softmax_attn | Scaling_attn | Pooling -> None) }
+
+let slice_cols t lo width = Tensor.init (Tensor.rows t) width (fun i j -> Tensor.get t i (lo + j))
+
+let concat_cols parts =
+  match parts with
+  | [] -> invalid_arg "concat_cols"
+  | first :: _ ->
+    let rows = Tensor.rows first in
+    let total = List.fold_left (fun acc p -> acc + Tensor.cols p) 0 parts in
+    let out = Tensor.zeros rows total in
+    let off = ref 0 in
+    List.iter
+      (fun p ->
+        for i = 0 to rows - 1 do
+          for j = 0 to Tensor.cols p - 1 do
+            Tensor.set out i (!off + j) (Tensor.get p i j)
+          done
+        done;
+        off := !off + Tensor.cols p)
+      parts;
+    out
+
+(* ---------------- float reference forward ---------------- *)
+
+let forward p x =
+  match p.kind with
+  | Pooling ->
+    (* PoolFormer-style: average over tokens, broadcast back *)
+    let m = Tensor.mean_rows x in
+    Tensor.init (Tensor.rows x) (Tensor.cols x) (fun _ j -> Tensor.get m 0 j)
+  | Linear_mix ->
+    (match p.token_mix with
+     | Some m -> Tensor.matmul m x
+     | None -> assert false)
+  | Softmax_attn | Scaling_attn ->
+    let q = Tensor.matmul x p.wq
+    and k = Tensor.matmul x p.wk
+    and v = Tensor.matmul x p.wv in
+    let dim = Tensor.cols x in
+    let dh = dim / p.heads in
+    let heads =
+      List.init p.heads (fun h ->
+          let qh = slice_cols q (h * dh) dh
+          and kh = slice_cols k (h * dh) dh
+          and vh = slice_cols v (h * dh) dh in
+          match p.kind with
+          | Softmax_attn ->
+            let scores =
+              Tensor.scale (1. /. sqrt (float_of_int dh)) (Tensor.matmul qh (Tensor.transpose kh))
+            in
+            Tensor.matmul (Tensor.softmax_rows scores) vh
+          | Scaling_attn ->
+            (* softmax-free: Q·(KᵀV)/t, linear in tokens *)
+            let ctx =
+              Tensor.scale
+                (1. /. float_of_int (Tensor.rows x))
+                (Tensor.matmul (Tensor.transpose kh) vh)
+            in
+            Tensor.matmul qh ctx
+          | Pooling | Linear_mix -> assert false)
+    in
+    Tensor.matmul (concat_cols heads) p.wo
+
+(* ---------------- quantized forward (circuit semantics) ---------------- *)
+
+module Q = Quantize
+
+type qparams =
+  { qkind : kind;
+    qheads : int;
+    qwq : Q.qmatrix;
+    qwk : Q.qmatrix;
+    qwv : Q.qmatrix;
+    qwo : Q.qmatrix;
+    qtoken_mix : Q.qmatrix option }
+
+let quantize_params cfg p =
+  { qkind = p.kind;
+    qheads = p.heads;
+    qwq = Q.quantize cfg p.wq;
+    qwk = Q.quantize cfg p.wk;
+    qwv = Q.quantize cfg p.wv;
+    qwo = Q.quantize cfg p.wo;
+    qtoken_mix = Option.map (Q.quantize cfg) p.token_mix }
+
+let qslice_cols m lo width = Q.init m.Q.rows width (fun i j -> Q.get m i (lo + j))
+
+let qconcat_cols parts =
+  match parts with
+  | [] -> invalid_arg "qconcat_cols"
+  | first :: _ ->
+    let rows = first.Q.rows in
+    let total = List.fold_left (fun acc p -> acc + p.Q.cols) 0 parts in
+    let out = Q.create rows total 0 in
+    let off = ref 0 in
+    List.iter
+      (fun p ->
+        for i = 0 to rows - 1 do
+          for j = 0 to p.Q.cols - 1 do
+            Q.set out i (!off + j) (Q.get p i j)
+          done
+        done;
+        off := !off + p.Q.cols)
+      parts;
+    out
+
+let forward_quantized cfg p x =
+  match p.qkind with
+  | Pooling ->
+    let m = Q.mean_rows x in
+    Q.init x.Q.rows x.Q.cols (fun _ j -> Q.get m 0 j)
+  | Linear_mix ->
+    (match p.qtoken_mix with
+     | Some m -> Q.matmul_rescale cfg m x
+     | None -> assert false)
+  | Softmax_attn | Scaling_attn ->
+    let q = Q.matmul_rescale cfg x p.qwq
+    and k = Q.matmul_rescale cfg x p.qwk
+    and v = Q.matmul_rescale cfg x p.qwv in
+    let dh = x.Q.cols / p.qheads in
+    let heads =
+      List.init p.qheads (fun h ->
+          let qh = qslice_cols q (h * dh) dh
+          and kh = qslice_cols k (h * dh) dh
+          and vh = qslice_cols v (h * dh) dh in
+          match p.qkind with
+          | Softmax_attn ->
+            let scores = Q.matmul_rescale cfg qh (Q.transpose kh) in
+            let scaled = Q.scale_div scores (Stdlib.max 1 (Quantize.isqrt dh)) in
+            Q.matmul_rescale cfg (Q.softmax_rows cfg scaled) vh
+          | Scaling_attn ->
+            let ctx =
+              Q.scale_div (Q.matmul_rescale cfg (Q.transpose kh) vh) x.Q.rows
+            in
+            Q.matmul_rescale cfg qh ctx
+          | Pooling | Linear_mix -> assert false)
+    in
+    Q.matmul_rescale cfg (qconcat_cols heads) p.qwo

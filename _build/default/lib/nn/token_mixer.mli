@@ -1,0 +1,32 @@
+(** The token mixers the paper compares (Tables III/IV):
+    - [Softmax_attn] — standard multi-head self-attention (the paper's
+      "SoftApprox." when its softmax is the ZKP-friendly approximation);
+    - [Scaling_attn] — softmax-free scaling attention
+      (Q·(KᵀV)/#tokens, linear complexity): SoftFree-S;
+    - [Pooling] — MetaFormer-style average pooling: SoftFree-P;
+    - [Linear_mix] — FNet-style fixed linear token transform: SoftFree-L. *)
+
+type kind = Softmax_attn | Scaling_attn | Pooling | Linear_mix
+
+val kind_name : kind -> string
+
+type params =
+  { kind : kind;
+    heads : int;
+    wq : Tensor.t;
+    wk : Tensor.t;
+    wv : Tensor.t;
+    wo : Tensor.t;
+    token_mix : Tensor.t option (** tokens × tokens, [Linear_mix] only *) }
+
+val create : Random.State.t -> kind:kind -> tokens:int -> dim:int -> heads:int -> params
+
+(** Float reference forward pass (tokens × dim in and out). *)
+val forward : params -> Tensor.t -> Tensor.t
+
+type qparams
+
+val quantize_params : Zkvc.Nonlinear.config -> params -> qparams
+
+(** Quantized forward pass with circuit semantics. *)
+val forward_quantized : Zkvc.Nonlinear.config -> qparams -> Quantize.qmatrix -> Quantize.qmatrix

@@ -1,0 +1,142 @@
+(** Transformer models (MetaFormer skeleton): patch/token embedding, a
+    stack of blocks (token mixer + MLP with GELU, pre-LN, residuals),
+    optional hierarchical stages with token pooling and channel expansion,
+    global average pooling and a linear classifier head. Both a float
+    reference forward pass and a quantized forward pass with circuit
+    semantics are provided. *)
+
+module Q = Quantize
+
+type block =
+  { mixer : Token_mixer.params;
+    w1 : Tensor.t; (* dim × mlp_dim *)
+    w2 : Tensor.t (* mlp_dim × dim *) }
+
+type stage =
+  { blocks : block list;
+    tokens : int;
+    dim : int;
+    (* hierarchical models downsample tokens and expand channels between
+       stages via this projection (prev_dim × dim); None for stage 0 of
+       flat models *)
+    downsample : (int * Tensor.t) option }
+
+type t =
+  { name : string;
+    patch_dim : int; (* flattened patch pixels *)
+    embed : Tensor.t; (* patch_dim × dim of first stage *)
+    stages : stage list;
+    head : Tensor.t; (* last dim × num_classes *)
+    num_classes : int }
+
+let num_blocks m = List.fold_left (fun acc s -> acc + List.length s.blocks) 0 m.stages
+
+let mixer_kinds m =
+  List.concat_map (fun s -> List.map (fun b -> b.mixer.Token_mixer.kind) s.blocks) m.stages
+
+(* ---------------- construction ---------------- *)
+
+let make_block st ~kind ~tokens ~dim ~heads ~mlp_ratio =
+  let mlp_dim = mlp_ratio * dim in
+  let std d = 1. /. sqrt (float_of_int d) in
+  { mixer = Token_mixer.create st ~kind ~tokens ~dim ~heads;
+    w1 = Tensor.random_gaussian st dim mlp_dim ~std:(std dim);
+    w2 = Tensor.random_gaussian st mlp_dim dim ~std:(std mlp_dim) }
+
+(* ---------------- float forward ---------------- *)
+
+let ln x =
+  let gamma = Array.make (Tensor.cols x) 1. and beta = Array.make (Tensor.cols x) 0. in
+  Tensor.layernorm x ~gamma ~beta
+
+let block_forward b x =
+  let x = Tensor.add x (Token_mixer.forward b.mixer (ln x)) in
+  let mlp h = Tensor.matmul (Tensor.map Tensor.gelu_exact (Tensor.matmul h b.w1)) b.w2 in
+  Tensor.add x (mlp (ln x))
+
+let stage_forward s x =
+  let x =
+    match s.downsample with
+    | None -> x
+    | Some (factor, proj) -> Tensor.matmul (Tensor.pool_rows x factor) proj
+  in
+  List.fold_left (fun acc b -> block_forward b acc) x s.blocks
+
+(** [forward m patches]: [patches] is tokens × patch_dim. Returns logits
+    (1 × num_classes). *)
+let forward m patches =
+  let x = Tensor.matmul patches m.embed in
+  let x = List.fold_left (fun acc s -> stage_forward s acc) x m.stages in
+  Tensor.matmul (Tensor.mean_rows (ln x)) m.head
+
+let predict m patches = Tensor.argmax_row (forward m patches) 0
+
+(* ---------------- quantized forward ---------------- *)
+
+type qblock =
+  { qmixer : Token_mixer.qparams;
+    qw1 : Q.qmatrix;
+    qw2 : Q.qmatrix }
+
+type qstage =
+  { qblocks : qblock list;
+    qdownsample : (int * Q.qmatrix) option }
+
+type qmodel =
+  { qembed : Q.qmatrix;
+    qstages : qstage list;
+    qhead : Q.qmatrix;
+    cfg : Zkvc.Nonlinear.config }
+
+let quantize cfg m =
+  { qembed = Q.quantize cfg m.embed;
+    qstages =
+      List.map
+        (fun s ->
+          { qblocks =
+              List.map
+                (fun b ->
+                  { qmixer = Token_mixer.quantize_params cfg b.mixer;
+                    qw1 = Q.quantize cfg b.w1;
+                    qw2 = Q.quantize cfg b.w2 })
+                s.blocks;
+            qdownsample = Option.map (fun (f, p) -> (f, Q.quantize cfg p)) s.downsample })
+        m.stages;
+    qhead = Q.quantize cfg m.head;
+    cfg }
+
+let qblock_forward cfg b x =
+  let x = Q.add x (Token_mixer.forward_quantized cfg b.qmixer (Q.layernorm cfg x)) in
+  let mlp h = Q.matmul_rescale cfg (Q.gelu cfg (Q.matmul_rescale cfg h b.qw1)) b.qw2 in
+  Q.add x (mlp (Q.layernorm cfg x))
+
+let qforward qm patches =
+  let cfg = qm.cfg in
+  let x = Q.matmul_rescale cfg patches qm.qembed in
+  let x =
+    List.fold_left
+      (fun acc s ->
+        let acc =
+          match s.qdownsample with
+          | None -> acc
+          | Some (f, proj) -> Q.matmul_rescale cfg (Q.pool_rows acc f) proj
+        in
+        List.fold_left (fun a b -> qblock_forward cfg b a) acc s.qblocks)
+      x qm.qstages
+  in
+  Q.matmul_rescale cfg (Q.mean_rows (Q.layernorm cfg x)) qm.qhead
+
+let qpredict qm patches = Q.argmax_row (qforward qm patches) 0
+
+(** Fidelity metric reported in EXPERIMENTS.md: top-1 agreement between
+    the float reference and the quantized (circuit-semantics) forward pass
+    on random inputs. *)
+let quantization_agreement st m qm ~samples =
+  let tokens = (List.hd m.stages).tokens in
+  let agree = ref 0 in
+  for _ = 1 to samples do
+    let patches = Tensor.random_gaussian st tokens m.patch_dim ~std:1.0 in
+    let qpatches = Q.quantize qm.cfg patches in
+    if predict m patches = qpredict qm qpatches then incr agree
+  done;
+  float_of_int !agree /. float_of_int samples

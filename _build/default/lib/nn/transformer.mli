@@ -1,0 +1,54 @@
+(** Transformer models (MetaFormer skeleton): patch/token embedding, a
+    stack of blocks (token mixer + GELU MLP, pre-LN, residuals), optional
+    hierarchical stages with token pooling and channel expansion, global
+    average pooling and a linear classifier head. Provides both a float
+    reference forward pass and a quantized forward pass with circuit
+    semantics. *)
+
+type block =
+  { mixer : Token_mixer.params;
+    w1 : Tensor.t;
+    w2 : Tensor.t }
+
+type stage =
+  { blocks : block list;
+    tokens : int;
+    dim : int;
+    downsample : (int * Tensor.t) option }
+
+type t =
+  { name : string;
+    patch_dim : int;
+    embed : Tensor.t;
+    stages : stage list;
+    head : Tensor.t;
+    num_classes : int }
+
+val num_blocks : t -> int
+val mixer_kinds : t -> Token_mixer.kind list
+
+val make_block :
+  Random.State.t ->
+  kind:Token_mixer.kind ->
+  tokens:int ->
+  dim:int ->
+  heads:int ->
+  mlp_ratio:int ->
+  block
+
+(** [forward m patches] with [patches : tokens × patch_dim]; returns
+    logits (1 × num_classes). *)
+val forward : t -> Tensor.t -> Tensor.t
+
+val predict : t -> Tensor.t -> int
+
+type qmodel
+
+val quantize : Zkvc.Nonlinear.config -> t -> qmodel
+val qforward : qmodel -> Quantize.qmatrix -> Quantize.qmatrix
+val qpredict : qmodel -> Quantize.qmatrix -> int
+
+(** Top-1 agreement between the float reference and the quantized
+    (circuit-semantics) forward pass on random inputs — the measurable
+    fidelity metric reported in EXPERIMENTS.md. *)
+val quantization_agreement : Random.State.t -> t -> qmodel -> samples:int -> float

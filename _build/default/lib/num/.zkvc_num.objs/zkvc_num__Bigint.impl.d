@@ -1,0 +1,1 @@
+lib/num/bigint.ml: Array Buffer Bytes Char Format List Printf Random Stdlib String

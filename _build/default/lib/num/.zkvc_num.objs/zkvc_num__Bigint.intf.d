@@ -1,0 +1,1 @@
+lib/num/bigint.mli: Bytes Format Random

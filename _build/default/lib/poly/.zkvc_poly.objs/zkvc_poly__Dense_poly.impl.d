@@ -1,0 +1,1 @@
+lib/poly/dense_poly.ml: Array Domain Format Stdlib Zkvc_field

@@ -1,0 +1,1 @@
+lib/poly/dense_poly.mli: Format Random Zkvc_field

@@ -1,0 +1,1 @@
+lib/poly/domain.ml: Array Zkvc_field Zkvc_num

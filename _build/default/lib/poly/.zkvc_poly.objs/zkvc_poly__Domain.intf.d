@@ -1,0 +1,1 @@
+lib/poly/domain.mli: Zkvc_field

@@ -1,0 +1,1 @@
+lib/poly/multilinear.ml: Array List Zkvc_field

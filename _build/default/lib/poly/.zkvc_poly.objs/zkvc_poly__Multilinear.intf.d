@@ -1,0 +1,1 @@
+lib/poly/multilinear.mli: Zkvc_field

@@ -1,0 +1,127 @@
+module Bigint = Zkvc_num.Bigint
+
+module Make (F : Zkvc_field.Field_intf.S) = struct
+  module Batch = Zkvc_field.Batch.Make (F)
+
+  type t =
+    { size : int;
+      log_size : int;
+      omega : F.t;
+      omega_inv : F.t;
+      size_inv : F.t;
+      elements : F.t array (* omega^0 .. omega^(size-1) *) }
+
+  let create n =
+    if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Domain.create: size must be a power of two";
+    let log_size =
+      let rec go k p = if p = n then k else go (k + 1) (2 * p) in
+      go 0 1
+    in
+    if log_size > F.two_adicity then invalid_arg "Domain.create: size exceeds field 2-adicity";
+    (* omega = root^(2^(adicity - log)) has order exactly n *)
+    let omega =
+      F.pow F.two_adic_root (Bigint.shift_left Bigint.one (F.two_adicity - log_size))
+    in
+    let elements = Array.make n F.one in
+    for i = 1 to n - 1 do
+      elements.(i) <- F.mul elements.(i - 1) omega
+    done;
+    { size = n; log_size; omega; omega_inv = F.inv omega; size_inv = F.inv (F.of_int n); elements }
+
+  let size d = d.size
+  let omega d = d.omega
+  let element d i = d.elements.(i mod d.size)
+
+  let bit_reverse_permute a =
+    let n = Array.length a in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      let bit = ref (n lsr 1) in
+      while !j land !bit <> 0 do
+        j := !j lxor !bit;
+        bit := !bit lsr 1
+      done;
+      j := !j lor !bit;
+      if i < !j then begin
+        let tmp = a.(i) in
+        a.(i) <- a.(!j);
+        a.(!j) <- tmp
+      end
+    done
+
+  (* Iterative Cooley–Tukey; [root] must have order [Array.length a]. *)
+  let ntt_with root a =
+    let n = Array.length a in
+    bit_reverse_permute a;
+    let len = ref 2 in
+    while !len <= n do
+      let wlen = F.pow root (Bigint.of_int (n / !len)) in
+      let half = !len / 2 in
+      let i = ref 0 in
+      while !i < n do
+        let w = ref F.one in
+        for j = 0 to half - 1 do
+          let u = a.(!i + j) in
+          let v = F.mul a.(!i + j + half) !w in
+          a.(!i + j) <- F.add u v;
+          a.(!i + j + half) <- F.sub u v;
+          w := F.mul !w wlen
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+
+  let check_len d a name =
+    if Array.length a <> d.size then invalid_arg (name ^ ": array length must equal domain size")
+
+  let ntt d a =
+    check_len d a "Domain.ntt";
+    ntt_with d.omega a
+
+  let intt d a =
+    check_len d a "Domain.intt";
+    ntt_with d.omega_inv a;
+    for i = 0 to d.size - 1 do
+      a.(i) <- F.mul a.(i) d.size_inv
+    done
+
+  let scale_by_powers shift a =
+    let s = ref F.one in
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- F.mul a.(i) !s;
+      s := F.mul !s shift
+    done
+
+  let eval_on_coset d shift a =
+    check_len d a "Domain.eval_on_coset";
+    scale_by_powers shift a;
+    ntt_with d.omega a
+
+  let interp_from_coset d shift a =
+    check_len d a "Domain.interp_from_coset";
+    ntt_with d.omega_inv a;
+    for i = 0 to d.size - 1 do
+      a.(i) <- F.mul a.(i) d.size_inv
+    done;
+    scale_by_powers (F.inv shift) a
+
+  let vanishing_eval d x = F.sub (F.pow x (Bigint.of_int d.size)) F.one
+
+  (* Barycentric form: P(x) = (x^n - 1)/n * sum_i evals_i * w^i / (x - w^i). *)
+  let lagrange_eval d evals x =
+    check_len d evals "Domain.lagrange_eval";
+    (* if x is in the domain, return the tabulated value *)
+    let n = d.size in
+    let diffs = Array.init n (fun i -> F.sub x d.elements.(i)) in
+    match Array.find_index (fun v -> F.is_zero v) diffs with
+    | Some i -> evals.(i)
+    | None ->
+      Batch.invert_all diffs;
+      let acc = ref F.zero in
+      for i = 0 to n - 1 do
+        acc := F.add !acc (F.mul evals.(i) (F.mul d.elements.(i) diffs.(i)))
+      done;
+      let z = F.sub (F.pow x (Bigint.of_int n)) F.one in
+      F.mul (F.mul z d.size_inv) !acc
+end

@@ -1,0 +1,42 @@
+(** Radix-2 multiplicative evaluation domains (subgroups of the field's
+    roots of unity) with forward/inverse NTT and coset evaluation. This is
+    the engine behind QAP interpolation and the [h(x)] quotient computation
+    in {!Zkvc_qap}. *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  type t
+
+  (** [create n] is the subgroup of size [n] (a power of two not exceeding
+      [2^F.two_adicity]). Raises [Invalid_argument] otherwise. *)
+  val create : int -> t
+
+  val size : t -> int
+
+  (** Generator of the subgroup. *)
+  val omega : t -> F.t
+
+  (** [element d i] is [omega^i]. *)
+  val element : t -> int -> F.t
+
+  (** In-place forward NTT: coefficients (length [size]) to evaluations over
+      the domain, in natural order. *)
+  val ntt : t -> F.t array -> unit
+
+  (** In-place inverse NTT: evaluations to coefficients. *)
+  val intt : t -> F.t array -> unit
+
+  (** [eval_on_coset d shift coeffs] evaluates the polynomial on the coset
+      [shift * H], in place. *)
+  val eval_on_coset : t -> F.t -> F.t array -> unit
+
+  (** Inverse of {!eval_on_coset}. *)
+  val interp_from_coset : t -> F.t -> F.t array -> unit
+
+  (** [vanishing_eval d x] is [x^size - 1], the vanishing polynomial of the
+      domain at [x]. *)
+  val vanishing_eval : t -> F.t -> F.t
+
+  (** Barycentric evaluation at an arbitrary point of the polynomial whose
+      values on the domain are [evals]. O(size) field operations. *)
+  val lagrange_eval : t -> F.t array -> F.t -> F.t
+end

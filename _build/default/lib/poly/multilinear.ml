@@ -1,0 +1,67 @@
+module Make (F : Zkvc_field.Field_intf.S) = struct
+  type t = { nvars : int; table : F.t array }
+
+  let of_evals a =
+    let n = Array.length a in
+    if n = 0 || n land (n - 1) <> 0 then
+      invalid_arg "Multilinear.of_evals: length must be a power of two";
+    let nvars =
+      let rec go k p = if p = n then k else go (k + 1) (2 * p) in
+      go 0 1
+    in
+    { nvars; table = Array.copy a }
+
+  let zero n = { nvars = n; table = Array.make (1 lsl n) F.zero }
+
+  let num_vars t = t.nvars
+  let evals t = Array.copy t.table
+  let get t i = t.table.(i)
+
+  let fix_first t r =
+    if t.nvars = 0 then invalid_arg "Multilinear.fix_first: no variables left";
+    let half = Array.length t.table / 2 in
+    let table =
+      Array.init half (fun i ->
+          let lo = t.table.(i) and hi = t.table.(i + half) in
+          F.add lo (F.mul r (F.sub hi lo)))
+    in
+    { nvars = t.nvars - 1; table }
+
+  let eval t point =
+    if List.length point <> t.nvars then invalid_arg "Multilinear.eval: wrong arity";
+    let final = List.fold_left fix_first t point in
+    final.table.(0)
+
+  let sum t = Array.fold_left F.add F.zero t.table
+
+  (* Standard doubling construction: extend the table one variable at a
+     time, splitting each entry into (1-tau_i)-weighted and tau_i-weighted
+     halves. *)
+  let eq_table tau =
+    let nvars = List.length tau in
+    let table = Array.make (1 lsl nvars) F.zero in
+    table.(0) <- F.one;
+    let size = ref 1 in
+    (* Process tau back to front so that the first entry (variable 0) ends
+       up on the most significant index bit, matching [eval]/[fix_first]. *)
+    List.iter
+      (fun ti ->
+        for i = !size - 1 downto 0 do
+          let v = table.(i) in
+          let hi = F.mul v ti in
+          table.(i + !size) <- hi;
+          table.(i) <- F.sub v hi
+        done;
+        size := 2 * !size)
+      (List.rev tau);
+    { nvars; table }
+
+  let eq_eval a b =
+    if List.length a <> List.length b then invalid_arg "Multilinear.eq_eval: arity mismatch";
+    List.fold_left2
+      (fun acc x y ->
+        let xy = F.mul x y in
+        (* x*y + (1-x)*(1-y) = 1 - x - y + 2xy *)
+        F.mul acc (F.add (F.sub (F.sub F.one x) y) (F.double xy)))
+      F.one a b
+end

@@ -1,0 +1,38 @@
+(** Dense multilinear polynomials over the boolean hypercube, represented by
+    their evaluation table. Variable 0 corresponds to the most significant
+    bit of the table index; [fix_first] binds it, which is exactly the
+    per-round folding step of the sumcheck prover in {!Zkvc_spartan}. *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  type t
+
+  (** Table length must be a power of two. *)
+  val of_evals : F.t array -> t
+
+  (** Constant-zero polynomial on [n] variables. *)
+  val zero : int -> t
+
+  val num_vars : t -> int
+
+  (** Length [2^num_vars]. The returned array is a copy. *)
+  val evals : t -> F.t array
+
+  (** Direct table access, [get t i] for index [i] on the hypercube. *)
+  val get : t -> int -> F.t
+
+  (** Bind variable 0 to [r]: returns a polynomial on one fewer variable. *)
+  val fix_first : t -> F.t -> t
+
+  (** Evaluate at an arbitrary point (length must be [num_vars]). *)
+  val eval : t -> F.t list -> F.t
+
+  (** Sum of the table (the sumcheck target value). *)
+  val sum : t -> F.t
+
+  (** [eq_table tau] tabulates eq̃(tau, x) for x over the hypercube:
+      eq̃(tau,x) = prod_i (tau_i x_i + (1-tau_i)(1-x_i)). *)
+  val eq_table : F.t list -> t
+
+  (** eq̃ evaluated at two arbitrary points of equal length. *)
+  val eq_eval : F.t list -> F.t list -> F.t
+end

@@ -1,0 +1,1 @@
+lib/qap/qap.ml: Array List Zkvc_field Zkvc_num Zkvc_poly Zkvc_r1cs

@@ -1,0 +1,1 @@
+lib/qap/qap.mli: Zkvc_field Zkvc_r1cs

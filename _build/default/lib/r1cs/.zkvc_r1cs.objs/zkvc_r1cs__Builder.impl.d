@@ -1,0 +1,1 @@
+lib/r1cs/builder.ml: Array Constraint_system Lc List Zkvc_field

@@ -1,0 +1,1 @@
+lib/r1cs/builder.mli: Constraint_system Lc Zkvc_field

@@ -1,0 +1,1 @@
+lib/r1cs/constraint_system.ml: Array Format Lc Zkvc_field

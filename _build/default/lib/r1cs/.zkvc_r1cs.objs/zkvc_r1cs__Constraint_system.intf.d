@@ -1,0 +1,1 @@
+lib/r1cs/constraint_system.mli: Format Lc Zkvc_field

@@ -1,0 +1,1 @@
+lib/r1cs/gadgets.ml: Builder Lc List Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/r1cs/gadgets.mli: Builder Lc Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+lib/r1cs/lc.ml: Array Format List Zkvc_field

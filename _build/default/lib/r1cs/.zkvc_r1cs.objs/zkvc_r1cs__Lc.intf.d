@@ -1,0 +1,1 @@
+lib/r1cs/lc.mli: Format Zkvc_field

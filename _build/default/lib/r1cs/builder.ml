@@ -1,0 +1,109 @@
+(** Mutable circuit builder. Gadgets allocate wires together with their
+    values (single-pass synthesis); [finalize] permutes wires into the
+    canonical input-first layout of {!Constraint_system} and returns the
+    compiled system plus the full assignment.
+
+    The circuit *shape* produced by all gadgets in this repository depends
+    only on structural parameters (matrix sizes, bit widths), never on the
+    witness values, so a builder run with dummy values yields the same
+    compiled system — this is what the Groth16 trusted setup uses. *)
+
+module Make (F : Zkvc_field.Field_intf.S) = struct
+  module L = Lc.Make (F)
+  module Cs = Constraint_system.Make (F)
+
+  type kind = Input | Aux
+
+  type t =
+    { mutable values : F.t array; (* growable; slot 0 = one *)
+      mutable kinds : kind array;
+      mutable n : int; (* wires allocated, including wire 0 *)
+      mutable constraints : Cs.constr list (* reversed *) }
+
+  let create () =
+    { values = Array.make 16 F.zero;
+      kinds = Array.make 16 Aux;
+      n = 1;
+      constraints = [] }
+
+  let grow b =
+    if b.n = Array.length b.values then begin
+      let values = Array.make (2 * b.n) F.zero in
+      let kinds = Array.make (2 * b.n) Aux in
+      Array.blit b.values 0 values 0 b.n;
+      Array.blit b.kinds 0 kinds 0 b.n;
+      b.values <- values;
+      b.kinds <- kinds
+    end
+
+  let alloc_kind b kind value =
+    grow b;
+    let v = b.n in
+    b.values.(v) <- value;
+    b.kinds.(v) <- kind;
+    b.n <- b.n + 1;
+    v
+
+  (** Allocate a private witness wire holding [value]. *)
+  let alloc b value = alloc_kind b Aux value
+
+  (** Allocate a public input wire holding [value]. *)
+  let alloc_input b value = alloc_kind b Input value
+
+  (** The constant-one wire. *)
+  let one_var = 0
+
+  let value b v = if v = 0 then F.one else b.values.(v)
+
+  let eval b lc =
+    List.fold_left (fun acc (v, c) -> F.add acc (F.mul c (value b v))) F.zero (L.terms lc)
+
+  (** Enforce [a * b = c]. *)
+  let enforce b ?(label = "") a bb c =
+    b.constraints <- { Cs.a; b = bb; c; label } :: b.constraints
+
+  let num_constraints b = List.length b.constraints
+
+  (** Compile: wires are permuted to [one; inputs...; aux...] preserving
+      relative allocation order within each class. *)
+  let finalize b =
+    let num_inputs = ref 0 and num_aux = ref 0 in
+    for i = 1 to b.n - 1 do
+      match b.kinds.(i) with
+      | Input -> incr num_inputs
+      | Aux -> incr num_aux
+    done;
+    let perm = Array.make b.n 0 in
+    let next_input = ref 1 and next_aux = ref (1 + !num_inputs) in
+    for i = 1 to b.n - 1 do
+      match b.kinds.(i) with
+      | Input ->
+        perm.(i) <- !next_input;
+        incr next_input
+      | Aux ->
+        perm.(i) <- !next_aux;
+        incr next_aux
+    done;
+    let remap lc = L.map_vars (fun v -> perm.(v)) lc in
+    let constraints =
+      List.rev_map
+        (fun { Cs.a; b = bb; c; label } -> { Cs.a = remap a; b = remap bb; c = remap c; label })
+        b.constraints
+      |> Array.of_list
+    in
+    let assignment = Array.make b.n F.one in
+    for i = 1 to b.n - 1 do
+      assignment.(perm.(i)) <- b.values.(i)
+    done;
+    ( { Cs.num_inputs = !num_inputs; num_aux = !num_aux; constraints },
+      assignment )
+
+  (** Public-input vector in canonical order (excluding the one wire),
+      as the verifier would receive it. *)
+  let public_inputs b =
+    let rec collect i acc =
+      if i >= b.n then List.rev acc
+      else collect (i + 1) (match b.kinds.(i) with Input -> b.values.(i) :: acc | Aux -> acc)
+    in
+    collect 1 []
+end

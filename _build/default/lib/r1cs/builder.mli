@@ -1,0 +1,45 @@
+(** Mutable circuit builder: gadgets allocate wires together with their
+    witness values (single-pass synthesis); [finalize] permutes wires into
+    the canonical input-first layout of {!Constraint_system} and returns
+    the compiled system plus the full assignment.
+
+    The circuit {e shape} produced by all gadgets in this repository
+    depends only on structural parameters (matrix sizes, bit widths),
+    never on witness values, so a builder run with dummy values yields the
+    same compiled system — which is what the Groth16 trusted setup uses. *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  module L : module type of Lc.Make (F)
+  module Cs : module type of Constraint_system.Make (F)
+
+  type t
+
+  val create : unit -> t
+
+  (** Allocate a private witness wire holding [value]. *)
+  val alloc : t -> F.t -> L.var
+
+  (** Allocate a public input wire holding [value]. *)
+  val alloc_input : t -> F.t -> L.var
+
+  (** The constant-one wire. *)
+  val one_var : L.var
+
+  (** Current value of a wire. *)
+  val value : t -> L.var -> F.t
+
+  (** Evaluate a linear combination against the current assignment. *)
+  val eval : t -> L.t -> F.t
+
+  (** Enforce [a * b = c]. *)
+  val enforce : t -> ?label:string -> L.t -> L.t -> L.t -> unit
+
+  val num_constraints : t -> int
+
+  (** Compile: wires permuted to [one; inputs...; aux...], preserving the
+      relative allocation order within each class. *)
+  val finalize : t -> Cs.t * F.t array
+
+  (** Public-input values in canonical order (excluding the one wire). *)
+  val public_inputs : t -> F.t list
+end

@@ -1,0 +1,55 @@
+(** Reusable R1CS gadgets: products, booleans, bit decomposition,
+    comparisons, maxima, verified Euclidean division. These are the
+    building blocks of zkVC's non-linear approximations (paper
+    Section III-C), which reduce SoftMax/GELU to "bit decomposition plus a
+    handful of multiplications". *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  module L : module type of Lc.Make (F)
+  module B : module type of Builder.Make (F)
+
+  (** Allocate and constrain the product wire of two LCs. *)
+  val mul : B.t -> L.t -> L.t -> L.var
+
+  (** Enforce [x (1 − x) = 0]. *)
+  val assert_boolean : B.t -> L.t -> unit
+
+  val alloc_boolean : B.t -> bool -> L.var
+
+  (** Enforce equality of two LCs (one linear constraint). *)
+  val assert_equal : B.t -> L.t -> L.t -> unit
+
+  (** Decompose into [width] boolean wires, least-significant first, and
+      enforce the weighted sum; doubles as a range proof
+      [0 ≤ x < 2^width]. Raises [Invalid_argument] when the witness value
+      is already out of range. *)
+  val bits_of : B.t -> width:int -> L.t -> L.var list
+
+  val assert_in_range : B.t -> width:int -> L.t -> unit
+
+  (** [assert_le b ~width x y] enforces [x ≤ y] for values below
+      [2^width]. *)
+  val assert_le : B.t -> width:int -> L.t -> L.t -> unit
+
+  (** Boolean wire set to 1 iff the LC evaluates to zero. *)
+  val is_zero : B.t -> L.t -> L.var
+
+  (** [select b cond a c] is [cond ? a : c]; [cond] must be boolean. *)
+  val select : B.t -> L.t -> L.t -> L.t -> L.var
+
+  (** Chained product using [n − 1] constraints; empty product is 1. *)
+  val product : B.t -> L.t list -> L.t
+
+  (** Maximum of values in [0, 2^width): range checks [max − x_j] plus the
+      membership product [Π (max − x_j) = 0] — the two conditions of the
+      paper's SoftMax section. *)
+  val max_of : B.t -> width:int -> L.t list -> L.var
+
+  (** Verified division by a positive constant:
+      [x = q·d + r, 0 ≤ r < d, 0 ≤ q < 2^q_width]; returns [(q, r)]. *)
+  val div_by_constant : B.t -> q_width:int -> L.t -> Zkvc_num.Bigint.t -> L.var * L.var
+
+  (** Verified division by a positive wire divisor (one multiplication
+      constraint plus range checks); used for SoftMax normalisation. *)
+  val div_rem : B.t -> q_width:int -> r_width:int -> L.t -> L.t -> L.var * L.var
+end

@@ -1,0 +1,43 @@
+(** Sparse linear combinations of R1CS wires.
+
+    Wire 0 is the constant-one wire by convention, so constants are terms
+    on wire 0. Combinations are kept sorted by wire with no zero
+    coefficients and no duplicates, which keeps [add] linear-time. *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  type var = int
+
+  type t
+
+  val zero : t
+  val constant : F.t -> t
+
+  (** [term c v] is the single-term combination [c·v]. *)
+  val term : F.t -> var -> t
+
+  val of_var : var -> t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : F.t -> t -> t
+
+  (** [add_term lc c v = add lc (term c v)]. *)
+  val add_term : t -> F.t -> var -> t
+
+  (** Terms in increasing wire order. *)
+  val terms : t -> (var * F.t) list
+
+  (** Number of non-zero terms ("wires" in the paper's PSQ accounting). *)
+  val num_terms : t -> int
+
+  val is_zero : t -> bool
+
+  (** Evaluate against a full assignment (index 0 must hold one). *)
+  val eval : t -> F.t array -> F.t
+
+  (** Rename wires; the result is re-sorted. *)
+  val map_vars : (var -> var) -> t -> t
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/spartan/ipa.ml: Array List Pedersen Zkvc_curve Zkvc_field Zkvc_transcript

@@ -1,0 +1,1 @@
+lib/spartan/ipa.mli: Pedersen Zkvc_curve Zkvc_field Zkvc_transcript

@@ -1,0 +1,1 @@
+lib/spartan/pedersen.ml: Array Zkvc_curve Zkvc_field Zkvc_hash Zkvc_num

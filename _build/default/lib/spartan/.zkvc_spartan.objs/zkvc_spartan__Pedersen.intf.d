@@ -1,0 +1,1 @@
+lib/spartan/pedersen.mli: Zkvc_curve Zkvc_field

@@ -1,0 +1,1 @@
+lib/spartan/sparse_matrix.ml: Array List Zkvc_field Zkvc_poly

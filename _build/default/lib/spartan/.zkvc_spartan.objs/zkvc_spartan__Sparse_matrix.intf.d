@@ -1,0 +1,1 @@
+lib/spartan/sparse_matrix.mli: Zkvc_field

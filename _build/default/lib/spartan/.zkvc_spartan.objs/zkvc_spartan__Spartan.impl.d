@@ -1,0 +1,1 @@
+lib/spartan/spartan.ml: Array Ipa List Pedersen Sparse_matrix Stdlib Sumcheck Zkvc_curve Zkvc_field Zkvc_poly Zkvc_r1cs Zkvc_transcript

@@ -1,0 +1,1 @@
+lib/spartan/spartan.mli: Random Zkvc_field Zkvc_r1cs

@@ -1,0 +1,1 @@
+lib/spartan/sumcheck.ml: Array List Zkvc_field Zkvc_transcript

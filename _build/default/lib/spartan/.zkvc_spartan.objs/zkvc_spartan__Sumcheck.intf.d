@@ -1,0 +1,1 @@
+lib/spartan/sumcheck.mli: Zkvc_field Zkvc_transcript

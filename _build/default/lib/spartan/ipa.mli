@@ -1,0 +1,37 @@
+(** Bulletproofs-style inner-product argument (Bünz et al., S&P 2018) over
+    BN254 G1: proves [⟨a, b⟩ = c] for a Pedersen-committed vector [a] and a
+    public vector [b] with a log-size proof, without revealing [a].
+
+    Statement shape: [P = ⟨a, G⟩ + c·Q] where [G] are the commitment-key
+    generators and [Q] an independent generator. Used by {!Spartan} to
+    compress the Hyrax witness opening from O(√n) to O(log n). *)
+
+module Fr = Zkvc_field.Fr
+module G1 = Zkvc_curve.G1
+
+type proof =
+  { ls : G1.t array;
+    rs : G1.t array;
+    a_final : Fr.t }
+
+(** 2·log₂ n points + 1 scalar. *)
+val proof_size_bytes : proof -> int
+
+(** The independent generator [Q] binding the inner-product value. *)
+val q_generator : G1.t
+
+(** [prove key tr ~a ~b]: [a], [b] of equal power-of-two length not
+    exceeding the key size. Challenges come from the transcript, which
+    must already bind the commitment and claimed value. *)
+val prove :
+  Pedersen.key -> Zkvc_transcript.Transcript.t -> a:Fr.t array -> b:Fr.t array -> proof
+
+(** [verify key tr ~b ~commitment proof] with
+    [commitment = ⟨a,G⟩ + ⟨a,b⟩·Q]. *)
+val verify :
+  Pedersen.key ->
+  Zkvc_transcript.Transcript.t ->
+  b:Fr.t array ->
+  commitment:G1.t ->
+  proof ->
+  bool

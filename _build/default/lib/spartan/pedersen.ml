@@ -1,0 +1,58 @@
+(** Pedersen vector commitments over BN254 G1 with nothing-up-my-sleeve
+    generators (try-and-increment hash-to-curve from SHA-256). Binding under
+    the discrete log assumption; hiding through the blinding generator. *)
+
+module Fq = Zkvc_field.Fq
+module Fr = Zkvc_field.Fr
+module Bigint = Zkvc_num.Bigint
+module G1 = Zkvc_curve.G1
+module Sha256 = Zkvc_hash.Sha256
+module Msm = Zkvc_curve.Msm.Make (G1)
+
+(* y² = x³ + 3 over Fq; q ≡ 3 (mod 4) so sqrt is a single exponentiation. *)
+let sqrt_fq a =
+  let e = Bigint.shift_right (Bigint.add Fq.modulus Bigint.one) 2 in
+  let y = Fq.pow a e in
+  if Fq.equal (Fq.sqr y) a then Some y else None
+
+(** Deterministic point with unknown discrete log: hash the seed, use the
+    digest as an x-coordinate and increment until the curve equation has a
+    solution. G1 has prime order, so no cofactor clearing is needed. *)
+let hash_to_point seed =
+  let rec try_x x =
+    let rhs = Fq.add (Fq.mul x (Fq.sqr x)) (Fq.of_int 3) in
+    match sqrt_fq rhs with
+    | Some y -> G1.of_affine (x, y)
+    | None -> try_x (Fq.add x Fq.one)
+  in
+  let digest = Sha256.digest_string ("zkvc.pedersen." ^ seed) in
+  try_x (Fq.of_bigint (Bigint.of_bytes_be digest))
+
+type key =
+  { generators : G1.t array; (* H_0 .. H_{n-1} *)
+    blinder : G1.t (* U *) }
+
+let create_key n =
+  { generators = Array.init n (fun i -> hash_to_point (string_of_int i));
+    blinder = hash_to_point "blinder" }
+
+let key_size key = Array.length key.generators
+
+let generators key = key.generators
+let blinder key = key.blinder
+
+(** [commit key v ~blind = Σ v_i H_i + blind·U]. [v] may be shorter than
+    the key. *)
+let commit key v ~blind =
+  if Array.length v > Array.length key.generators then
+    invalid_arg "Pedersen.commit: vector longer than key";
+  let points = Array.sub key.generators 0 (Array.length v) in
+  G1.add (Msm.msm points v) (G1.mul_fr key.blinder blind)
+
+(** Homomorphism check used by the Hyrax-style opening:
+    [Σ w_i·C_i = commit(folded, blind)]. *)
+let check_fold key ~commitments ~weights ~folded ~blind =
+  if Array.length commitments <> Array.length weights then
+    invalid_arg "Pedersen.check_fold: length mismatch";
+  let lhs = Msm.msm commitments weights in
+  G1.equal lhs (commit key folded ~blind)

@@ -1,0 +1,34 @@
+(** Pedersen vector commitments over BN254 G1 with nothing-up-my-sleeve
+    generators (try-and-increment hash-to-curve from SHA-256). Binding
+    under discrete log; hiding through the blinding generator. *)
+
+module Fr = Zkvc_field.Fr
+module G1 = Zkvc_curve.G1
+
+(** Deterministic curve point with unknown discrete log. *)
+val hash_to_point : string -> G1.t
+
+type key
+
+val create_key : int -> key
+val key_size : key -> int
+
+(** The vector generators H_0..H_{n-1} (read-only use). *)
+val generators : key -> G1.t array
+
+(** The blinding generator U. *)
+val blinder : key -> G1.t
+
+(** [commit key v ~blind = Σ v_i·H_i + blind·U]. [v] may be shorter than
+    the key. *)
+val commit : key -> Fr.t array -> blind:Fr.t -> G1.t
+
+(** Homomorphism check used by the Hyrax-style opening:
+    [Σ w_i·C_i = commit(folded, blind)]. *)
+val check_fold :
+  key ->
+  commitments:G1.t array ->
+  weights:Fr.t array ->
+  folded:Fr.t array ->
+  blind:Fr.t ->
+  bool

@@ -1,0 +1,65 @@
+(** Sparse matrices over a field, viewed as multilinear extensions
+    Ã(x, y) on {0,1}^µ × {0,1}^ν — the representation Spartan's two
+    sumcheck phases work with. *)
+
+module Make (F : Zkvc_field.Field_intf.S) = struct
+  module M = Zkvc_poly.Multilinear.Make (F)
+
+  type entry = { row : int; col : int; value : F.t }
+
+  type t =
+    { mu : int; (* log2 rows *)
+      nu : int; (* log2 cols *)
+      entries : entry list }
+
+  let create ~mu ~nu entries =
+    List.iter
+      (fun { row; col; _ } ->
+        if row < 0 || row >= 1 lsl mu || col < 0 || col >= 1 lsl nu then
+          invalid_arg "Sparse_matrix.create: entry out of range")
+      entries;
+    { mu; nu; entries }
+
+  let num_nonzero t = List.length t.entries
+
+  (** [mul_vec t z] is the length-2^µ vector [M·z]. *)
+  let mul_vec t z =
+    if Array.length z <> 1 lsl t.nu then invalid_arg "Sparse_matrix.mul_vec: length";
+    let out = Array.make (1 lsl t.mu) F.zero in
+    List.iter
+      (fun { row; col; value } -> out.(row) <- F.add out.(row) (F.mul value z.(col)))
+      t.entries;
+    out
+
+  (** Fold the rows with weights [w] (length 2^µ): returns the length-2^ν
+      vector [wᵀ·M]. Used to build the phase-two sumcheck table
+      [y ↦ Σ_x eq̃(rx,x) M̃(x,y)]. *)
+  let fold_rows t w =
+    if Array.length w <> 1 lsl t.mu then invalid_arg "Sparse_matrix.fold_rows: length";
+    let out = Array.make (1 lsl t.nu) F.zero in
+    List.iter
+      (fun { row; col; value } -> out.(col) <- F.add out.(col) (F.mul value w.(row)))
+      t.entries;
+    out
+
+  (** Direct evaluation of the MLE at an arbitrary point, in
+      O(nnz · (µ + ν)): Ã(rx, ry) = Σ entries value·χ_row(rx)·χ_col(ry).
+      This is the O(n) verifier of SpartanNIZK. *)
+  let eval t ~rx ~ry =
+    if List.length rx <> t.mu || List.length ry <> t.nu then
+      invalid_arg "Sparse_matrix.eval: arity";
+    let chi point nbits idx =
+      (* variable 0 = most significant bit, matching Multilinear *)
+      let acc = ref F.one in
+      List.iteri
+        (fun i r ->
+          let bit = (idx lsr (nbits - 1 - i)) land 1 in
+          acc := F.mul !acc (if bit = 1 then r else F.sub F.one r))
+        point;
+      !acc
+    in
+    List.fold_left
+      (fun acc { row; col; value } ->
+        F.add acc (F.mul value (F.mul (chi rx t.mu row) (chi ry t.nu col))))
+      F.zero t.entries
+end

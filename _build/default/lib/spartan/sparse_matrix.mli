@@ -1,0 +1,26 @@
+(** Sparse matrices over a field viewed as multilinear extensions
+    Ã(x, y) on {0,1}^µ × {0,1}^ν — the representation Spartan's two
+    sumcheck phases work with. *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  type entry = { row : int; col : int; value : F.t }
+
+  type t
+
+  (** [create ~mu ~nu entries]: 2^µ rows by 2^ν columns. Raises
+      [Invalid_argument] on out-of-range entries. *)
+  val create : mu:int -> nu:int -> entry list -> t
+
+  val num_nonzero : t -> int
+
+  (** [mul_vec t z] is the length-2^µ vector [M·z]. *)
+  val mul_vec : t -> F.t array -> F.t array
+
+  (** [fold_rows t w] is the length-2^ν vector [wᵀ·M] — used to build the
+      phase-two sumcheck table [y ↦ Σ_x eq̃(rx,x)·M̃(x,y)]. *)
+  val fold_rows : t -> F.t array -> F.t array
+
+  (** Direct evaluation of the MLE at an arbitrary point in
+      O(nnz·(µ+ν)) — the SpartanNIZK verifier's work. *)
+  val eval : t -> rx:F.t list -> ry:F.t list -> F.t
+end

@@ -1,0 +1,304 @@
+module Fr = Zkvc_field.Fr
+module G1 = Zkvc_curve.G1
+module Msm_g1 = Zkvc_curve.Msm.Make (G1)
+module Cs = Zkvc_r1cs.Constraint_system.Make (Fr)
+module L = Zkvc_r1cs.Lc.Make (Fr)
+module Sm = Sparse_matrix.Make (Fr)
+module Sc = Sumcheck.Make (Fr)
+module Ml = Zkvc_poly.Multilinear.Make (Fr)
+module T = Zkvc_transcript.Transcript
+module Ch = T.Challenge (Fr)
+
+type instance =
+  { mu : int; (* log2 padded rows *)
+    nu : int; (* log2 padded z length; first half public, second witness *)
+    half : int; (* 2^(nu-1) *)
+    a : Sm.t;
+    b : Sm.t;
+    c : Sm.t;
+    num_inputs : int;
+    num_aux : int }
+
+let log2_ceil n =
+  let rec go k p = if p >= n then k else go (k + 1) (2 * p) in
+  go 0 1
+
+let preprocess (cs : Cs.t) =
+  let rows = Stdlib.max 2 (Cs.num_constraints cs) in
+  let mu = log2_ceil rows in
+  let pub_slots = 1 + Cs.num_inputs cs in
+  let half = 1 lsl log2_ceil (Stdlib.max pub_slots (Stdlib.max 1 (Cs.num_aux cs))) in
+  let nu = 1 + log2_ceil half in
+  let ni = Cs.num_inputs cs in
+  let remap j = if j <= ni then j else half + (j - ni - 1) in
+  let matrix select =
+    let entries = ref [] in
+    Array.iteri
+      (fun i c ->
+        List.iter
+          (fun (v, coeff) ->
+            entries := { Sm.row = i; col = remap v; value = coeff } :: !entries)
+          (L.terms (select c)))
+      cs.Cs.constraints;
+    Sm.create ~mu ~nu !entries
+  in
+  { mu;
+    nu;
+    half;
+    a = matrix (fun c -> c.Cs.a);
+    b = matrix (fun c -> c.Cs.b);
+    c = matrix (fun c -> c.Cs.c);
+    num_inputs = ni;
+    num_aux = Cs.num_aux cs }
+
+let num_rounds_x t = t.mu
+let num_rounds_y t = t.nu
+
+(* Hyrax layout of the witness half: 2^wrows × 2^wcols matrix. *)
+let split_k t =
+  let k = t.nu - 1 in
+  let wrows = k / 2 in
+  (wrows, k - wrows)
+
+type key = { pedersen : Pedersen.key; wrows : int; wcols : int }
+
+let setup t =
+  let wrows, wcols = split_k t in
+  { pedersen = Pedersen.create_key (1 lsl wcols); wrows; wcols }
+
+(* Two ways to open w̃ at the challenge point:
+   - [Fold_opening]: Hyrax-lite, reveal the L-combined row vector (O(√n));
+   - [Ipa_opening]: compress the same statement with a Bulletproofs-style
+     inner-product argument (O(log n) proof; the aggregated blind is
+     revealed, trading perfect hiding of the fold for succinctness). *)
+type opening =
+  | Fold_opening of { folded : Fr.t array; (* Lᵀ·W, length 2^wcols *) fold_blind : Fr.t }
+  | Ipa_opening of { blind : Fr.t; w_eval : Fr.t; ipa : Ipa.proof }
+
+type proof =
+  { comm_rows : G1.t array;
+    sc1 : Sc.proof;
+    va : Fr.t;
+    vb : Fr.t;
+    vc : Fr.t;
+    sc2 : Sc.proof;
+    opening : opening }
+
+let fr_bytes = 32
+let g1_bytes = 64
+
+let proof_size_bytes p =
+  let rounds_bytes sc =
+    List.fold_left (fun acc evals -> acc + (Array.length evals * fr_bytes)) 0 sc
+  in
+  let opening_bytes =
+    match p.opening with
+    | Fold_opening { folded; _ } -> (Array.length folded * fr_bytes) + fr_bytes
+    | Ipa_opening { ipa; _ } -> (2 * fr_bytes) + Ipa.proof_size_bytes ipa
+  in
+  (Array.length p.comm_rows * g1_bytes)
+  + rounds_bytes p.sc1 + rounds_bytes p.sc2
+  + (3 * fr_bytes)
+  + opening_bytes
+
+(* Build the padded z vector: [1; inputs; 0...0 | aux; 0...0]. *)
+let build_z t assignment =
+  let z = Array.make (2 * t.half) Fr.zero in
+  for j = 0 to t.num_inputs do
+    z.(j) <- assignment.(j)
+  done;
+  for j = 0 to t.num_aux - 1 do
+    z.(t.half + j) <- assignment.(1 + t.num_inputs + j)
+  done;
+  z
+
+(* χ_idx(point): Lagrange basis of the hypercube at a boolean index. *)
+let chi point nbits idx =
+  List.fold_left
+    (fun (acc, i) r ->
+      let bit = (idx lsr (nbits - 1 - i)) land 1 in
+      (Fr.mul acc (if bit = 1 then r else Fr.sub Fr.one r), i + 1))
+    (Fr.one, 0) point
+  |> fst
+
+let transcript_init t ~public_inputs =
+  let tr = T.create ~label:"zkvc.spartan" in
+  T.absorb_int tr ~label:"mu" t.mu;
+  T.absorb_int tr ~label:"nu" t.nu;
+  Ch.absorb_list tr ~label:"io" public_inputs;
+  tr
+
+let split_at k l =
+  let rec go i acc rest =
+    if i = 0 then (List.rev acc, rest)
+    else match rest with
+      | [] -> invalid_arg "split_at"
+      | x :: tl -> go (i - 1) (x :: acc) tl
+  in
+  go k [] l
+
+let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
+  let z = build_z t assignment in
+  let w = Array.sub z t.half t.half in
+  let nrows = 1 lsl key.wrows and ncols = 1 lsl key.wcols in
+  let blinds = Array.init nrows (fun _ -> Fr.random st) in
+  let comm_rows =
+    Array.init nrows (fun i ->
+        Pedersen.commit key.pedersen (Array.sub w (i * ncols) ncols) ~blind:blinds.(i))
+  in
+  let public_inputs = Array.to_list (Array.sub assignment 1 t.num_inputs) in
+  let tr = transcript_init t ~public_inputs in
+  Array.iter (fun c -> T.absorb_bytes tr ~label:"comm" (G1.to_bytes c)) comm_rows;
+  (* phase 1 *)
+  let tau = Ch.challenges tr ~label:"tau" t.mu in
+  let eq_tau = Ml.evals (Ml.eq_table tau) in
+  let az = Sm.mul_vec t.a z and bz = Sm.mul_vec t.b z and cz = Sm.mul_vec t.c z in
+  let sc1, rx, finals1 =
+    Sc.prove tr ~label:"sc1" ~degree:3 [| eq_tau; az; bz; cz |]
+      ~combine:(fun v -> Fr.mul v.(0) (Fr.sub (Fr.mul v.(1) v.(2)) v.(3)))
+  in
+  let va = finals1.(1) and vb = finals1.(2) and vc = finals1.(3) in
+  Ch.absorb_list tr ~label:"claims" [ va; vb; vc ];
+  (* phase 2 *)
+  let ra = Ch.challenge tr ~label:"ra" in
+  let rb = Ch.challenge tr ~label:"rb" in
+  let rc = Ch.challenge tr ~label:"rc" in
+  let weights = Ml.evals (Ml.eq_table rx) in
+  let ma = Sm.fold_rows t.a weights
+  and mb = Sm.fold_rows t.b weights
+  and mc = Sm.fold_rows t.c weights in
+  let mx =
+    Array.init (2 * t.half) (fun j ->
+        Fr.add (Fr.mul ra ma.(j)) (Fr.add (Fr.mul rb mb.(j)) (Fr.mul rc mc.(j))))
+  in
+  let sc2, ry, _finals2 =
+    Sc.prove tr ~label:"sc2" ~degree:2 [| mx; z |]
+      ~combine:(fun v -> Fr.mul v.(0) v.(1))
+  in
+  (* Hyrax-style opening of w̃ at the witness-half point *)
+  let ry_w = List.tl ry in
+  let lcoords, _rcoords = split_at key.wrows ry_w in
+  let lweights = Ml.evals (Ml.eq_table lcoords) in
+  let folded =
+    Array.init ncols (fun j ->
+        let acc = ref Fr.zero in
+        for i = 0 to nrows - 1 do
+          acc := Fr.add !acc (Fr.mul lweights.(i) w.((i * ncols) + j))
+        done;
+        !acc)
+  in
+  let fold_blind =
+    let acc = ref Fr.zero in
+    for i = 0 to nrows - 1 do
+      acc := Fr.add !acc (Fr.mul lweights.(i) blinds.(i))
+    done;
+    !acc
+  in
+  let opening =
+    match opening_mode with
+    | `Hyrax_fold -> Fold_opening { folded; fold_blind }
+    | `Ipa ->
+      let _rcoords_len = key.wcols in
+      let rcoords = snd (split_at key.wrows ry_w) in
+      let rweights = Ml.evals (Ml.eq_table rcoords) in
+      let w_eval =
+        let acc = ref Fr.zero in
+        Array.iteri (fun j v -> acc := Fr.add !acc (Fr.mul v rweights.(j))) folded;
+        !acc
+      in
+      Ch.absorb tr ~label:"open-blind" fold_blind;
+      Ch.absorb tr ~label:"open-eval" w_eval;
+      let ipa = Ipa.prove key.pedersen tr ~a:folded ~b:rweights in
+      Ipa_opening { blind = fold_blind; w_eval; ipa }
+  in
+  { comm_rows; sc1; va; vb; vc; sc2; opening }
+
+let verify key t ~public_inputs proof =
+  if List.length public_inputs <> t.num_inputs then false
+  else begin
+    let nrows = 1 lsl key.wrows and ncols = 1 lsl key.wcols in
+    if Array.length proof.comm_rows <> nrows then false
+    else begin
+      let tr = transcript_init t ~public_inputs in
+      Array.iter (fun c -> T.absorb_bytes tr ~label:"comm" (G1.to_bytes c)) proof.comm_rows;
+      let tau = Ch.challenges tr ~label:"tau" t.mu in
+      match Sc.verify tr ~label:"sc1" ~degree:3 ~claim:Fr.zero proof.sc1 with
+      | None -> false
+      | Some (e1, rx) ->
+        let eq_tau_rx = Ml.eq_eval tau rx in
+        let expected1 =
+          Fr.mul eq_tau_rx (Fr.sub (Fr.mul proof.va proof.vb) proof.vc)
+        in
+        if not (Fr.equal e1 expected1) then false
+        else begin
+          Ch.absorb_list tr ~label:"claims" [ proof.va; proof.vb; proof.vc ];
+          let ra = Ch.challenge tr ~label:"ra" in
+          let rb = Ch.challenge tr ~label:"rb" in
+          let rc = Ch.challenge tr ~label:"rc" in
+          let claim2 =
+            Fr.add (Fr.mul ra proof.va) (Fr.add (Fr.mul rb proof.vb) (Fr.mul rc proof.vc))
+          in
+          match Sc.verify tr ~label:"sc2" ~degree:2 ~claim:claim2 proof.sc2 with
+          | None -> false
+          | Some (e2, ry) ->
+            (* combined matrix MLE at (rx, ry), O(nnz) *)
+            let m_eval =
+              Fr.add
+                (Fr.mul ra (Sm.eval t.a ~rx ~ry))
+                (Fr.add (Fr.mul rb (Sm.eval t.b ~rx ~ry)) (Fr.mul rc (Sm.eval t.c ~rx ~ry)))
+            in
+            match ry with
+            | [] -> false
+            | ry0 :: ry_w ->
+              let lcoords, rcoords = split_at key.wrows ry_w in
+              let lweights = Ml.evals (Ml.eq_table lcoords) in
+              let rweights = Ml.evals (Ml.eq_table rcoords) in
+              let w_eval_opt =
+                match proof.opening with
+                | Fold_opening { folded; fold_blind } ->
+                  if Array.length folded <> ncols then None
+                  else if
+                    not
+                      (Pedersen.check_fold key.pedersen ~commitments:proof.comm_rows
+                         ~weights:lweights ~folded ~blind:fold_blind)
+                  then None
+                  else begin
+                    let acc = ref Fr.zero in
+                    for j = 0 to ncols - 1 do
+                      acc := Fr.add !acc (Fr.mul folded.(j) rweights.(j))
+                    done;
+                    Some !acc
+                  end
+                | Ipa_opening { blind; w_eval; ipa } ->
+                  (* P = Σ L_i·C_i − blind·U + w_eval·Q *)
+                  Ch.absorb tr ~label:"open-blind" blind;
+                  Ch.absorb tr ~label:"open-eval" w_eval;
+                  let cstar = Msm_g1.msm proof.comm_rows lweights in
+                  let p_stmt =
+                    G1.add
+                      (G1.add cstar (G1.neg (G1.mul_fr (Pedersen.blinder key.pedersen) blind)))
+                      (G1.mul_fr Ipa.q_generator w_eval)
+                  in
+                  if Ipa.verify key.pedersen tr ~b:rweights ~commitment:p_stmt ipa then
+                    Some w_eval
+                  else None
+              in
+              match w_eval_opt with
+              | None -> false
+              | Some w_eval ->
+                (* public half: [1; io; 0...] evaluated directly *)
+                let k = t.nu - 1 in
+                let pub_eval = ref (chi ry_w k 0) in
+                List.iteri
+                  (fun i x ->
+                    pub_eval := Fr.add !pub_eval (Fr.mul x (chi ry_w k (i + 1))))
+                  public_inputs;
+                let z_eval =
+                  Fr.add
+                    (Fr.mul (Fr.sub Fr.one ry0) !pub_eval)
+                    (Fr.mul ry0 w_eval)
+                in
+                Fr.equal e2 (Fr.mul m_eval z_eval)
+        end
+    end
+  end

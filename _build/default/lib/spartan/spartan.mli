@@ -1,0 +1,50 @@
+(** Spartan-style transparent zkSNARK for R1CS (Setty, CRYPTO 2020) —
+    zkVC's "zkVC-S" backend. No trusted setup: the commitment key is
+    derived by hashing to the curve.
+
+    Structure (NIZK flavour, as in SpartanNIZK):
+    - phase-1 sumcheck over the constraint hypercube proves
+      [Σ_x eq̃(τ,x)·(Ãz·B̃z − C̃z)(x) = 0];
+    - phase-2 sumcheck reduces the three matrix-vector claims to one
+      evaluation of [z̃];
+    - the witness half of [z̃] is opened against a Hyrax-style matrix
+      Pedersen commitment (√n-size opening, no Bulletproof compression —
+      see DESIGN.md substitution 2);
+    - the public half is evaluated directly by the verifier.
+
+    Verification is O(nnz) field work plus one O(√n) MSM. *)
+
+module Fr = Zkvc_field.Fr
+module Cs : module type of Zkvc_r1cs.Constraint_system.Make (Fr)
+
+type instance
+
+(** Pad and index an R1CS for Spartan. *)
+val preprocess : Cs.t -> instance
+
+val num_rounds_x : instance -> int
+val num_rounds_y : instance -> int
+
+type key
+
+(** Transparent setup: derives Pedersen generators for the witness
+    commitment. Deterministic — both parties can run it. *)
+val setup : instance -> key
+
+type proof
+
+val proof_size_bytes : proof -> int
+
+(** [opening_mode] selects the witness-opening flavour:
+    [`Hyrax_fold] (default) reveals the √n-size combined row vector;
+    [`Ipa] compresses it with a Bulletproofs-style inner-product argument
+    (log-size opening, aggregated blind revealed). *)
+val prove :
+  ?opening_mode:[ `Hyrax_fold | `Ipa ] ->
+  Random.State.t ->
+  key ->
+  instance ->
+  Fr.t array ->
+  proof
+
+val verify : key -> instance -> public_inputs:Fr.t list -> proof -> bool

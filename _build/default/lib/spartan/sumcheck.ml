@@ -1,0 +1,104 @@
+(** Generic sumcheck protocol (Lund–Fortnow–Karloff–Nisan), made
+    non-interactive with the Fiat–Shamir transcript. The prover holds [k]
+    multilinear tables and proves a statement about
+    [Σ_{x ∈ {0,1}^µ} combine(t_1(x), ..., t_k(x))] where [combine] is a
+    polynomial of total degree [degree] in the table values. *)
+
+module Make (F : Zkvc_field.Field_intf.S) = struct
+  module T = Zkvc_transcript.Transcript
+  module Ch = T.Challenge (F)
+
+  (** One round message: evaluations of the round polynomial at
+      0, 1, ..., degree. *)
+  type round = F.t array
+
+  type proof = round list
+
+  (* Lagrange interpolation of a degree-d polynomial given values at
+     0..d, evaluated at r. *)
+  let interpolate_at evals r =
+    let d = Array.length evals - 1 in
+    let acc = ref F.zero in
+    for i = 0 to d do
+      let num = ref F.one and den = ref F.one in
+      for j = 0 to d do
+        if j <> i then begin
+          num := F.mul !num (F.sub r (F.of_int j));
+          den := F.mul !den (F.of_int (i - j))
+        end
+      done;
+      acc := F.add !acc (F.mul evals.(i) (F.div !num !den))
+    done;
+    !acc
+
+  (** Prover. [tables] are equal-length power-of-two evaluation tables,
+      folded in place conceptually (copies are taken, inputs untouched).
+      Returns the round messages, the challenge vector and the final values
+      of each table at the challenge point. *)
+  let prove transcript ~label ~degree tables ~combine =
+    let tables = Array.map Array.copy tables in
+    let len = Array.length tables.(0) in
+    Array.iter
+      (fun t -> if Array.length t <> len then invalid_arg "Sumcheck.prove: ragged tables")
+      tables;
+    let mu =
+      let rec go k p = if p = len then k else go (k + 1) (2 * p) in
+      go 0 1
+    in
+    let xs = Array.init (degree + 1) F.of_int in
+    let current_len = ref len in
+    let rounds = ref [] and challenges = ref [] in
+    let point_values = Array.make (Array.length tables) F.zero in
+    for _round = 1 to mu do
+      let half = !current_len / 2 in
+      let evals = Array.make (degree + 1) F.zero in
+      for i = 0 to half - 1 do
+        for xi = 0 to degree do
+          let x = xs.(xi) in
+          Array.iteri
+            (fun t_idx t ->
+              let lo = t.(i) and hi = t.(i + half) in
+              (* value of the table's MLE with first var := x *)
+              point_values.(t_idx) <- F.add lo (F.mul x (F.sub hi lo)))
+            tables;
+          evals.(xi) <- F.add evals.(xi) (combine point_values)
+        done
+      done;
+      Ch.absorb_array transcript ~label:(label ^ "/round") evals;
+      let r = Ch.challenge transcript ~label:(label ^ "/chal") in
+      (* fold every table: first variable := r *)
+      Array.iter
+        (fun t ->
+          for i = 0 to half - 1 do
+            let lo = t.(i) and hi = t.(i + half) in
+            t.(i) <- F.add lo (F.mul r (F.sub hi lo))
+          done)
+        tables;
+      current_len := half;
+      rounds := evals :: !rounds;
+      challenges := r :: !challenges
+    done;
+    let finals = Array.map (fun t -> t.(0)) tables in
+    (List.rev !rounds, List.rev !challenges, finals)
+
+  (** Verifier: replays the transcript, checks
+      [s_j(0) + s_j(1) = claim_j] each round and reduces the claim to
+      [s_j(r_j)]. Returns [Some (final_claim, challenges)] or [None] on a
+      consistency failure. *)
+  let verify transcript ~label ~degree ~claim proof =
+    let ok = ref true in
+    let current = ref claim in
+    let challenges = ref [] in
+    List.iter
+      (fun evals ->
+        if Array.length evals <> degree + 1 then ok := false
+        else begin
+          if not (F.equal (F.add evals.(0) evals.(1)) !current) then ok := false;
+          Ch.absorb_array transcript ~label:(label ^ "/round") evals;
+          let r = Ch.challenge transcript ~label:(label ^ "/chal") in
+          current := interpolate_at evals r;
+          challenges := r :: !challenges
+        end)
+      proof;
+    if !ok then Some (!current, List.rev !challenges) else None
+end

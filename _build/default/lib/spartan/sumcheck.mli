@@ -1,0 +1,37 @@
+(** Generic sumcheck protocol (Lund–Fortnow–Karloff–Nisan), made
+    non-interactive with the Fiat–Shamir transcript. The prover holds [k]
+    equal-size multilinear tables and proves a claim about
+    [Σ_{x ∈ {0,1}^µ} combine(t₁(x), ..., t_k(x))], where [combine] has
+    total degree [degree] in the table values. *)
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  (** One round message: evaluations of the round polynomial at
+      0, 1, ..., degree. *)
+  type round = F.t array
+
+  type proof = round list
+
+  (** Lagrange evaluation of a degree-d polynomial given its values at
+      0..d. Exposed for the verifier-side final checks. *)
+  val interpolate_at : F.t array -> F.t -> F.t
+
+  (** Returns (round messages, challenges, final value of each table at
+      the challenge point). Inputs are not mutated. *)
+  val prove :
+    Zkvc_transcript.Transcript.t ->
+    label:string ->
+    degree:int ->
+    F.t array array ->
+    combine:(F.t array -> F.t) ->
+    proof * F.t list * F.t array
+
+  (** Replays the transcript, checking [s_j(0) + s_j(1) = claim_j] each
+      round. [Some (final_claim, challenges)] on success. *)
+  val verify :
+    Zkvc_transcript.Transcript.t ->
+    label:string ->
+    degree:int ->
+    claim:F.t ->
+    proof ->
+    (F.t * F.t list) option
+end

@@ -1,0 +1,1 @@
+lib/transcript/transcript.ml: Array Bytes List String Zkvc_field Zkvc_hash Zkvc_num

@@ -1,0 +1,1 @@
+lib/transcript/transcript.mli: Bytes Zkvc_field

@@ -1,0 +1,53 @@
+module Sha256 = Zkvc_hash.Sha256
+module Bigint = Zkvc_num.Bigint
+
+type t = { mutable state : Bytes.t; mutable counter : int }
+
+(* state' = H(state || tag || label-length || label || payload) keeps the
+   encoding prefix-free, so distinct absorption sequences cannot collide. *)
+let mix state tag label payload =
+  let ctx = Sha256.init () in
+  Sha256.update ctx state;
+  Sha256.update_string ctx tag;
+  Sha256.update_string ctx (string_of_int (String.length label));
+  Sha256.update_string ctx "|";
+  Sha256.update_string ctx label;
+  Sha256.update ctx payload;
+  Sha256.finalize ctx
+
+let create ~label =
+  { state = mix (Bytes.make 32 '\000') "init" label Bytes.empty; counter = 0 }
+
+let clone t = { state = Bytes.copy t.state; counter = t.counter }
+
+let absorb_bytes t ~label data = t.state <- mix t.state "absorb" label data
+
+let absorb_string t ~label s = absorb_bytes t ~label (Bytes.of_string s)
+
+let absorb_int t ~label n = absorb_string t ~label (string_of_int n)
+
+let challenge_bytes t ~label =
+  t.counter <- t.counter + 1;
+  let out = mix t.state "challenge" label (Bytes.of_string (string_of_int t.counter)) in
+  t.state <- out;
+  out
+
+module Challenge (F : Zkvc_field.Field_intf.S) = struct
+  let absorb t ~label x = absorb_bytes t ~label (F.to_bytes x)
+
+  let absorb_list t ~label xs =
+    absorb_int t ~label:(label ^ "/len") (List.length xs);
+    List.iter (fun x -> absorb t ~label x) xs
+
+  let absorb_array t ~label xs =
+    absorb_int t ~label:(label ^ "/len") (Array.length xs);
+    Array.iter (fun x -> absorb t ~label x) xs
+
+  let challenge t ~label =
+    let b1 = challenge_bytes t ~label in
+    let b2 = challenge_bytes t ~label:(label ^ "/hi") in
+    let wide = Bytes.cat b1 b2 in
+    F.of_bigint (Bigint.of_bytes_be wide)
+
+  let challenges t ~label n = List.init n (fun i -> challenge t ~label:(label ^ string_of_int i))
+end

@@ -1,0 +1,1 @@
+lib/zkml/compiler.ml: Layer_circuit List Ops Printf Zkvc Zkvc_field Zkvc_nn

@@ -1,0 +1,1 @@
+lib/zkml/compiler.mli: Layer_circuit Ops Zkvc Zkvc_field Zkvc_nn

@@ -1,0 +1,1 @@
+lib/zkml/cost_model.ml: List Random Stdlib Sys Zkvc Zkvc_field Zkvc_groth16 Zkvc_r1cs Zkvc_spartan

@@ -1,0 +1,1 @@
+lib/zkml/cost_model.mli: Zkvc Zkvc_field Zkvc_r1cs

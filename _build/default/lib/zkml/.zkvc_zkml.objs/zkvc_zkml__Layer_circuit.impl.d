@@ -1,0 +1,1 @@
+lib/zkml/layer_circuit.ml: Hashtbl List Ops Random Zkvc Zkvc_field Zkvc_nn Zkvc_num Zkvc_r1cs

@@ -1,0 +1,1 @@
+lib/zkml/layer_circuit.mli: Ops Zkvc Zkvc_field Zkvc_num Zkvc_r1cs

@@ -1,0 +1,1 @@
+lib/zkml/ops.mli: Format Zkvc

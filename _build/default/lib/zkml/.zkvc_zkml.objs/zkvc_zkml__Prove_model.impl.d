@@ -1,0 +1,1 @@
+lib/zkml/prove_model.ml: Array Compiler Cost_model Layer_circuit List Ops Option Random Sys Zkvc Zkvc_field Zkvc_groth16 Zkvc_nn Zkvc_r1cs Zkvc_spartan

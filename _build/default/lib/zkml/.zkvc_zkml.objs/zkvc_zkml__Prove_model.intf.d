@@ -1,0 +1,1 @@
+lib/zkml/prove_model.mli: Cost_model Ops Zkvc Zkvc_field Zkvc_nn Zkvc_r1cs

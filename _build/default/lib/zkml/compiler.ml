@@ -1,0 +1,117 @@
+(** Lowering of a Transformer architecture (+ token-mixer variant) to the
+    multiset of verifiable ops, with per-layer labels. Counting is purely
+    structural — it needs the architecture spec, not the weights — so the
+    full ImageNet-scale models are costed exactly without materialising
+    billion-constraint circuits. *)
+
+module Spec = Zkvc.Matmul_spec
+module Tm = Zkvc_nn.Token_mixer
+module Models = Zkvc_nn.Models
+
+type layer_ops = { label : string; ops : Ops.t list }
+
+let mm a n b = Ops.Op_matmul (Spec.dims ~a ~n ~b)
+
+let mixer_ops kind ~tokens:t ~dim:d ~heads:h =
+  let dh = d / h in
+  match kind with
+  | Tm.Softmax_attn ->
+    [ mm t d d; mm t d d; mm t d d; Ops.Op_rescale (3 * t * d) ]
+    @ List.concat
+        (List.init h (fun _ ->
+             [ mm t dh t; Ops.Op_rescale (2 * t * t) (* score rescale + 1/√d *) ]))
+    @ [ Ops.Op_softmax { rows = h * t; len = t } ]
+    @ List.concat (List.init h (fun _ -> [ mm t t dh; Ops.Op_rescale (t * dh) ]))
+    @ [ mm t d d; Ops.Op_rescale (t * d) ]
+  | Tm.Scaling_attn ->
+    (* softmax-free: per head ctx = KᵀV/t (rescale + verified /t), then Q·ctx *)
+    [ mm t d d; mm t d d; mm t d d; Ops.Op_rescale (3 * t * d) ]
+    @ List.concat
+        (List.init h (fun _ ->
+             [ mm dh t dh;
+               Ops.Op_rescale (dh * dh);
+               Ops.Op_scale_div { elems = dh * dh; divisor = t };
+               mm t dh dh;
+               Ops.Op_rescale (t * dh) ]))
+    @ [ mm t d d; Ops.Op_rescale (t * d) ]
+  | Tm.Pooling -> [ Ops.Op_mean_pool { out_elems = d; window = t } ]
+  | Tm.Linear_mix -> [ mm t t d; Ops.Op_rescale (t * d) ]
+
+let block_ops kind ~tokens:t ~dim:d ~heads ~mlp_ratio =
+  let md = mlp_ratio * d in
+  [ Ops.Op_layernorm { rows = t; cols = d } ]
+  @ mixer_ops kind ~tokens:t ~dim:d ~heads
+  @ [ Ops.Op_layernorm { rows = t; cols = d };
+      mm t d md;
+      Ops.Op_rescale (t * md);
+      Ops.Op_gelu (t * md);
+      mm t md d;
+      Ops.Op_rescale (t * d) ]
+
+(** Per-layer op lists for an architecture under a mixer variant. *)
+let compile (arch : Models.arch) variant =
+  let total_blocks = List.fold_left (fun acc (nb, _, _) -> acc + nb) 0 arch.Models.stage_spec in
+  let first_dim = match arch.Models.stage_spec with (_, d, _) :: _ -> d | [] -> assert false in
+  let layers = ref [] in
+  let push label ops = layers := { label; ops } :: !layers in
+  push "embed"
+    [ mm arch.Models.tokens arch.Models.patch_dim first_dim;
+      Ops.Op_rescale (arch.Models.tokens * first_dim) ];
+  let block_idx = ref 0 and tokens = ref arch.Models.tokens and prev_dim = ref first_dim in
+  List.iteri
+    (fun stage_idx (nblocks, dim, pool) ->
+      if stage_idx > 0 then begin
+        tokens := !tokens / pool;
+        push
+          (Printf.sprintf "stage%d-downsample" stage_idx)
+          [ Ops.Op_mean_pool { out_elems = !tokens * !prev_dim; window = pool };
+            mm !tokens !prev_dim dim;
+            Ops.Op_rescale (!tokens * dim) ]
+      end;
+      for _ = 1 to nblocks do
+        let kind =
+          Models.mixer_for arch variant ~block_index:!block_idx ~total_blocks
+            ~tokens:!tokens
+        in
+        push
+          (Printf.sprintf "block%d-%s" !block_idx (Tm.kind_name kind))
+          (block_ops kind ~tokens:!tokens ~dim ~heads:arch.Models.heads
+             ~mlp_ratio:arch.Models.mlp_ratio);
+        incr block_idx
+      done;
+      prev_dim := dim)
+    arch.Models.stage_spec;
+  let d_last = !prev_dim in
+  push "head"
+    [ Ops.Op_layernorm { rows = !tokens; cols = d_last };
+      Ops.Op_mean_pool { out_elems = d_last; window = !tokens };
+      mm 1 d_last arch.Models.num_classes;
+      Ops.Op_rescale arch.Models.num_classes ];
+  List.rev !layers
+
+module Counter = Layer_circuit.Make (Zkvc_field.Fr)
+
+(** Total exact constraint/variable counts for a compiled model. *)
+let total_counts ?strategy cfg layers =
+  List.fold_left
+    (fun acc { ops; _ } ->
+      List.fold_left
+        (fun acc op -> Ops.add_counts acc (Counter.count ?strategy cfg op))
+        acc ops)
+    Ops.zero_counts layers
+
+(** Constraints attributable to matmuls vs everything else — the split the
+    paper's CRPC section reasons about. *)
+let matmul_split ?strategy cfg layers =
+  List.fold_left
+    (fun (matmul, other) { ops; _ } ->
+      List.fold_left
+        (fun (matmul, other) op ->
+          let c = (Counter.count ?strategy cfg op).Ops.constraints in
+          match op with
+          | Ops.Op_matmul _ -> (matmul + c, other)
+          | Ops.Op_rescale _ | Ops.Op_scale_div _ | Ops.Op_softmax _
+          | Ops.Op_gelu _ | Ops.Op_layernorm _ | Ops.Op_mean_pool _ ->
+            (matmul, other + c))
+        (matmul, other) ops)
+    (0, 0) layers

@@ -1,0 +1,35 @@
+(** Lowering of a Transformer architecture (+ token-mixer variant) to the
+    multiset of verifiable ops, with per-layer labels. Counting is purely
+    structural — it needs the architecture spec, not the weights — so the
+    ImageNet-scale models are costed exactly without materialising
+    billion-constraint circuits. *)
+
+type layer_ops = { label : string; ops : Ops.t list }
+
+(** Ops of one mixer at the given block geometry. *)
+val mixer_ops : Zkvc_nn.Token_mixer.kind -> tokens:int -> dim:int -> heads:int -> Ops.t list
+
+(** Ops of a full block: pre-LN + mixer + pre-LN + GELU MLP. *)
+val block_ops :
+  Zkvc_nn.Token_mixer.kind -> tokens:int -> dim:int -> heads:int -> mlp_ratio:int -> Ops.t list
+
+(** Per-layer op lists for an architecture under a mixer variant
+    (embedding, per-stage downsampling, blocks, classifier head). *)
+val compile : Zkvc_nn.Models.arch -> Zkvc_nn.Models.variant -> layer_ops list
+
+module Counter : module type of Layer_circuit.Make (Zkvc_field.Fr)
+
+(** Total exact constraint/variable counts for a compiled model. *)
+val total_counts :
+  ?strategy:Zkvc.Matmul_circuit.strategy ->
+  Zkvc.Nonlinear.config ->
+  layer_ops list ->
+  Ops.counts
+
+(** Constraints attributable to matmuls vs everything else — the split the
+    paper's CRPC section reasons about. *)
+val matmul_split :
+  ?strategy:Zkvc.Matmul_circuit.strategy ->
+  Zkvc.Nonlinear.config ->
+  layer_ops list ->
+  int * int

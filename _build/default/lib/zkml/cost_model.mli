@@ -1,0 +1,49 @@
+(** Prover-cost calibration (real proofs on synthetic circuits, fitted to
+    [t(n) = α·n + β·n·log₂ n], coefficients clamped non-negative) and the
+    paper's reported numbers for every evaluation table, including the
+    emulated prior systems (DESIGN.md substitution 4). *)
+
+type backend = Zkvc.Api.backend = Backend_groth16 | Backend_spartan
+
+(** A squaring-chain R1CS with [n] constraints (calibration workload). *)
+val synthetic_circuit :
+  int ->
+  Zkvc_r1cs.Constraint_system.Make(Zkvc_field.Fr).t * Zkvc_field.Fr.t array
+
+(** Real prover wall time at the given constraint count. *)
+val measure_prove : backend -> int -> float
+
+type calibration = { alpha : float; beta : float }
+
+val fit : int * float -> int * float -> calibration
+
+(** Calibrate a backend with real proofs at two circuit sizes. *)
+val calibrate : ?n1:int -> ?n2:int -> backend -> calibration
+
+(** Extrapolated proving seconds at [n] constraints. *)
+val estimate : calibration -> int -> float
+
+(** Paper Table II rows:
+    (crpc, psq, g16 prove, g16 verify, spartan prove, spartan verify). *)
+val paper_table2 : (bool * bool * float * float * float * float) list
+
+type scheme =
+  { scheme_name : string;
+    interactive : bool;
+    constant_proof : bool;
+    trusted_setup : bool;
+    emulated : bool;
+    paper_prove_s : float;
+    paper_verify_s : float;
+    paper_proof_kb : float }
+
+(** The Figure 3 / 6 / Table I comparison set. *)
+val schemes : scheme list
+
+(** Paper Table III rows: (dataset, variant, top-1 %, P_G s, P_S s). *)
+val paper_table3 : (string * string * float * float * float) list
+
+(** Paper Table IV rows: (variant, MNLI, QNLI, SST-2, MRPC, P_G, P_S). *)
+val paper_table4 : (string * float * float * float * float * float * float) list
+
+val paper_accuracy : dataset:string -> variant:string -> float option

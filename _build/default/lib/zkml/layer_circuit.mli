@@ -1,0 +1,50 @@
+(** R1CS constructions for each {!Ops.t}, on top of the generic gadgets
+    and zkVC's non-linear approximations. Signed fixed-point values are
+    embedded as [v mod p]; division-flavoured gadgets shift their dividend
+    by a large constant multiple of the divisor first, preserving floor
+    semantics while keeping the dividend a genuine non-negative integer. *)
+
+module Nl = Zkvc.Nonlinear
+
+module Make (F : Zkvc_field.Field_intf.S) : sig
+  module L : module type of Zkvc_r1cs.Lc.Make (F)
+  module B : module type of Zkvc_r1cs.Builder.Make (F)
+  module Mc : module type of Zkvc.Matmul_circuit.Make (F)
+  module Spec : module type of Zkvc.Matmul_spec.Make (F)
+  module Cs : module type of Zkvc_r1cs.Constraint_system.Make (F)
+
+  (** Signed floor division by a positive constant. *)
+  val signed_div_by_constant : B.t -> Nl.config -> L.t -> Zkvc_num.Bigint.t -> L.t
+
+  (** Signed floor division by a positive wire divisor. *)
+  val signed_div_rem : B.t -> Nl.config -> L.t -> L.t -> r_width:int -> L.t
+
+  (** Fixed-point rescale [floor(x/S)] of a (possibly signed) raw
+      product. *)
+  val rescale : B.t -> Nl.config -> L.t -> L.t
+
+  (** Softmax over signed score wires (shift-invariance used to offset
+      into the unsigned gadget's domain). *)
+  val softmax_row : B.t -> Nl.config -> L.var list -> L.var list
+
+  val gelu : B.t -> Nl.config -> L.var -> L.var
+
+  (** Integer-sqrt gadget: wire [r] with [r² ≤ v < (r+1)²]. *)
+  val isqrt : B.t -> Nl.config -> L.t -> L.var
+
+  (** Per-row layer normalisation, matching
+      {!Zkvc_nn.Quantize.layernorm} bit for bit. *)
+  val layernorm_row : B.t -> Nl.config -> L.var list -> L.t list
+
+  (** Average of the wires with verified floor division. *)
+  val mean_pool : B.t -> Nl.config -> L.var list -> L.t
+
+  (** Build a representative circuit for [op] with synthetic witness
+      values (shape depends only on [op] and the config). *)
+  val build_op : ?strategy:Zkvc.Matmul_circuit.strategy -> B.t -> Nl.config -> Ops.t -> unit
+
+  (** Exact counts for an op using O(1)-size unit builds (memoized) plus
+      exact replication; matmuls use the closed-form counts. Validated
+      against direct builds by the test suite. *)
+  val count : ?strategy:Zkvc.Matmul_circuit.strategy -> Nl.config -> Ops.t -> Ops.counts
+end

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Random Zkvc Zkvc_field Zkvc_r1cs

@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest Array List Printf Random Zkvc_curve Zkvc_field Zkvc_num

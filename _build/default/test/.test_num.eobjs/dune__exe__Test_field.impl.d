@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest List QCheck QCheck_alcotest Random Zkvc_field Zkvc_num

@@ -1,0 +1,1 @@
+test/test_gkr.ml: Alcotest Array Random Zkvc Zkvc_field Zkvc_gkr

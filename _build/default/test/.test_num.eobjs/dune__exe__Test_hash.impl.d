@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char List Printf QCheck QCheck_alcotest Stdlib String Zkvc_field Zkvc_hash Zkvc_transcript

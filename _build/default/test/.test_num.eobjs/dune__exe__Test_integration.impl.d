@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Char List Printf Random Zkvc Zkvc_curve Zkvc_field Zkvc_groth16 Zkvc_num Zkvc_r1cs Zkvc_spartan Zkvc_transcript

@@ -1,0 +1,1 @@
+test/test_kzg.ml: Alcotest Random Zkvc Zkvc_curve Zkvc_field Zkvc_kzg Zkvc_poly Zkvc_r1cs

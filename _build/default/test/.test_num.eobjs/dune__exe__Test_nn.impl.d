@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array List Printf Random Zkvc Zkvc_nn

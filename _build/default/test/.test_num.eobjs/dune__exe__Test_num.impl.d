@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bytes Char List Option QCheck QCheck_alcotest Random Stdlib String Zkvc_num

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Random Stdlib Zkvc_field Zkvc_num Zkvc_poly

@@ -1,0 +1,1 @@
+test/test_r1cs.ml: Alcotest Array List QCheck QCheck_alcotest Random Zkvc_field Zkvc_num Zkvc_r1cs

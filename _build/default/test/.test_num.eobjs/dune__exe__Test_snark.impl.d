@@ -1,0 +1,1 @@
+test/test_snark.ml: Alcotest Array List Printf Random Sys Zkvc_curve Zkvc_field Zkvc_groth16 Zkvc_qap Zkvc_r1cs

@@ -1,0 +1,1 @@
+test/test_spartan.ml: Alcotest Array List Printf Random Zkvc_curve Zkvc_field Zkvc_poly Zkvc_r1cs Zkvc_spartan Zkvc_transcript

@@ -1,0 +1,1 @@
+test/test_zkml.ml: Alcotest Array Format List Printf Random Stdlib Zkvc Zkvc_field Zkvc_nn Zkvc_r1cs Zkvc_zkml

@@ -1,0 +1,122 @@
+module B = Zkvc_num.Bigint
+
+(* Generic field law suite, instantiated for Fr, Fq and Fsmall. *)
+module Make_suite (F : Zkvc_field.Field_intf.S) (Name : sig
+  val name : string
+end) =
+struct
+  let st = Random.State.make [| 7; 11; 13 |]
+
+  let arb =
+    let gen _ = F.random st in
+    QCheck.make ~print:F.to_string (gen)
+
+  let t name f = QCheck.Test.make ~name:(Name.name ^ ": " ^ name) ~count:200 arb f
+  let t2 name f = QCheck.Test.make ~name:(Name.name ^ ": " ^ name) ~count:200 (QCheck.pair arb arb) f
+  let t3 name f = QCheck.Test.make ~name:(Name.name ^ ": " ^ name) ~count:200 (QCheck.triple arb arb arb) f
+
+  let props =
+    [ t2 "add commutative" (fun (x, y) -> F.equal (F.add x y) (F.add y x));
+      t3 "add associative" (fun (x, y, z) -> F.equal (F.add (F.add x y) z) (F.add x (F.add y z)));
+      t "add zero" (fun x -> F.equal (F.add x F.zero) x);
+      t "sub self" (fun x -> F.is_zero (F.sub x x));
+      t "neg" (fun x -> F.is_zero (F.add x (F.neg x)));
+      t2 "mul commutative" (fun (x, y) -> F.equal (F.mul x y) (F.mul y x));
+      t3 "mul associative" (fun (x, y, z) -> F.equal (F.mul (F.mul x y) z) (F.mul x (F.mul y z)));
+      t "mul one" (fun x -> F.equal (F.mul x F.one) x);
+      t3 "distributivity" (fun (x, y, z) ->
+          F.equal (F.mul x (F.add y z)) (F.add (F.mul x y) (F.mul x z)));
+      t "sqr = mul self" (fun x -> F.equal (F.sqr x) (F.mul x x));
+      t "double = add self" (fun x -> F.equal (F.double x) (F.add x x));
+      t "inverse" (fun x -> F.is_zero x || F.is_one (F.mul x (F.inv x)));
+      t2 "div" (fun (x, y) -> F.is_zero y || F.equal (F.mul (F.div x y) y) x);
+      t "bigint roundtrip" (fun x -> F.equal x (F.of_bigint (F.to_bigint x)));
+      t "string roundtrip" (fun x -> F.equal x (F.of_string (F.to_string x)));
+      t "bytes roundtrip" (fun x -> F.equal x (F.of_bytes_exn (F.to_bytes x)));
+      t "canonical range" (fun x ->
+          let n = F.to_bigint x in
+          B.ge n B.zero && B.lt n F.modulus);
+      t "fermat little" (fun x ->
+          F.is_zero x || F.is_one (F.pow x (B.sub F.modulus B.one)));
+      t "pow matches repeated mul" (fun x ->
+          let rec naive acc i = if i = 0 then acc else naive (F.mul acc x) (i - 1) in
+          F.equal (F.pow_int x 13) (naive F.one 13));
+      t2 "mul matches bigint" (fun (x, y) ->
+          B.equal
+            (F.to_bigint (F.mul x y))
+            (B.erem (B.mul (F.to_bigint x) (F.to_bigint y)) F.modulus));
+      t2 "add matches bigint" (fun (x, y) ->
+          B.equal
+            (F.to_bigint (F.add x y))
+            (B.erem (B.add (F.to_bigint x) (F.to_bigint y)) F.modulus)) ]
+
+  module Sqrt = Zkvc_field.Sqrt.Make (F)
+
+  let sqrt_props =
+    [ t "sqrt of square" (fun x ->
+          let sq = F.sqr x in
+          match Sqrt.sqrt sq with
+          | None -> false
+          | Some r -> F.equal (F.sqr r) sq);
+      t "is_square consistent" (fun x ->
+          Sqrt.is_square (F.sqr x)
+          && (match Sqrt.sqrt x with
+              | Some r -> Sqrt.is_square x && F.equal (F.sqr r) x
+              | None -> not (Sqrt.is_square x))) ]
+
+  let unit_tests =
+    [ Alcotest.test_case "constants" `Quick (fun () ->
+          Alcotest.(check bool) "zero" true (F.is_zero F.zero);
+          Alcotest.(check bool) "one" true (F.is_one F.one);
+          Alcotest.(check bool) "one <> zero" false (F.equal F.one F.zero);
+          Alcotest.(check string) "of_int 5" "5" (F.to_string (F.of_int 5));
+          Alcotest.(check string) "of_int -1"
+            (B.to_string (B.sub F.modulus B.one))
+            (F.to_string (F.of_int (-1))));
+      Alcotest.test_case "two-adic root order" `Quick (fun () ->
+          let s = F.two_adicity in
+          Alcotest.(check bool) "adicity >= 1" true (s >= 1);
+          let w = F.two_adic_root in
+          let pow2 k = F.pow w (B.shift_left B.one k) in
+          Alcotest.(check bool) "w^(2^s) = 1" true (F.is_one (pow2 s));
+          Alcotest.(check bool) "w^(2^(s-1)) <> 1" true (not (F.is_one (pow2 (s - 1)))));
+      Alcotest.test_case "inv zero raises" `Quick (fun () ->
+          Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (F.inv F.zero))) ]
+
+  let suite =
+    (Name.name, unit_tests @ List.map QCheck_alcotest.to_alcotest (props @ sqrt_props))
+end
+
+module Fr_suite = Make_suite (Zkvc_field.Fr) (struct let name = "Fr" end)
+module Fq_suite = Make_suite (Zkvc_field.Fq) (struct let name = "Fq" end)
+module Fsmall_suite = Make_suite (Zkvc_field.Fsmall) (struct let name = "Fsmall" end)
+
+let known_value_tests =
+  [ Alcotest.test_case "Fr modulus bits" `Quick (fun () ->
+        Alcotest.(check int) "254" 254 (B.num_bits Zkvc_field.Fr.modulus);
+        Alcotest.(check int) "bytes" 32 Zkvc_field.Fr.size_in_bytes);
+    Alcotest.test_case "Fq modulus bits" `Quick (fun () ->
+        Alcotest.(check int) "254" 254 (B.num_bits Zkvc_field.Fq.modulus));
+    Alcotest.test_case "Fr two-adicity is 28" `Quick (fun () ->
+        Alcotest.(check int) "28" 28 Zkvc_field.Fr.two_adicity);
+    Alcotest.test_case "Fsmall two-adicity is 27" `Quick (fun () ->
+        Alcotest.(check int) "27" 27 Zkvc_field.Fsmall.two_adicity);
+    Alcotest.test_case "Fr known product" `Quick (fun () ->
+        (* (r-1) * (r-1) mod r = 1 *)
+        let m1 = Zkvc_field.Fr.of_int (-1) in
+        Alcotest.(check bool) "(-1)^2 = 1" true Zkvc_field.Fr.(is_one (mul m1 m1)));
+    Alcotest.test_case "cross-check Fr mul vs bigint on fixed values" `Quick (fun () ->
+        let x = Zkvc_field.Fr.of_string "123456789123456789123456789123456789" in
+        let y = Zkvc_field.Fr.of_string "987654321987654321987654321987654321" in
+        let expect =
+          B.erem
+            (B.mul (B.of_string "123456789123456789123456789123456789")
+               (B.of_string "987654321987654321987654321987654321"))
+            Zkvc_field.Fr.modulus
+        in
+        Alcotest.(check string) "product" (B.to_string expect)
+          Zkvc_field.Fr.(to_string (mul x y))) ]
+
+let () =
+  Alcotest.run "zkvc_field"
+    [ Fr_suite.suite; Fq_suite.suite; Fsmall_suite.suite; ("known-values", known_value_tests) ]

@@ -1,0 +1,164 @@
+module T = Zkvc_nn.Tensor
+module Q = Zkvc_nn.Quantize
+module Tm = Zkvc_nn.Token_mixer
+module Tf = Zkvc_nn.Transformer
+module Models = Zkvc_nn.Models
+module Nl = Zkvc.Nonlinear
+
+let st = Random.State.make [| 2025; 7 |]
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg = Nl.default_config
+
+let close ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let tensor_tests =
+  [ Alcotest.test_case "matmul" `Quick (fun () ->
+        let a = T.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+        let b = T.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+        let c = T.matmul a b in
+        check_bool "c00" true (close (T.get c 0 0) 19.);
+        check_bool "c11" true (close (T.get c 1 1) 50.));
+    Alcotest.test_case "transpose involution" `Quick (fun () ->
+        let a = T.random_gaussian st 5 7 ~std:1. in
+        check_bool "tt = id" true (T.frobenius_diff a (T.transpose (T.transpose a)) < 1e-12));
+    Alcotest.test_case "softmax rows normalised" `Quick (fun () ->
+        let a = T.random_gaussian st 4 9 ~std:2. in
+        let s = T.softmax_rows a in
+        for i = 0 to 3 do
+          let sum = ref 0. in
+          for j = 0 to 8 do
+            let v = T.get s i j in
+            check_bool "prob in (0,1)" true (v > 0. && v < 1.);
+            sum := !sum +. v
+          done;
+          check_bool "row sums to 1" true (close ~eps:1e-9 !sum 1.)
+        done);
+    Alcotest.test_case "layernorm stats" `Quick (fun () ->
+        let a = T.random_gaussian st 3 64 ~std:3. in
+        let gamma = Array.make 64 1. and beta = Array.make 64 0. in
+        let l = T.layernorm a ~gamma ~beta in
+        for i = 0 to 2 do
+          let mean = ref 0. and var = ref 0. in
+          for j = 0 to 63 do
+            mean := !mean +. T.get l i j
+          done;
+          let mean = !mean /. 64. in
+          for j = 0 to 63 do
+            let d = T.get l i j -. mean in
+            var := !var +. (d *. d)
+          done;
+          check_bool "mean ~0" true (abs_float mean < 1e-8);
+          check_bool "var ~1" true (abs_float ((!var /. 64.) -. 1.) < 1e-2)
+        done);
+    Alcotest.test_case "pool_rows" `Quick (fun () ->
+        let a = T.of_arrays [| [| 1. |]; [| 3. |]; [| 5. |]; [| 7. |] |] in
+        let p = T.pool_rows a 2 in
+        check_bool "avg1" true (close (T.get p 0 0) 2.);
+        check_bool "avg2" true (close (T.get p 1 0) 6.)) ]
+
+let quantize_tests =
+  [ Alcotest.test_case "roundtrip error bounded" `Quick (fun () ->
+        let a = T.random_gaussian st 8 8 ~std:1. in
+        let q = Q.quantize cfg a in
+        let a' = Q.dequantize cfg q in
+        let s = float_of_int (Nl.scale cfg) in
+        check_bool "max err < 1/S" true (T.frobenius_diff a a' < 8. *. 8. /. s));
+    Alcotest.test_case "quantized matmul tracks float" `Quick (fun () ->
+        let a = T.random_gaussian st 6 10 ~std:1. in
+        let b = T.random_gaussian st 10 6 ~std:1. in
+        let qc = Q.matmul_rescale cfg (Q.quantize cfg a) (Q.quantize cfg b) in
+        let c = T.matmul a b in
+        let diff = T.frobenius_diff c (Q.dequantize cfg qc) in
+        check_bool "close" true (diff < 0.5));
+    Alcotest.test_case "isqrt" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let r = Q.isqrt v in
+            check_bool (Printf.sprintf "isqrt %d" v) true (r * r <= v && (r + 1) * (r + 1) > v))
+          [ 0; 1; 2; 3; 4; 15; 16; 17; 1000000; 999999999999 ]);
+    Alcotest.test_case "fdiv is floor division" `Quick (fun () ->
+        check_int "7/2" 3 (Q.fdiv 7 2);
+        check_int "-7/2" (-4) (Q.fdiv (-7) 2);
+        check_int "-8/2" (-4) (Q.fdiv (-8) 2));
+    Alcotest.test_case "quantized softmax rows normalised" `Quick (fun () ->
+        let m = Q.init 3 6 (fun _ _ -> Random.State.int st 1024 - 512) in
+        let s = Q.softmax_rows cfg m in
+        for i = 0 to 2 do
+          let total = ref 0 in
+          for j = 0 to 5 do
+            total := !total + Q.get s i j
+          done;
+          check_bool "sums to ~S" true (abs (!total - Nl.scale cfg) < 16)
+        done);
+    Alcotest.test_case "quantized layernorm tracks float" `Quick (fun () ->
+        let a = T.random_gaussian st 2 32 ~std:2. in
+        let ql = Q.layernorm cfg (Q.quantize cfg a) in
+        let gamma = Array.make 32 1. and beta = Array.make 32 0. in
+        let fl = T.layernorm a ~gamma ~beta in
+        let diff = T.frobenius_diff fl (Q.dequantize cfg ql) in
+        check_bool "close" true (diff < 1.0)) ]
+
+let mixer_tests =
+  let tokens = 8 and dim = 16 and heads = 4 in
+  let x = T.random_gaussian st tokens dim ~std:1. in
+  let test kind =
+    Alcotest.test_case (Tm.kind_name kind) `Quick (fun () ->
+        let p = Tm.create st ~kind ~tokens ~dim ~heads in
+        let y = Tm.forward p x in
+        check_int "rows preserved" tokens (T.rows y);
+        check_int "cols preserved" dim (T.cols y);
+        (* quantized forward stays near the float forward *)
+        let qp = Tm.quantize_params cfg p in
+        let qy = Tm.forward_quantized cfg qp (Q.quantize cfg x) in
+        let diff = T.frobenius_diff y (Q.dequantize cfg qy) in
+        check_bool
+          (Printf.sprintf "quantized close (%.3f)" diff)
+          true
+          (diff < 4.0))
+  in
+  List.map test [ Tm.Softmax_attn; Tm.Scaling_attn; Tm.Pooling; Tm.Linear_mix ]
+
+let model_tests =
+  [ Alcotest.test_case "paper architectures build and run (shrunk)" `Quick (fun () ->
+        List.iter
+          (fun arch ->
+            let arch = Models.shrink arch ~factor:8 in
+            let m = Models.build st arch Models.Zkvc_hybrid in
+            let patches = T.random_gaussian st arch.Models.tokens arch.Models.patch_dim ~std:1. in
+            let logits = Tf.forward m patches in
+            check_int (arch.Models.arch_name ^ " classes") arch.Models.num_classes
+              (T.cols logits))
+          Models.all_archs);
+    Alcotest.test_case "block counts match the paper configs" `Quick (fun () ->
+        let m = Models.build st Models.vit_cifar10 Models.Soft_approx in
+        check_int "cifar blocks" 7 (Tf.num_blocks m);
+        let m = Models.build st Models.vit_tiny_imagenet Models.Soft_approx in
+        check_int "tiny blocks" 9 (Tf.num_blocks m);
+        let m = Models.build st Models.vit_imagenet Models.Soft_approx in
+        check_int "imagenet blocks" 12 (Tf.num_blocks m);
+        let m = Models.build st Models.bert_glue Models.Soft_approx in
+        check_int "bert blocks" 4 (Tf.num_blocks m));
+    Alcotest.test_case "variants select expected mixers" `Quick (fun () ->
+        let kinds v = Tf.mixer_kinds (Models.build st (Models.shrink Models.vit_cifar10 ~factor:4) v) in
+        check_bool "softapprox all softmax" true
+          (List.for_all (( = ) Tm.Softmax_attn) (kinds Models.Soft_approx));
+        check_bool "softfree-p all pooling" true
+          (List.for_all (( = ) Tm.Pooling) (kinds Models.Soft_free_p));
+        let hybrid = kinds Models.Zkvc_hybrid in
+        check_bool "hybrid mixes" true
+          (List.exists (( = ) Tm.Softmax_attn) hybrid
+           && List.exists (fun k -> k <> Tm.Softmax_attn) hybrid));
+    Alcotest.test_case "quantization agreement is high on a small model" `Quick (fun () ->
+        let arch = Models.shrink Models.vit_cifar10 ~factor:8 in
+        let m = Models.build st arch Models.Soft_free_p in
+        let qm = Tf.quantize cfg m in
+        let agreement = Tf.quantization_agreement st m qm ~samples:20 in
+        check_bool (Printf.sprintf "agreement %.2f >= 0.5" agreement) true (agreement >= 0.5)) ]
+
+let () =
+  Alcotest.run "zkvc_nn"
+    [ ("tensor", tensor_tests);
+      ("quantize", quantize_tests);
+      ("mixer", mixer_tests);
+      ("models", model_tests) ]

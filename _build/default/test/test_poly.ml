@@ -1,0 +1,187 @@
+module B = Zkvc_num.Bigint
+
+(* Polynomial / domain / multilinear laws, instantiated over the fast small
+   field and spot-checked over Fr. *)
+module Make_suite (F : Zkvc_field.Field_intf.S) (Name : sig
+  val name : string
+  val max_log : int (* cap domain sizes to keep Fr runs quick *)
+end) =
+struct
+  module P = Zkvc_poly.Dense_poly.Make (F)
+  module D = Zkvc_poly.Domain.Make (F)
+  module M = Zkvc_poly.Multilinear.Make (F)
+
+  let st = Random.State.make [| 17; Name.max_log |]
+
+  let poly_arb =
+    let gen _ =
+      let deg = Random.State.int st 30 - 1 in
+      P.random st ~degree:deg
+    in
+    QCheck.make ~print:(Format.asprintf "%a" P.pp) gen
+
+  let field_arb = QCheck.make ~print:F.to_string (fun _ -> F.random st)
+
+  let t name f = QCheck.Test.make ~name:(Name.name ^ ": " ^ name) ~count:100 f
+  let n name = Name.name ^ ": " ^ name
+
+  let props =
+    [ t "add is pointwise" (QCheck.triple poly_arb poly_arb field_arb) (fun (p, q, x) ->
+          F.equal (P.eval (P.add p q) x) (F.add (P.eval p x) (P.eval q x)));
+      t "mul is pointwise" (QCheck.triple poly_arb poly_arb field_arb) (fun (p, q, x) ->
+          F.equal (P.eval (P.mul p q) x) (F.mul (P.eval p x) (P.eval q x)));
+      t "schoolbook = ntt" (QCheck.pair poly_arb poly_arb) (fun (p, q) ->
+          P.equal (P.mul_schoolbook p q) (P.mul_ntt p q));
+      t "divmod reconstructs" (QCheck.pair poly_arb poly_arb) (fun (p, q) ->
+          QCheck.assume (not (P.is_zero q));
+          let quot, r = P.divmod p q in
+          P.equal p (P.add (P.mul quot q) r) && P.degree r < P.degree q);
+      t "sub self is zero" poly_arb (fun p -> P.is_zero (P.sub p p));
+      t "degree of product adds" (QCheck.pair poly_arb poly_arb) (fun (p, q) ->
+          QCheck.assume (not (P.is_zero p) && not (P.is_zero q));
+          P.degree (P.mul p q) = P.degree p + P.degree q) ]
+
+  let test_interpolate () =
+    let pts = List.init 8 (fun i -> (F.of_int (i + 1), F.random st)) in
+    let p = P.interpolate pts in
+    List.iter
+      (fun (x, y) ->
+        Alcotest.(check bool) "interpolation hits points" true (F.equal (P.eval p x) y))
+      pts;
+    Alcotest.(check bool) "degree < npoints" true (P.degree p < 8)
+
+  let test_ntt_roundtrip () =
+    for log = 0 to Stdlib.min Name.max_log 8 do
+      let nsz = 1 lsl log in
+      let d = D.create nsz in
+      let a = Array.init nsz (fun _ -> F.random st) in
+      let b = Array.copy a in
+      D.ntt d b;
+      D.intt d b;
+      Alcotest.(check bool) (Printf.sprintf "roundtrip size %d" nsz) true (b = a)
+    done
+
+  let test_ntt_is_evaluation () =
+    let nsz = 16 in
+    let d = D.create nsz in
+    let coeffs = Array.init nsz (fun _ -> F.random st) in
+    let p = P.of_coeffs coeffs in
+    let evals = Array.copy coeffs in
+    D.ntt d evals;
+    for i = 0 to nsz - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "ntt[%d] = p(w^%d)" i i)
+        true
+        (F.equal evals.(i) (P.eval p (D.element d i)))
+    done
+
+  let test_coset () =
+    let nsz = 16 in
+    let d = D.create nsz in
+    let shift = F.of_int 3 in
+    let coeffs = Array.init nsz (fun _ -> F.random st) in
+    let p = P.of_coeffs coeffs in
+    let evals = Array.copy coeffs in
+    D.eval_on_coset d shift evals;
+    for i = 0 to nsz - 1 do
+      Alcotest.(check bool) "coset eval" true
+        (F.equal evals.(i) (P.eval p (F.mul shift (D.element d i))))
+    done;
+    D.interp_from_coset d shift evals;
+    Alcotest.(check bool) "coset roundtrip" true (evals = coeffs)
+
+  let test_vanishing () =
+    let nsz = 8 in
+    let d = D.create nsz in
+    for i = 0 to nsz - 1 do
+      Alcotest.(check bool) "vanishes on domain" true
+        (F.is_zero (D.vanishing_eval d (D.element d i)))
+    done;
+    Alcotest.(check bool) "nonzero off domain" true
+      (not (F.is_zero (D.vanishing_eval d (F.of_int 12345))))
+
+  let test_lagrange_eval () =
+    let nsz = 16 in
+    let d = D.create nsz in
+    let coeffs = Array.init nsz (fun _ -> F.random st) in
+    let p = P.of_coeffs coeffs in
+    let evals = Array.copy coeffs in
+    D.ntt d evals;
+    (* off-domain point *)
+    let x = F.of_int 987654 in
+    Alcotest.(check bool) "barycentric = direct" true
+      (F.equal (D.lagrange_eval d evals x) (P.eval p x));
+    (* on-domain point *)
+    Alcotest.(check bool) "on-domain" true
+      (F.equal (D.lagrange_eval d evals (D.element d 5)) evals.(5))
+
+  let test_domain_errors () =
+    Alcotest.check_raises "non power of two"
+      (Invalid_argument "Domain.create: size must be a power of two") (fun () ->
+        ignore (D.create 12));
+    Alcotest.check_raises "too large"
+      (Invalid_argument "Domain.create: size exceeds field 2-adicity") (fun () ->
+        ignore (D.create (1 lsl (F.two_adicity + 1))))
+
+  (* ---- multilinear ---- *)
+
+  let test_mle_eval_on_cube () =
+    let nv = 4 in
+    let table = Array.init (1 lsl nv) (fun _ -> F.random st) in
+    let m = M.of_evals table in
+    for i = 0 to (1 lsl nv) - 1 do
+      (* point = bits of i, MSB = variable 0 *)
+      let point = List.init nv (fun j -> if (i lsr (nv - 1 - j)) land 1 = 1 then F.one else F.zero) in
+      Alcotest.(check bool) (Printf.sprintf "agrees on vertex %d" i) true
+        (F.equal (M.eval m point) table.(i))
+    done
+
+  let test_mle_sum () =
+    let table = Array.init 8 (fun i -> F.of_int i) in
+    let m = M.of_evals table in
+    Alcotest.(check string) "sum" "28" (F.to_string (M.sum m))
+
+  let test_eq_table () =
+    let tau = List.init 3 (fun _ -> F.random st) in
+    let eq = M.eq_table tau in
+    for i = 0 to 7 do
+      let point = List.init 3 (fun j -> if (i lsr (2 - j)) land 1 = 1 then F.one else F.zero) in
+      Alcotest.(check bool) "eq table matches closed form" true
+        (F.equal (M.get eq i) (M.eq_eval tau point))
+    done;
+    (* Σ_x eq(tau, x) = 1 *)
+    Alcotest.(check bool) "eq sums to one" true (F.is_one (M.sum eq))
+
+  let test_fix_first () =
+    let nv = 3 in
+    let table = Array.init (1 lsl nv) (fun _ -> F.random st) in
+    let m = M.of_evals table in
+    let r = F.random st in
+    let fixed = M.fix_first m r in
+    let p = [ F.random st; F.random st ] in
+    Alcotest.(check bool) "fix_first = eval with prefix" true
+      (F.equal (M.eval fixed p) (M.eval m (r :: p)))
+
+  let suite =
+    ( Name.name,
+      [ Alcotest.test_case (n "interpolate") `Quick test_interpolate;
+        Alcotest.test_case (n "ntt roundtrip") `Quick test_ntt_roundtrip;
+        Alcotest.test_case (n "ntt = evaluation") `Quick test_ntt_is_evaluation;
+        Alcotest.test_case (n "coset") `Quick test_coset;
+        Alcotest.test_case (n "vanishing") `Quick test_vanishing;
+        Alcotest.test_case (n "lagrange eval") `Quick test_lagrange_eval;
+        Alcotest.test_case (n "domain errors") `Quick test_domain_errors;
+        Alcotest.test_case (n "mle on cube") `Quick test_mle_eval_on_cube;
+        Alcotest.test_case (n "mle sum") `Quick test_mle_sum;
+        Alcotest.test_case (n "eq table") `Quick test_eq_table;
+        Alcotest.test_case (n "fix_first") `Quick test_fix_first ]
+      @ List.map QCheck_alcotest.to_alcotest props )
+end
+
+module Small_suite =
+  Make_suite (Zkvc_field.Fsmall) (struct let name = "fsmall" let max_log = 12 end)
+
+module Fr_suite =
+  Make_suite (Zkvc_field.Fr) (struct let name = "fr" let max_log = 8 end)
+
+let () = Alcotest.run "zkvc_poly" [ Small_suite.suite; Fr_suite.suite ]

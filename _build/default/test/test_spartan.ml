@@ -1,0 +1,277 @@
+module Fr = Zkvc_field.Fr
+module Spartan = Zkvc_spartan.Spartan
+module Sm = Zkvc_spartan.Sparse_matrix.Make (Fr)
+module Sc = Zkvc_spartan.Sumcheck.Make (Fr)
+module Ml = Zkvc_poly.Multilinear.Make (Fr)
+module T = Zkvc_transcript.Transcript
+module Ch = T.Challenge (Fr)
+module L = Zkvc_r1cs.Lc.Make (Fr)
+module Bld = Zkvc_r1cs.Builder.Make (Fr)
+module G = Zkvc_r1cs.Gadgets.Make (Fr)
+module Pedersen = Zkvc_spartan.Pedersen
+module G1 = Zkvc_curve.G1
+
+let st = Random.State.make [| 99; 100 |]
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- sumcheck in isolation ---------------- *)
+
+let sumcheck_tests =
+  [ Alcotest.test_case "honest prover accepted" `Quick (fun () ->
+        let mu = 5 in
+        let t1 = Array.init (1 lsl mu) (fun _ -> Fr.random st) in
+        let t2 = Array.init (1 lsl mu) (fun _ -> Fr.random st) in
+        let claim =
+          let acc = ref Fr.zero in
+          Array.iteri (fun i v -> acc := Fr.add !acc (Fr.mul v t2.(i))) t1;
+          !acc
+        in
+        let tr_p = T.create ~label:"sc-test" in
+        let rounds, r_p, finals =
+          Sc.prove tr_p ~label:"s" ~degree:2 [| t1; t2 |]
+            ~combine:(fun v -> Fr.mul v.(0) v.(1))
+        in
+        let tr_v = T.create ~label:"sc-test" in
+        (match Sc.verify tr_v ~label:"s" ~degree:2 ~claim rounds with
+         | None -> Alcotest.fail "sumcheck rejected honest prover"
+         | Some (final_claim, r_v) ->
+           check_bool "same challenges" true (List.for_all2 Fr.equal r_p r_v);
+           (* final claim must equal product of the tables' MLEs at r *)
+           let m1 = Ml.of_evals t1 and m2 = Ml.of_evals t2 in
+           check_bool "final claim correct" true
+             (Fr.equal final_claim (Fr.mul (Ml.eval m1 r_v) (Ml.eval m2 r_v)));
+           check_bool "finals match MLE" true
+             (Fr.equal finals.(0) (Ml.eval m1 r_v) && Fr.equal finals.(1) (Ml.eval m2 r_v))));
+    Alcotest.test_case "wrong claim rejected" `Quick (fun () ->
+        let t1 = Array.init 16 (fun _ -> Fr.random st) in
+        let tr_p = T.create ~label:"sc-test" in
+        let rounds, _, _ =
+          Sc.prove tr_p ~label:"s" ~degree:1 [| t1 |] ~combine:(fun v -> v.(0))
+        in
+        let tr_v = T.create ~label:"sc-test" in
+        check_bool "reject" true
+          (Sc.verify tr_v ~label:"s" ~degree:1 ~claim:(Fr.of_int 123456) rounds = None)) ]
+
+(* ---------------- sparse matrices ---------------- *)
+
+let sparse_tests =
+  [ Alcotest.test_case "mul_vec and eval agree" `Quick (fun () ->
+        let mu = 3 and nu = 4 in
+        let entries =
+          List.init 20 (fun _ ->
+              { Sm.row = Random.State.int st (1 lsl mu);
+                col = Random.State.int st (1 lsl nu);
+                value = Fr.random st })
+        in
+        let m = Sm.create ~mu ~nu entries in
+        let z = Array.init (1 lsl nu) (fun _ -> Fr.random st) in
+        let mz = Sm.mul_vec m z in
+        (* MLE of (Mz) at random rx must equal Σ_y M̃(rx,y) z̃(y);
+           check by evaluating both sides on booleans *)
+        let rx = List.init mu (fun _ -> Fr.random st) in
+        let lhs = Ml.eval (Ml.of_evals mz) rx in
+        let weights = Ml.evals (Ml.eq_table rx) in
+        let folded = Sm.fold_rows m weights in
+        let rhs = ref Fr.zero in
+        Array.iteri (fun j v -> rhs := Fr.add !rhs (Fr.mul v z.(j))) folded;
+        check_bool "fold_rows consistent" true (Fr.equal lhs !rhs);
+        (* direct eval at boolean points matches entries *)
+        let ry = List.init nu (fun _ -> Fr.random st) in
+        let direct = Sm.eval m ~rx ~ry in
+        let via_fold =
+          let acc = ref Fr.zero in
+          Array.iteri
+            (fun j v ->
+              let bits = List.init nu (fun i -> if (j lsr (nu - 1 - i)) land 1 = 1 then Fr.one else Fr.zero) in
+              ignore bits;
+              acc := Fr.add !acc (Fr.mul v (Ml.eval (Ml.of_evals (Array.init (1 lsl nu) (fun jj -> if jj = j then Fr.one else Fr.zero))) ry)))
+            folded;
+          !acc
+        in
+        check_bool "eval consistent" true (Fr.equal direct via_fold)) ]
+
+(* ---------------- pedersen ---------------- *)
+
+let pedersen_tests =
+  [ Alcotest.test_case "commitments binding-ish and homomorphic" `Quick (fun () ->
+        let key = Pedersen.create_key 8 in
+        let v1 = Array.init 8 (fun _ -> Fr.random st) in
+        let v2 = Array.init 8 (fun _ -> Fr.random st) in
+        let b1 = Fr.random st and b2 = Fr.random st in
+        let c1 = Pedersen.commit key v1 ~blind:b1 in
+        let c2 = Pedersen.commit key v2 ~blind:b2 in
+        check_bool "distinct" false (G1.equal c1 c2);
+        (* homomorphism: C1 + C2 = commit(v1+v2; b1+b2) *)
+        let sum = Array.init 8 (fun i -> Fr.add v1.(i) v2.(i)) in
+        check_bool "homomorphic" true
+          (G1.equal (G1.add c1 c2) (Pedersen.commit key sum ~blind:(Fr.add b1 b2)));
+        (* check_fold accepts the honest fold and rejects a corrupted one *)
+        let weights = [| Fr.of_int 2; Fr.of_int 3 |] in
+        let folded = Array.init 8 (fun i -> Fr.add (Fr.mul weights.(0) v1.(i)) (Fr.mul weights.(1) v2.(i))) in
+        let blind = Fr.add (Fr.mul weights.(0) b1) (Fr.mul weights.(1) b2) in
+        check_bool "fold ok" true
+          (Pedersen.check_fold key ~commitments:[| c1; c2 |] ~weights ~folded ~blind);
+        folded.(0) <- Fr.add folded.(0) Fr.one;
+        check_bool "bad fold rejected" false
+          (Pedersen.check_fold key ~commitments:[| c1; c2 |] ~weights ~folded ~blind));
+    Alcotest.test_case "hash_to_point on curve and deterministic" `Quick (fun () ->
+        let p1 = Pedersen.hash_to_point "x" in
+        let p2 = Pedersen.hash_to_point "x" in
+        let p3 = Pedersen.hash_to_point "y" in
+        check_bool "on curve" true (G1.is_on_curve p1);
+        check_bool "deterministic" true (G1.equal p1 p2);
+        check_bool "seed-dependent" false (G1.equal p1 p3)) ]
+
+(* ---------------- inner-product argument ---------------- *)
+
+module Ipa = Zkvc_spartan.Ipa
+
+let ipa_tests =
+  [ Alcotest.test_case "complete" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let key = Pedersen.create_key n in
+            let a = Array.init n (fun _ -> Fr.random st) in
+            let b = Array.init n (fun _ -> Fr.random st) in
+            let c =
+              Array.to_list a |> List.mapi (fun i v -> Fr.mul v b.(i))
+              |> List.fold_left Fr.add Fr.zero
+            in
+            (* P = <a,G> + c·Q *)
+            let commitment =
+              G1.add
+                (Pedersen.commit key a ~blind:Fr.zero)
+                (G1.mul_fr Ipa.q_generator c)
+            in
+            let tr_p = T.create ~label:"ipa-test" in
+            let proof = Ipa.prove key tr_p ~a ~b in
+            let tr_v = T.create ~label:"ipa-test" in
+            check_bool
+              (Printf.sprintf "n=%d verifies" n)
+              true
+              (Ipa.verify key tr_v ~b ~commitment proof);
+            Alcotest.(check int)
+              (Printf.sprintf "n=%d proof points" n)
+              (2 * (proof.Ipa.ls |> Array.length))
+              (Array.length proof.Ipa.ls + Array.length proof.Ipa.rs))
+          [ 1; 2; 4; 8; 32 ]);
+    Alcotest.test_case "wrong inner product rejected" `Quick (fun () ->
+        let n = 8 in
+        let key = Pedersen.create_key n in
+        let a = Array.init n (fun _ -> Fr.random st) in
+        let b = Array.init n (fun _ -> Fr.random st) in
+        let c_bad = Fr.random st in
+        let commitment =
+          G1.add (Pedersen.commit key a ~blind:Fr.zero) (G1.mul_fr Ipa.q_generator c_bad)
+        in
+        let tr_p = T.create ~label:"ipa-test" in
+        let proof = Ipa.prove key tr_p ~a ~b in
+        let tr_v = T.create ~label:"ipa-test" in
+        check_bool "rejected" false (Ipa.verify key tr_v ~b ~commitment proof));
+    Alcotest.test_case "tampered round rejected" `Quick (fun () ->
+        let n = 8 in
+        let key = Pedersen.create_key n in
+        let a = Array.init n (fun _ -> Fr.random st) in
+        let b = Array.init n (fun _ -> Fr.random st) in
+        let c =
+          Array.to_list a |> List.mapi (fun i v -> Fr.mul v b.(i))
+          |> List.fold_left Fr.add Fr.zero
+        in
+        let commitment =
+          G1.add (Pedersen.commit key a ~blind:Fr.zero) (G1.mul_fr Ipa.q_generator c)
+        in
+        let tr_p = T.create ~label:"ipa-test" in
+        let proof = Ipa.prove key tr_p ~a ~b in
+        let bad = { proof with Ipa.ls = Array.copy proof.Ipa.ls } in
+        bad.Ipa.ls.(1) <- G1.double bad.Ipa.ls.(1);
+        let tr_v = T.create ~label:"ipa-test" in
+        check_bool "rejected" false (Ipa.verify key tr_v ~b ~commitment bad));
+    Alcotest.test_case "proof is logarithmic" `Quick (fun () ->
+        let prove_size n =
+          let key = Pedersen.create_key n in
+          let a = Array.init n (fun _ -> Fr.random st) in
+          let b = Array.init n (fun _ -> Fr.random st) in
+          let tr = T.create ~label:"ipa-test" in
+          Ipa.proof_size_bytes (Ipa.prove key tr ~a ~b)
+        in
+        (* doubling n adds exactly one round = 128 bytes *)
+        Alcotest.(check int) "log growth" (prove_size 16 + 128) (prove_size 32)) ]
+
+(* ---------------- end-to-end ---------------- *)
+
+let circuit n_muls =
+  let b = Bld.create () in
+  let x = Bld.alloc b (Fr.of_int 3) in
+  let acc = ref (L.of_var x) in
+  for _ = 1 to n_muls do
+    acc := L.of_var (G.mul b !acc (L.add (L.of_var x) (L.constant Fr.one)))
+  done;
+  let out = Bld.alloc_input b (Bld.eval b !acc) in
+  G.assert_equal b (L.of_var out) !acc;
+  Bld.finalize b
+
+let e2e_tests =
+  [ Alcotest.test_case "complete" `Quick (fun () ->
+        let cs, assignment = circuit 10 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let proof = Spartan.prove st key inst assignment in
+        let io = [ assignment.(1) ] in
+        check_bool "verifies" true (Spartan.verify key inst ~public_inputs:io proof);
+        check_bool "proof has positive size" true (Spartan.proof_size_bytes proof > 0));
+    Alcotest.test_case "wrong public input rejected" `Quick (fun () ->
+        let cs, assignment = circuit 10 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let proof = Spartan.prove st key inst assignment in
+        check_bool "reject" false
+          (Spartan.verify key inst ~public_inputs:[ Fr.of_int 1 ] proof));
+    Alcotest.test_case "unsatisfying witness rejected" `Quick (fun () ->
+        let cs, assignment = circuit 6 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let bad = Array.copy assignment in
+        bad.(2) <- Fr.add bad.(2) Fr.one;
+        let proof = Spartan.prove st key inst bad in
+        check_bool "reject" false
+          (Spartan.verify key inst ~public_inputs:[ assignment.(1) ] proof));
+    Alcotest.test_case "ipa opening mode" `Quick (fun () ->
+        let cs, assignment = circuit 12 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let io = [ assignment.(1) ] in
+        let p_fold = Spartan.prove st key inst assignment in
+        let p_ipa = Spartan.prove ~opening_mode:`Ipa st key inst assignment in
+        check_bool "fold verifies" true (Spartan.verify key inst ~public_inputs:io p_fold);
+        check_bool "ipa verifies" true (Spartan.verify key inst ~public_inputs:io p_ipa);
+        check_bool "ipa rejected on wrong io" false
+          (Spartan.verify key inst ~public_inputs:[ Fr.of_int 1 ] p_ipa);
+        Printf.printf "proof sizes: fold=%dB ipa=%dB\n"
+          (Spartan.proof_size_bytes p_fold) (Spartan.proof_size_bytes p_ipa));
+    Alcotest.test_case "ipa opening with bad witness rejected" `Quick (fun () ->
+        let cs, assignment = circuit 6 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let bad = Array.copy assignment in
+        bad.(2) <- Fr.add bad.(2) Fr.one;
+        let proof = Spartan.prove ~opening_mode:`Ipa st key inst bad in
+        check_bool "reject" false
+          (Spartan.verify key inst ~public_inputs:[ assignment.(1) ] proof));
+    Alcotest.test_case "proofs differ run to run (blinding)" `Quick (fun () ->
+        let cs, assignment = circuit 4 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let p1 = Spartan.prove st key inst assignment in
+        let p2 = Spartan.prove st key inst assignment in
+        check_bool "both verify" true
+          (Spartan.verify key inst ~public_inputs:[ assignment.(1) ] p1
+           && Spartan.verify key inst ~public_inputs:[ assignment.(1) ] p2);
+        check_bool "proof bytes differ" true (p1 <> p2)) ]
+
+let () =
+  Alcotest.run "zkvc_spartan"
+    [ ("sumcheck", sumcheck_tests);
+      ("sparse", sparse_tests);
+      ("pedersen", pedersen_tests);
+      ("ipa", ipa_tests);
+      ("e2e", e2e_tests) ]

@@ -1,0 +1,226 @@
+module Fr = Zkvc_field.Fr
+module Nl = Zkvc.Nonlinear
+module Q = Zkvc_nn.Quantize
+module Models = Zkvc_nn.Models
+module Ops = Zkvc_zkml.Ops
+module Lc = Zkvc_zkml.Layer_circuit.Make (Fr)
+module Compiler = Zkvc_zkml.Compiler
+module Cost = Zkvc_zkml.Cost_model
+module Pm = Zkvc_zkml.Prove_model
+module Bld = Zkvc_r1cs.Builder.Make (Fr)
+module Cs = Zkvc_r1cs.Constraint_system.Make (Fr)
+module Lin = Zkvc_r1cs.Lc.Make (Fr)
+module Mspec = Zkvc.Matmul_spec
+
+let st = Random.State.make [| 777 |]
+let cfg = Nl.default_config
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- gadget semantics vs quantized reference ---------------- *)
+
+let gadget_tests =
+  [ Alcotest.test_case "signed rescale matches fdiv" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let b = Bld.create () in
+            let x = Bld.alloc b (Fr.of_int v) in
+            let out = Lc.rescale b cfg (Lin.of_var x) in
+            let expect = Q.fdiv v (Nl.scale cfg) in
+            check_bool
+              (Printf.sprintf "rescale %d -> %d" v expect)
+              true
+              (Fr.equal (Bld.eval b out) (Fr.of_int expect));
+            let cs, assignment = Bld.finalize b in
+            Cs.check_satisfied cs assignment)
+          [ 0; 1; 255; 256; 1000; -1; -255; -256; -1000; 123456; -123456 ]);
+    Alcotest.test_case "isqrt gadget" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let b = Bld.create () in
+            let x = Bld.alloc b (Fr.of_int v) in
+            let r = Lc.isqrt b cfg (Lin.of_var x) in
+            check_bool (Printf.sprintf "isqrt %d" v) true
+              (Fr.equal (Bld.value b r) (Fr.of_int (Q.isqrt v)));
+            let cs, assignment = Bld.finalize b in
+            Cs.check_satisfied cs assignment)
+          [ 0; 1; 4; 10; 65535; 1000000 ]);
+    Alcotest.test_case "layernorm row matches reference" `Quick (fun () ->
+        let vals = [ 100; -250; 3000; 0; -1024; 777; 512; -90 ] in
+        let b = Bld.create () in
+        let xs = List.map (fun v -> Bld.alloc b (Fr.of_int v)) vals in
+        let outs = Lc.layernorm_row b cfg xs in
+        let m = Q.init 1 (List.length vals) (fun _ j -> List.nth vals j) in
+        let expect = Q.layernorm cfg m in
+        List.iteri
+          (fun j o ->
+            check_bool (Printf.sprintf "ln[%d]" j) true
+              (Fr.equal (Bld.eval b o) (Fr.of_int (Q.get expect 0 j))))
+          outs;
+        let cs, assignment = Bld.finalize b in
+        Cs.check_satisfied cs assignment);
+    Alcotest.test_case "softmax on signed scores matches reference" `Quick (fun () ->
+        let vals = [ -300; 150; 0; 720; -64 ] in
+        let b = Bld.create () in
+        let xs = List.map (fun v -> Bld.alloc b (Fr.of_int v)) vals in
+        let outs = Lc.softmax_row b cfg xs in
+        let expect = Nl.Reference.softmax cfg (Array.of_list vals) in
+        List.iteri
+          (fun j o ->
+            check_bool (Printf.sprintf "softmax[%d]" j) true
+              (Fr.equal (Bld.value b o) (Fr.of_int expect.(j))))
+          outs;
+        let cs, assignment = Bld.finalize b in
+        Cs.check_satisfied cs assignment);
+    Alcotest.test_case "mean pool matches reference" `Quick (fun () ->
+        let vals = [ 10; -20; 35; 7 ] in
+        let b = Bld.create () in
+        let xs = List.map (fun v -> Bld.alloc b (Fr.of_int v)) vals in
+        let out = Lc.mean_pool b cfg xs in
+        check_bool "mean" true (Fr.equal (Bld.eval b out) (Fr.of_int (Q.fdiv 32 4)));
+        let cs, assignment = Bld.finalize b in
+        Cs.check_satisfied cs assignment) ]
+
+(* ---------------- counting correctness ---------------- *)
+
+let count_matches op =
+  let direct =
+    let b = Bld.create () in
+    Lc.build_op b cfg op;
+    let cs, assignment = Bld.finalize b in
+    Cs.check_satisfied cs assignment;
+    { Ops.constraints = Cs.num_constraints cs; variables = Cs.num_vars cs }
+  in
+  let predicted = Lc.count cfg op in
+  (direct, predicted)
+
+let counting_tests =
+  [ Alcotest.test_case "affine extrapolation is exact" `Quick (fun () ->
+        List.iter
+          (fun op ->
+            let direct, predicted = count_matches op in
+            check_int
+              (Format.asprintf "constraints %a" Ops.pp op)
+              direct.Ops.constraints predicted.Ops.constraints;
+            check_int
+              (Format.asprintf "variables %a" Ops.pp op)
+              direct.Ops.variables predicted.Ops.variables)
+          [ Ops.Op_rescale 7;
+            Ops.Op_gelu 5;
+            Ops.Op_softmax { rows = 3; len = 6 };
+            Ops.Op_layernorm { rows = 2; cols = 9 };
+            Ops.Op_mean_pool { out_elems = 4; window = 5 };
+            Ops.Op_matmul (Mspec.dims ~a:3 ~n:4 ~b:5) ]);
+    Alcotest.test_case "matmul count honours strategy" `Quick (fun () ->
+        let d = Mspec.dims ~a:4 ~n:6 ~b:4 in
+        List.iter
+          (fun strategy ->
+            let direct =
+              let b = Bld.create () in
+              Lc.build_op ~strategy b cfg (Ops.Op_matmul d);
+              let cs, _ = Bld.finalize b in
+              Cs.num_constraints cs
+            in
+            check_int
+              (Zkvc.Matmul_circuit.strategy_name strategy)
+              direct
+              (Lc.count ~strategy cfg (Ops.Op_matmul d)).Ops.constraints)
+          Zkvc.Matmul_circuit.all_strategies) ]
+
+(* ---------------- compiler ---------------- *)
+
+let compiler_tests =
+  [ Alcotest.test_case "compiles every arch x variant" `Quick (fun () ->
+        List.iter
+          (fun arch ->
+            List.iter
+              (fun variant ->
+                let layers = Compiler.compile arch variant in
+                check_bool "has layers" true (List.length layers > 2))
+              [ Models.Soft_approx; Models.Soft_free_s; Models.Soft_free_p;
+                Models.Soft_free_l; Models.Zkvc_hybrid ])
+          Models.all_archs);
+    Alcotest.test_case "variant cost ordering matches the paper" `Quick (fun () ->
+        (* Table III shape: P < zkVC < S < SoftApprox on CIFAR-10 *)
+        let total v =
+          (Compiler.total_counts cfg (Compiler.compile Models.vit_cifar10 v)).Ops.constraints
+        in
+        let p = total Models.Soft_free_p
+        and s = total Models.Soft_free_s
+        and approx = total Models.Soft_approx
+        and hybrid = total Models.Zkvc_hybrid in
+        check_bool "pooling cheapest" true (p < s && p < approx && p < hybrid);
+        check_bool "softapprox most expensive" true (approx > s && approx > hybrid);
+        check_bool "hybrid between pooling and softapprox" true (p < hybrid && hybrid < approx));
+    Alcotest.test_case "nlp ordering matches Table IV" `Quick (fun () ->
+        (* L < zkVC < S < SoftApprox *)
+        let total v =
+          (Compiler.total_counts cfg (Compiler.compile Models.bert_glue v)).Ops.constraints
+        in
+        let l = total Models.Soft_free_l
+        and s = total Models.Soft_free_s
+        and approx = total Models.Soft_approx
+        and hybrid = total Models.Zkvc_hybrid in
+        check_bool "linear cheapest" true (l < s && l < approx);
+        check_bool "hybrid between linear and scaling" true (l < hybrid && hybrid < s);
+        check_bool "softapprox most expensive" true (approx > s));
+    Alcotest.test_case "CRPC shrinks the matmul share" `Quick (fun () ->
+        let layers = Compiler.compile Models.vit_cifar10 Models.Soft_approx in
+        let mm_vanilla, other_v =
+          Compiler.matmul_split ~strategy:Zkvc.Matmul_circuit.Vanilla cfg layers
+        in
+        let mm_crpc, other_c =
+          Compiler.matmul_split ~strategy:Zkvc.Matmul_circuit.Crpc_psq cfg layers
+        in
+        check_int "non-matmul unchanged" other_v other_c;
+        check_bool "matmul constraints collapse under CRPC" true
+          (mm_crpc * 100 < mm_vanilla);
+        check_bool "vanilla matmul dominates" true (mm_vanilla > other_v)) ]
+
+(* ---------------- real proving of ops and layers ---------------- *)
+
+let proving_tests =
+  [ Alcotest.test_case "prove_op on both backends" `Slow (fun () ->
+        List.iter
+          (fun backend ->
+            let nc, t_prove, _t_verify, bytes =
+              Pm.prove_op backend cfg (Ops.Op_softmax { rows = 1; len = 4 })
+            in
+            check_bool "has constraints" true (nc > 50);
+            check_bool "positive time" true (t_prove > 0.);
+            check_bool "proof bytes" true (bytes > 0))
+          [ Cost.Backend_groth16; Cost.Backend_spartan ]);
+    Alcotest.test_case "linear layer circuit matches quantized reference" `Slow (fun () ->
+        let d = Mspec.dims ~a:3 ~n:4 ~b:2 in
+        let x = Array.init 3 (fun _ -> Array.init 4 (fun _ -> Random.State.int st 512 - 256)) in
+        let w = Array.init 4 (fun _ -> Array.init 2 (fun _ -> Random.State.int st 512 - 256)) in
+        let cs, assignment, out_values = Pm.linear_layer_circuit cfg ~x ~w d in
+        Cs.check_satisfied cs assignment;
+        let qx = Q.init 3 4 (fun i j -> x.(i).(j)) in
+        let qw = Q.init 4 2 (fun i j -> w.(i).(j)) in
+        let expect = Q.matmul_rescale cfg qx qw in
+        Array.iteri
+          (fun i row ->
+            Array.iteri
+              (fun j v ->
+                check_bool
+                  (Printf.sprintf "out[%d][%d]" i j)
+                  true
+                  (Fr.equal v (Fr.of_int (Q.get expect i j))))
+              row)
+          out_values);
+    Alcotest.test_case "calibration predicts within 4x on held-out size" `Slow (fun () ->
+        let calib = Cost.calibrate ~n1:256 ~n2:1024 Cost.Backend_spartan in
+        let actual = Cost.measure_prove Cost.Backend_spartan 2048 in
+        let predicted = Cost.estimate calib 2048 in
+        check_bool
+          (Printf.sprintf "predicted %.3f vs actual %.3f" predicted actual)
+          true
+          (predicted < 4. *. actual && actual < 4. *. Stdlib.max predicted 1e-6)) ]
+
+let () =
+  Alcotest.run "zkvc_zkml"
+    [ ("gadgets", gadget_tests);
+      ("counting", counting_tests);
+      ("compiler", compiler_tests);
+      ("proving", proving_tests) ]

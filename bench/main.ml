@@ -10,10 +10,12 @@
      abl   design-choice ablations called out in DESIGN.md
      micro substrate micro-benchmarks (Bechamel)
 
-   Usage: main.exe [--full] [--only SECTIONS] [--scale N]
+   Usage: main.exe [--full] [--only SECTIONS] [--scale N] [--json FILE]
      --full       run matmul benches at the paper's dimensions (slow)
      --scale N    divide matmul dimensions by N (default 4; 1 = paper size)
      --only ...   comma-separated subset of {tab1,fig3,fig6,tab2,tab3,tab4,abl,micro}
+     --json FILE  also write every matmul measurement as a machine-readable
+                  JSON report (perf trajectory for future PRs)
 
    Absolute times differ from the paper (single-threaded OCaml vs a
    16-core Threadripper running libsnark/Rust); all claims are about the
@@ -33,6 +35,8 @@ module Cost = Zkvc_zkml.Cost_model
 module Pm = Zkvc_zkml.Prove_model
 module Ops = Zkvc_zkml.Ops
 module Nl = Zkvc.Nonlinear
+module Obs = Zkvc_obs
+module Json = Zkvc_obs.Json
 
 let cfg = Nl.default_config
 let rng = Random.State.make [| 0xbe; 0xc4 |]
@@ -43,6 +47,15 @@ let rng = Random.State.make [| 0xbe; 0xc4 |]
 let full = ref false
 let scale = ref 4
 let only : string list ref = ref []
+let json_file : string option ref = ref None
+
+let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "abl"; "micro" ]
+
+let usage_error msg =
+  Printf.eprintf "bench: %s\n" msg;
+  Printf.eprintf
+    "usage: main.exe [--full] [--scale N] [--only SECTIONS] [--json FILE]\n";
+  exit 2
 
 let () =
   let rec parse = function
@@ -52,16 +65,81 @@ let () =
       scale := 1;
       parse rest
     | "--scale" :: n :: rest ->
-      scale := int_of_string n;
+      (match int_of_string_opt n with
+       | Some s when s >= 1 -> scale := s
+       | Some s -> usage_error (Printf.sprintf "--scale must be >= 1, got %d" s)
+       | None -> usage_error (Printf.sprintf "--scale expects an integer, got %S" n));
       parse rest
+    | [ "--scale" ] -> usage_error "--scale expects an argument"
     | "--only" :: s :: rest ->
-      only := String.split_on_char ',' s;
+      let sections = String.split_on_char ',' s in
+      List.iter
+        (fun sec ->
+          if not (List.mem sec valid_sections) then
+            usage_error
+              (Printf.sprintf "unknown --only section %S (valid: %s)" sec
+                 (String.concat ", " valid_sections)))
+        sections;
+      only := sections;
       parse rest
-    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+    | [ "--only" ] -> usage_error "--only expects an argument"
+    | "--json" :: f :: rest ->
+      json_file := Some f;
+      parse rest
+    | [ "--json" ] -> usage_error "--json expects an argument"
+    | arg :: _ -> usage_error ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv))
 
 let enabled section = !only = [] || List.mem section !only
+
+(* rows of the machine-readable report, newest last *)
+let json_results : Json.t list ref = ref []
+
+let record_measurement ~section ~scheme (m : Api.measurement) =
+  if !json_file <> None then
+    json_results :=
+      Json.Obj
+        [ ("section", Json.String section);
+          ("scheme", Json.String scheme);
+          ("strategy", Json.String (Mc.strategy_name m.Api.strategy));
+          ("backend", Json.String (Api.backend_name m.Api.backend));
+          ( "dims",
+            Json.Obj
+              [ ("a", Json.Int m.Api.dims.Mspec.a);
+                ("n", Json.Int m.Api.dims.Mspec.n);
+                ("b", Json.Int m.Api.dims.Mspec.b) ] );
+          ("constraints", Json.Int m.Api.constraints);
+          ("variables", Json.Int m.Api.variables);
+          ("nonzero_a", Json.Int m.Api.nonzero_a);
+          ("proof_bytes", Json.Int m.Api.proof_bytes);
+          ("setup_s", Json.Float m.Api.timings.Api.setup_s);
+          ("prove_s", Json.Float m.Api.timings.Api.prove_s);
+          ("verify_s", Json.Float m.Api.timings.Api.verify_s) ]
+      :: !json_results
+
+let write_json_report () =
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    let report =
+      Json.Obj
+        [ ("schema", Json.String "zkvc-bench/1");
+          ("scale", Json.Int !scale);
+          ("full", Json.Bool !full);
+          ( "sections",
+            Json.List
+              (List.map
+                 (fun s -> Json.String s)
+                 (if !only = [] then valid_sections else !only)) );
+          ("results", Json.List (List.rev !json_results)) ]
+    in
+    (try Obs.Export.write_file file (Json.to_string_pretty report)
+     with Sys_error msg ->
+       Printf.eprintf "bench: cannot write json report: %s\n" msg;
+       exit 1);
+    Printf.printf "json report: %d measurement(s) written to %s\n"
+      (List.length !json_results) file
 
 let header title =
   Printf.printf "\n======================================================================\n";
@@ -102,9 +180,10 @@ let run_tab1 () =
 (* ------------------------------------------------------------------ *)
 (* Figure 3 + Table II share matmul measurements                        *)
 
-let measure backend strategy d inst =
+let measure ?(section = "") ?(scheme = "") backend strategy d inst =
   let x, w = inst in
   let _proof, m = Api.run ~rng backend strategy ~x ~w d in
+  if section <> "" then record_measurement ~section ~scheme m;
   m
 
 let run_fig3 () =
@@ -115,10 +194,10 @@ let run_fig3 () =
        Mspec.pp_dims d
        (if !scale = 1 then "" else Printf.sprintf ", scaled 1/%d" !scale));
   let inst = random_instance d in
-  let g_vanilla = measure Api.Backend_groth16 Mc.Vanilla d inst in
-  let g_zkvc = measure Api.Backend_groth16 Mc.Crpc_psq d inst in
-  let s_vanilla = measure Api.Backend_spartan Mc.Vanilla d inst in
-  let s_zkvc = measure Api.Backend_spartan Mc.Crpc_psq d inst in
+  let g_vanilla = measure ~section:"fig3" ~scheme:"groth16" Api.Backend_groth16 Mc.Vanilla d inst in
+  let g_zkvc = measure ~section:"fig3" ~scheme:"zkVC-G" Api.Backend_groth16 Mc.Crpc_psq d inst in
+  let s_vanilla = measure ~section:"fig3" ~scheme:"Spartan" Api.Backend_spartan Mc.Vanilla d inst in
+  let s_zkvc = measure ~section:"fig3" ~scheme:"zkVC-S" Api.Backend_spartan Mc.Crpc_psq d inst in
   Printf.printf "%-14s %12s %12s %10s\n" "scheme" "prove(s)" "vs-groth16" "source";
   let base = g_vanilla.Api.timings.Api.prove_s in
   let row name t emulated =
@@ -168,7 +247,7 @@ let run_fig6 () =
       in
       List.iter
         (fun (name, backend, strategy) ->
-          let m = measure backend strategy d inst in
+          let m = measure ~section:"fig6" ~scheme:name backend strategy d inst in
           (* non-interactive: the verifier's only online work is [verify] *)
           Printf.printf "%-10d %-14s %10.3f %10.4f %10d %12.4f\n%!" d2 name
             m.Api.timings.Api.prove_s m.Api.timings.Api.verify_s m.Api.proof_bytes
@@ -202,8 +281,8 @@ let run_tab2 () =
   let results =
     List.map
       (fun (crpc, psq, strategy) ->
-        let g = measure Api.Backend_groth16 strategy d inst in
-        let s = measure Api.Backend_spartan strategy d inst in
+        let g = measure ~section:"tab2" ~scheme:"zkVC-G" Api.Backend_groth16 strategy d inst in
+        let s = measure ~section:"tab2" ~scheme:"zkVC-S" Api.Backend_spartan strategy d inst in
         Printf.printf "%-6s %-6s | %12.3f %12.4f | %12.3f %12.4f | %12d %9d\n%!"
           (if crpc then "yes" else "no")
           (if psq then "yes" else "no")
@@ -487,4 +566,5 @@ let () =
   if enabled "tab4" then run_tab4 ();
   if enabled "abl" then run_ablations ();
   if enabled "micro" then run_micro ();
+  write_json_report ();
   Printf.printf "\nbench complete.\n"

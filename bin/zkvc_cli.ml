@@ -2,6 +2,7 @@
 
    $ zkvc_cli count  --dims 49,64,128 --strategy crpc+psq
    $ zkvc_cli prove  --dims 8,8,16 --strategy crpc+psq --backend spartan
+   $ zkvc_cli prove  --dims 8,8,16 --backend groth16 --trace t.json --metrics
    $ zkvc_cli model  --arch cifar10 --variant zkvc
 *)
 
@@ -13,6 +14,7 @@ module Spec = Mspec.Make (Fr)
 module Models = Zkvc_nn.Models
 module Compiler = Zkvc_zkml.Compiler
 module Ops = Zkvc_zkml.Ops
+module Obs = Zkvc_obs
 
 open Cmdliner
 
@@ -94,17 +96,55 @@ let prove_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run d strategy backend seed =
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record hierarchical spans and write a Chrome trace_event \
+                   JSON file (open in chrome://tracing or ui.perfetto.dev).")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Record prover metrics (field mults, MSM sizes, NTT sizes, \
+                   sumcheck rounds, R1CS shape) and print them with the span tree.")
+  in
+  let run d strategy backend seed trace metrics =
     let rng = Random.State.make [| seed |] in
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+    let observing = trace <> None || metrics in
+    if observing then begin
+      Obs.Span.set_clock Unix.gettimeofday;
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.Sink.enable ()
+    end;
     let _proof, m = Api.run ~rng backend strategy ~x ~w d in
+    if observing then Obs.Sink.disable ();
     Format.printf "%a@." Api.pp_measurement m;
+    (match trace with
+     | Some file ->
+       (try
+          Obs.Export.write_chrome_trace file (Obs.Span.roots ());
+          Printf.printf "trace: %d spans written to %s\n"
+            (List.length (String.split_on_char '\n' (Obs.Export.to_jsonl (Obs.Span.roots ()))) - 1)
+            file
+        with Sys_error msg ->
+          Printf.eprintf "zkvc_cli: cannot write trace: %s\n" msg;
+          exit 1)
+     | None -> ());
+    if metrics then begin
+      print_newline ();
+      print_string (Obs.Export.tree_to_string (Obs.Span.roots ()));
+      print_newline ();
+      print_string (Obs.Metrics.to_string ())
+    end;
     0
   in
   let doc = "Prove a random matmul instance and verify it (prints timings)." in
   Cmd.v (Cmd.info "prove" ~doc)
-    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg)
+    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---- model ---- *)
 

@@ -37,10 +37,24 @@ type proof =
   | Groth16_proof of Groth16.proof
   | Spartan_proof of Spartan.proof
 
+module Obs = Zkvc_obs
+
 let time f =
   let t0 = Sys.time () in
   let r = f () in
   (r, Sys.time () -. t0)
+
+(* When the observability sink is recording, phase durations are read back
+   from the span just closed, so the measurement record and any exported
+   trace agree exactly; otherwise fall back to a plain clock delta. *)
+let timed name f =
+  if Obs.Span.recording () then begin
+    let r = Obs.Span.with_span name f in
+    match Obs.Span.last_completed () with
+    | Some s -> (r, Obs.Span.duration_s s)
+    | None -> (r, 0.)
+  end
+  else time f
 
 (** Build the matmul circuit for the given strategy. For CRPC strategies
     the challenge is derived by Fiat–Shamir from X, W and Y (commit-then-
@@ -60,7 +74,9 @@ let build_circuit strategy ~x ~w d =
     The Groth16 setup time is reported separately and — like the paper —
     excluded from proving time. *)
 let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
-  let (cs, assignment, _y), _build_time = time (fun () -> build_circuit strategy ~x ~w d) in
+  let (cs, assignment, _y), _build_time =
+    timed "zkvc.build_circuit" (fun () -> build_circuit strategy ~x ~w d)
+  in
   let stats = Cs.stats cs in
   let public_inputs =
     Array.to_list (Array.sub assignment 1 (Cs.num_inputs cs))
@@ -68,20 +84,26 @@ let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
   let proof, proof_bytes, timings =
     match backend with
     | Backend_groth16 ->
-      let qap, t_qap = time (fun () -> Qap.create cs) in
-      let (pk, vk), t_setup = time (fun () -> Groth16.setup rng qap) in
-      let proof, t_prove = time (fun () -> Groth16.prove rng pk qap assignment) in
-      let ok, t_verify = time (fun () -> Groth16.verify vk ~public_inputs proof) in
+      let qap, t_qap = timed "groth16.qap" (fun () -> Qap.create cs) in
+      let (pk, vk), t_setup = timed "groth16.setup" (fun () -> Groth16.setup rng qap) in
+      let proof, t_prove =
+        timed "groth16.prove" (fun () -> Groth16.prove rng pk qap assignment)
+      in
+      let ok, t_verify =
+        timed "groth16.verify" (fun () -> Groth16.verify vk ~public_inputs proof)
+      in
       if not ok then failwith "zkvc: groth16 proof failed to verify";
       ( Groth16_proof proof,
         Groth16.proof_size_bytes proof,
         { setup_s = t_qap +. t_setup; prove_s = t_prove; verify_s = t_verify } )
     | Backend_spartan ->
-      let inst, t_pre = time (fun () -> Spartan.preprocess cs) in
-      let key, t_key = time (fun () -> Spartan.setup inst) in
-      let proof, t_prove = time (fun () -> Spartan.prove rng key inst assignment) in
+      let inst, t_pre = timed "spartan.preprocess" (fun () -> Spartan.preprocess cs) in
+      let key, t_key = timed "spartan.setup" (fun () -> Spartan.setup inst) in
+      let proof, t_prove =
+        timed "spartan.prove" (fun () -> Spartan.prove rng key inst assignment)
+      in
       let ok, t_verify =
-        time (fun () -> Spartan.verify key inst ~public_inputs proof)
+        timed "spartan.verify" (fun () -> Spartan.verify key inst ~public_inputs proof)
       in
       if not ok then failwith "zkvc: spartan proof failed to verify";
       ( Spartan_proof proof,

@@ -5,6 +5,13 @@
 
 module Bigint = Zkvc_num.Bigint
 module Fr = Zkvc_field.Fr
+module Metrics = Zkvc_obs.Metrics
+
+(* Shared across group instantiations (G1, G2): how many MSMs ran, their
+   input sizes and the Pippenger window widths chosen for them. *)
+let msm_calls = Metrics.counter "msm.calls"
+let msm_size = Metrics.histogram "msm.size"
+let msm_window = Metrics.histogram "msm.window_bits"
 
 module type Group = sig
   type t
@@ -42,6 +49,9 @@ module Make (G : Group) = struct
     if n = 0 then G.zero
     else begin
       let c = window_bits n in
+      Metrics.incr msm_calls;
+      Metrics.observe_int msm_size n;
+      Metrics.observe_int msm_window c;
       let nwin = (scalar_bits + c - 1) / c in
       let result = ref G.zero in
       for w = nwin - 1 downto 0 do

@@ -1,5 +1,11 @@
 module Bigint = Zkvc_num.Bigint
 
+(* One shared counter across all field instantiations (Fr, Fq, Fsmall):
+   total Montgomery multiplications — the innermost prover cost unit. The
+   hot path hoists the sink flag so the disabled cost is a load + branch. *)
+let mul_metric = Zkvc_obs.Metrics.counter "field.mont_mul"
+let obs_on = Zkvc_obs.Sink.enabled
+
 let limb_bits = 26
 let limb_base = 1 lsl limb_bits
 let limb_mask = limb_base - 1
@@ -65,6 +71,7 @@ end) : Field_intf.S = struct
 
   (* CIOS Montgomery multiplication (Koç–Acar–Kaliski). *)
   let mont_mul a b =
+    if !obs_on then mul_metric.Zkvc_obs.Metrics.value <- mul_metric.Zkvc_obs.Metrics.value + 1;
     let t = Array.make (k + 2) 0 in
     for i = 0 to k - 1 do
       let ai = a.(i) in

@@ -10,6 +10,7 @@ module Msm_g1 = Zkvc_curve.Msm.Make (G1)
 module Msm_g2 = Zkvc_curve.Msm.Make (G2)
 module Fb_g1 = Zkvc_curve.Fixed_base.Make (G1)
 module Fb_g2 = Zkvc_curve.Fixed_base.Make (G2)
+module Span = Zkvc_obs.Span
 
 type proving_key =
   { alpha_g1 : G1.t;
@@ -73,20 +74,25 @@ let verifying_key_size_bytes vk =
 let rec nonzero st = let x = Fr.random st in if Fr.is_zero x then nonzero st else x
 
 let setup st qap =
-  let rec sample_tau () =
-    let tau = nonzero st in
-    match Qap.evaluate_at qap tau with
-    | ev -> (tau, ev)
-    | exception Invalid_argument _ -> sample_tau ()
+  let _tau, ev =
+    Span.with_span "setup.qap_eval" (fun () ->
+        let rec sample_tau () =
+          let tau = nonzero st in
+          match Qap.evaluate_at qap tau with
+          | ev -> (tau, ev)
+          | exception Invalid_argument _ -> sample_tau ()
+        in
+        sample_tau ())
   in
-  let _tau, ev = sample_tau () in
   let alpha = nonzero st
   and beta = nonzero st
   and gamma = nonzero st
   and delta = nonzero st in
   let gamma_inv = Fr.inv gamma and delta_inv = Fr.inv delta in
-  let t1 = Fb_g1.create G1.generator in
-  let t2 = Fb_g2.create G2.generator in
+  let t1, t2 =
+    Span.with_span "setup.fixed_base_tables" (fun () ->
+        (Fb_g1.create G1.generator, Fb_g2.create G2.generator))
+  in
   let g1 = Fb_g1.mul t1 and g2 = Fb_g2.mul t2 in
   let nv = Qap.num_vars qap in
   let ni = Qap.num_inputs qap in
@@ -94,51 +100,57 @@ let setup st qap =
     Fr.add (Fr.add (Fr.mul beta ev.Qap.a_at.(j)) (Fr.mul alpha ev.Qap.b_at.(j))) ev.Qap.c_at.(j)
   in
   let pk =
-    { alpha_g1 = g1 alpha;
-      beta_g1 = g1 beta;
-      beta_g2 = g2 beta;
-      delta_g1 = g1 delta;
-      delta_g2 = g2 delta;
-      a_query = Array.init nv (fun j -> g1 ev.Qap.a_at.(j));
-      b_g1_query = Array.init nv (fun j -> g1 ev.Qap.b_at.(j));
-      b_g2_query = Array.init nv (fun j -> g2 ev.Qap.b_at.(j));
-      h_query =
-        Array.map (fun tp -> g1 (Fr.mul (Fr.mul tp ev.Qap.z_at) delta_inv)) ev.Qap.tau_powers;
-      l_query =
-        Array.init (nv - ni - 1) (fun k ->
-            g1 (Fr.mul (beta_a_alpha_b_c (ni + 1 + k)) delta_inv)) }
+    Span.with_span "setup.pk_queries" (fun () ->
+        { alpha_g1 = g1 alpha;
+          beta_g1 = g1 beta;
+          beta_g2 = g2 beta;
+          delta_g1 = g1 delta;
+          delta_g2 = g2 delta;
+          a_query = Array.init nv (fun j -> g1 ev.Qap.a_at.(j));
+          b_g1_query = Array.init nv (fun j -> g1 ev.Qap.b_at.(j));
+          b_g2_query = Array.init nv (fun j -> g2 ev.Qap.b_at.(j));
+          h_query =
+            Array.map
+              (fun tp -> g1 (Fr.mul (Fr.mul tp ev.Qap.z_at) delta_inv))
+              ev.Qap.tau_powers;
+          l_query =
+            Array.init (nv - ni - 1) (fun k ->
+                g1 (Fr.mul (beta_a_alpha_b_c (ni + 1 + k)) delta_inv)) })
   in
   let vk =
-    { vk_alpha_g1 = pk.alpha_g1;
-      vk_beta_g2 = pk.beta_g2;
-      vk_gamma_g2 = g2 gamma;
-      vk_delta_g2 = pk.delta_g2;
-      vk_ic = Array.init (ni + 1) (fun j -> g1 (Fr.mul (beta_a_alpha_b_c j) gamma_inv)) }
+    Span.with_span "setup.vk_ic" (fun () ->
+        { vk_alpha_g1 = pk.alpha_g1;
+          vk_beta_g2 = pk.beta_g2;
+          vk_gamma_g2 = g2 gamma;
+          vk_delta_g2 = pk.delta_g2;
+          vk_ic = Array.init (ni + 1) (fun j -> g1 (Fr.mul (beta_a_alpha_b_c j) gamma_inv)) })
   in
   (pk, vk)
 
+(* The per-phase spans below mirror the paper's prover cost model: one
+   witness-quotient computation (coset NTTs) and five MSMs. *)
 let prove st pk qap assignment =
   let nv = Qap.num_vars qap in
   if Array.length assignment <> nv then invalid_arg "Groth16.prove: assignment length";
   let ni = Qap.num_inputs qap in
   let r = Fr.random st and s = Fr.random st in
-  let h = Qap.h_coeffs qap assignment in
-  let a =
-    G1.add pk.alpha_g1
-      (G1.add (Msm_g1.msm pk.a_query assignment) (G1.mul_fr pk.delta_g1 r))
+  let h = Span.with_span "prove.h_coeffs" (fun () -> Qap.h_coeffs qap assignment) in
+  let msm_a =
+    Span.with_span "prove.msm_a" (fun () -> Msm_g1.msm pk.a_query assignment)
   in
-  let b2 =
-    G2.add pk.beta_g2
-      (G2.add (Msm_g2.msm pk.b_g2_query assignment) (G2.mul_fr pk.delta_g2 s))
+  let a = G1.add pk.alpha_g1 (G1.add msm_a (G1.mul_fr pk.delta_g1 r)) in
+  let msm_b2 =
+    Span.with_span "prove.msm_b_g2" (fun () -> Msm_g2.msm pk.b_g2_query assignment)
   in
-  let b1 =
-    G1.add pk.beta_g1
-      (G1.add (Msm_g1.msm pk.b_g1_query assignment) (G1.mul_fr pk.delta_g1 s))
+  let b2 = G2.add pk.beta_g2 (G2.add msm_b2 (G2.mul_fr pk.delta_g2 s)) in
+  let msm_b1 =
+    Span.with_span "prove.msm_b_g1" (fun () -> Msm_g1.msm pk.b_g1_query assignment)
   in
+  let b1 = G1.add pk.beta_g1 (G1.add msm_b1 (G1.mul_fr pk.delta_g1 s)) in
   let aux = Array.sub assignment (ni + 1) (nv - ni - 1) in
   let c =
-    let l_part = Msm_g1.msm pk.l_query aux in
-    let h_part = Msm_g1.msm pk.h_query h in
+    let l_part = Span.with_span "prove.msm_l" (fun () -> Msm_g1.msm pk.l_query aux) in
+    let h_part = Span.with_span "prove.msm_h" (fun () -> Msm_g1.msm pk.h_query h) in
     G1.add
       (G1.add l_part h_part)
       (G1.add
@@ -195,12 +207,14 @@ let verify vk ~public_inputs proof =
   else begin
     (* e(A,B) = e(alpha,beta) · e(ic,gamma) · e(C,delta)  ⇔
        e(-A,B) · e(alpha,beta) · e(ic,gamma) · e(C,delta) = 1 *)
+    let ic = Span.with_span "verify.ic_sum" (fun () -> ic_sum vk public_inputs) in
     let check =
-      Pairing.multi_pairing
-        [ (G1.neg proof.a, proof.b);
-          (vk.vk_alpha_g1, vk.vk_beta_g2);
-          (ic_sum vk public_inputs, vk.vk_gamma_g2);
-          (proof.c, vk.vk_delta_g2) ]
+      Span.with_span "verify.pairing" (fun () ->
+          Pairing.multi_pairing
+            [ (G1.neg proof.a, proof.b);
+              (vk.vk_alpha_g1, vk.vk_beta_g2);
+              (ic, vk.vk_gamma_g2);
+              (proof.c, vk.vk_delta_g2) ])
     in
     Fq12.is_one check
   end

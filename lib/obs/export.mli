@@ -1,0 +1,20 @@
+(** Exporters for recorded spans.
+
+    - {!tree_to_string}: indented human-readable tree with per-span
+      duration and allocation;
+    - {!to_jsonl}: one JSON object per span, pre-order, with [path] and
+      [depth] fields;
+    - {!to_chrome_trace}: Chrome [trace_event] JSON ("X" complete events,
+      microsecond timestamps) loadable in chrome://tracing or Perfetto. *)
+
+val tree_to_string : Span.t list -> string
+
+val to_jsonl : Span.t list -> string
+
+val to_chrome_trace : Span.t list -> Json.t
+
+(** Write [contents] to [path], truncating. *)
+val write_file : string -> string -> unit
+
+(** [write_chrome_trace path spans] = compact {!to_chrome_trace} to a file. *)
+val write_chrome_trace : string -> Span.t list -> unit

@@ -1,0 +1,280 @@
+(* Minimal self-contained JSON: just enough for the exporters and the
+   bench report, with a parser so tests can round-trip what we emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s -> escape_string b s
+  | List l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b v)
+      l;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        emit b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b v;
+  Buffer.contents b
+
+let rec emit_pretty b indent = function
+  | List (_ :: _ as l) ->
+    let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad';
+        emit_pretty b (indent + 2) v)
+      l;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b ']'
+  | Obj (_ :: _ as kvs) ->
+    let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad';
+        escape_string b k;
+        Buffer.add_string b ": ";
+        emit_pretty b (indent + 2) v)
+      kvs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b '}'
+  | v -> emit b v
+
+let to_string_pretty v =
+  let b = Buffer.create 256 in
+  emit_pretty b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parsing (recursive descent)                                         *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c = c' -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st ("expected " ^ word)
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+       | Some '"' -> Buffer.add_char b '"'; st.pos <- st.pos + 1
+       | Some '\\' -> Buffer.add_char b '\\'; st.pos <- st.pos + 1
+       | Some '/' -> Buffer.add_char b '/'; st.pos <- st.pos + 1
+       | Some 'n' -> Buffer.add_char b '\n'; st.pos <- st.pos + 1
+       | Some 'r' -> Buffer.add_char b '\r'; st.pos <- st.pos + 1
+       | Some 't' -> Buffer.add_char b '\t'; st.pos <- st.pos + 1
+       | Some 'b' -> Buffer.add_char b '\b'; st.pos <- st.pos + 1
+       | Some 'f' -> Buffer.add_char b '\012'; st.pos <- st.pos + 1
+       | Some 'u' ->
+         if st.pos + 5 > String.length st.src then fail st "truncated \\u escape";
+         let hex = String.sub st.src (st.pos + 1) 4 in
+         let code =
+           try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape"
+         in
+         (* we only emit \u for control characters; decode the BMP subset
+            we could ever see back to bytes (ASCII range) *)
+         if code < 0x80 then Buffer.add_char b (Char.chr code)
+         else begin
+           (* minimal UTF-8 encoding for completeness *)
+           if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         end;
+         st.pos <- st.pos + 5
+       | _ -> fail st "bad escape");
+      go ()
+    | Some c -> Buffer.add_char b c; st.pos <- st.pos + 1; go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> st.pos <- st.pos + 1
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      st.pos <- st.pos + 1
+    | _ -> continue := false
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st "bad float literal"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt text with
+       | Some f -> Float f
+       | None -> fail st "bad number literal")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin st.pos <- st.pos + 1; List [] end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        items := parse_value st :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; go ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or ']'"
+      in
+      go ();
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin st.pos <- st.pos + 1; Obj [] end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        items := (k, v) :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; go ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !items)
+    end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then Error "trailing data after JSON value"
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with Ok v -> v | Error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* accessors used by tests and the bench report                        *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None
+
+let to_number_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -1,0 +1,27 @@
+(** Minimal self-contained JSON values with a printer and a parser — just
+    enough for the trace/metrics exporters and the bench report, plus
+    round-trip tests of what this library emits. Not a general-purpose
+    JSON implementation (no streaming, surrogate pairs unsupported). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering (RFC 8259 escaping; non-finite floats
+    become [null]). *)
+val to_string : t -> string
+
+(** Two-space-indented rendering ending in a newline. *)
+val to_string_pretty : t -> string
+
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+
+val member : string -> t -> t option
+val to_list_opt : t -> t list option
+val to_number_opt : t -> float option

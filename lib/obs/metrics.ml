@@ -1,0 +1,163 @@
+(* Named counters / gauges / histograms for prover internals. Instruments
+   are interned by name so hot paths can hold the record and bump a
+   mutable field; every write is guarded by the shared sink flag. *)
+
+type counter = { c_name : string; mutable value : int }
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram =
+  { h_name : string;
+    mutable samples : float list; (* reverse observation order *)
+    mutable h_count : int;
+    mutable h_sum : float }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Hashtbl.replace tbl name v;
+    v
+
+let counter name = intern counters name (fun () -> { c_name = name; value = 0 })
+
+let gauge name =
+  intern gauges name (fun () -> { g_name = name; g_value = 0.; g_set = false })
+
+let histogram name =
+  intern histograms name (fun () -> { h_name = name; samples = []; h_count = 0; h_sum = 0. })
+
+let incr c = if !Sink.enabled then c.value <- c.value + 1
+let add c n = if !Sink.enabled then c.value <- c.value + n
+let counter_value c = c.value
+
+let set g v =
+  if !Sink.enabled then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+let observe h v =
+  if !Sink.enabled then begin
+    h.samples <- v :: h.samples;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v
+  end
+
+let observe_int h v = observe h (float_of_int v)
+
+let hist_count h = h.h_count
+
+let hist_sum h = h.h_sum
+
+(* Nearest-rank percentile over all retained samples; [p] in [0, 100]. *)
+let percentile h p =
+  if h.h_count = 0 then None
+  else begin
+    let sorted = List.sort compare h.samples in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int n))
+    in
+    let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+    Some arr.(idx)
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.; g.g_set <- false) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.samples <- [];
+      h.h_count <- 0;
+      h.h_sum <- 0.)
+    histograms
+
+let sorted_bindings tbl name_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> compare (name_of a) (name_of b))
+
+let float_or_zero = function Some v -> v | None -> 0.
+
+let hist_stats h =
+  let mn = percentile h 0. and p50 = percentile h 50. in
+  let p90 = percentile h 90. and mx = percentile h 100. in
+  (float_or_zero mn, float_or_zero p50, float_or_zero p90, float_or_zero mx)
+
+let snapshot () =
+  let counters_json =
+    sorted_bindings counters (fun c -> c.c_name)
+    |> List.filter_map (fun c ->
+           if c.value = 0 then None else Some (c.c_name, Json.Int c.value))
+  in
+  let gauges_json =
+    sorted_bindings gauges (fun g -> g.g_name)
+    |> List.filter_map (fun g ->
+           if not g.g_set then None else Some (g.g_name, Json.Float g.g_value))
+  in
+  let hist_json =
+    sorted_bindings histograms (fun h -> h.h_name)
+    |> List.filter_map (fun h ->
+           if h.h_count = 0 then None
+           else begin
+             let mn, p50, p90, mx = hist_stats h in
+             Some
+               ( h.h_name,
+                 Json.Obj
+                   [ ("count", Json.Int h.h_count);
+                     ("sum", Json.Float h.h_sum);
+                     ("min", Json.Float mn);
+                     ("p50", Json.Float p50);
+                     ("p90", Json.Float p90);
+                     ("max", Json.Float mx) ] )
+           end)
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters_json);
+      ("gauges", Json.Obj gauges_json);
+      ("histograms", Json.Obj hist_json) ]
+
+let to_string () =
+  let b = Buffer.create 256 in
+  let nonzero_counters =
+    sorted_bindings counters (fun c -> c.c_name)
+    |> List.filter (fun c -> c.value <> 0)
+  in
+  if nonzero_counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun c -> Buffer.add_string b (Printf.sprintf "  %-32s %d\n" c.c_name c.value))
+      nonzero_counters
+  end;
+  let set_gauges =
+    sorted_bindings gauges (fun g -> g.g_name) |> List.filter (fun g -> g.g_set)
+  in
+  if set_gauges <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun g -> Buffer.add_string b (Printf.sprintf "  %-32s %g\n" g.g_name g.g_value))
+      set_gauges
+  end;
+  let live_hists =
+    sorted_bindings histograms (fun h -> h.h_name)
+    |> List.filter (fun h -> h.h_count > 0)
+  in
+  if live_hists <> [] then begin
+    Buffer.add_string b "histograms:\n";
+    List.iter
+      (fun h ->
+        let mn, p50, p90, mx = hist_stats h in
+        Buffer.add_string b
+          (Printf.sprintf "  %-32s count=%d sum=%g min=%g p50=%g p90=%g max=%g\n"
+             h.h_name h.h_count h.h_sum mn p50 p90 mx))
+      live_hists
+  end;
+  Buffer.contents b

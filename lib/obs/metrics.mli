@@ -1,0 +1,45 @@
+(** Named counters, gauges and histograms for prover internals (field
+    multiplications, MSM sizes and window choices, NTT sizes, sumcheck and
+    IPA round counts, R1CS shape).
+
+    Instruments are interned by name: calling [counter name] twice returns
+    the same instrument. All writes are guarded by the {!Sink} flag, so a
+    disabled sink records nothing and costs one load + branch per write
+    site. Like spans, the registry is thread-unsafe by design. *)
+
+type counter = { c_name : string; mutable value : int }
+(** Exposed as a record so hot loops can hold the instrument and bump
+    [value] directly after checking [Sink.enabled]. *)
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float option
+
+val observe : histogram -> float -> unit
+val observe_int : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+(** Nearest-rank percentile over all retained samples, [p] in [0,100];
+    [None] when empty. [percentile h 0.] is the minimum, [100.] the max. *)
+val percentile : histogram -> float -> float option
+
+(** Zero all registered instruments (registrations themselves persist). *)
+val reset : unit -> unit
+
+(** JSON object [{counters; gauges; histograms}] of everything non-empty. *)
+val snapshot : unit -> Json.t
+
+(** Human-readable dump of everything non-empty (for [--metrics]). *)
+val to_string : unit -> string

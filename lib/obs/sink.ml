@@ -1,0 +1,14 @@
+(* The single on/off switch shared by spans and metrics. Instrumented hot
+   paths read [enabled] directly (one load + branch), so a disabled sink
+   costs nearly nothing and records no state. *)
+
+let enabled = ref false
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let with_enabled f =
+  let prev = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

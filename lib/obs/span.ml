@@ -1,0 +1,118 @@
+(* Hierarchical spans: nestable named regions capturing wall time and
+   allocation deltas from [Gc.quick_stat]. A single implicit stack makes
+   the API reentrant ([with_span] inside [with_span]) but deliberately
+   thread-unsafe — the provers are single-threaded and the disabled fast
+   path must stay branch-cheap.
+
+   When the sink is disabled, [with_span] is one flag load away from a
+   direct call of the thunk: no span record, no clock read, no Gc stat. *)
+
+type t =
+  { name : string;
+    seq : int; (* creation order, stable tie-break for exporters *)
+    start_s : float;
+    mutable stop_s : float;
+    start_minor : float;
+    start_major : float;
+    start_promoted : float;
+    mutable minor_words : float; (* allocation deltas, filled on close *)
+    mutable major_words : float;
+    mutable rev_children : t list }
+
+(* Default clock: [Sys.time] (portable, no unix dependency). Binaries that
+   link unix should install [Unix.gettimeofday] for true wall time. *)
+let clock = ref Sys.time
+let set_clock f = clock := f
+let now () = !clock ()
+
+let seq_counter = ref 0
+let stack : t list ref = ref []
+let rev_roots : t list ref = ref []
+let last : t option ref = ref None
+
+let recording () = !Sink.enabled
+
+let reset () =
+  stack := [];
+  rev_roots := [];
+  last := None;
+  seq_counter := 0
+
+let open_span name =
+  let q = Gc.quick_stat () in
+  incr seq_counter;
+  let s =
+    { name;
+      seq = !seq_counter;
+      start_s = now ();
+      stop_s = Float.nan;
+      start_minor = q.Gc.minor_words;
+      start_major = q.Gc.major_words;
+      start_promoted = q.Gc.promoted_words;
+      minor_words = 0.;
+      major_words = 0.;
+      rev_children = [] }
+  in
+  stack := s :: !stack;
+  s
+
+let close_span s =
+  s.stop_s <- now ();
+  let q = Gc.quick_stat () in
+  s.minor_words <- q.Gc.minor_words -. s.start_minor;
+  s.major_words <-
+    q.Gc.major_words -. s.start_major -. (q.Gc.promoted_words -. s.start_promoted);
+  (match !stack with
+   | top :: rest when top == s -> stack := rest
+   | _ ->
+     (* unbalanced close (an inner span escaped via an exception we did not
+        wrap); drop frames down to this span so the stack self-heals *)
+     let rec drop = function
+       | top :: rest when top == s -> rest
+       | _ :: rest -> drop rest
+       | [] -> []
+     in
+     stack := drop !stack);
+  (match !stack with
+   | parent :: _ -> parent.rev_children <- s :: parent.rev_children
+   | [] -> rev_roots := s :: !rev_roots);
+  last := Some s
+
+let with_span name f =
+  if not !Sink.enabled then f ()
+  else begin
+    let s = open_span name in
+    match f () with
+    | r ->
+      close_span s;
+      r
+    | exception e ->
+      close_span s;
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* read side                                                           *)
+
+let name s = s.name
+let duration_s s = s.stop_s -. s.start_s
+let start_s s = s.start_s
+let minor_words s = s.minor_words
+let major_words s = s.major_words
+let children s = List.rev s.rev_children
+
+let roots () = List.rev !rev_roots
+let last_completed () = !last
+let depth () = List.length !stack
+
+let rec find_rec s wanted =
+  if s.name = wanted then Some s
+  else
+    List.fold_left
+      (fun acc c -> match acc with Some _ -> acc | None -> find_rec c wanted)
+      None (children s)
+
+let find_root wanted =
+  List.fold_left
+    (fun acc r -> match acc with Some _ -> acc | None -> find_rec r wanted)
+    None (roots ())

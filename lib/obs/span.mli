@@ -1,0 +1,58 @@
+(** Hierarchical span tracing: nestable named regions capturing wall time
+    plus allocation statistics from [Gc.quick_stat].
+
+    The span stack is implicit and reentrant but thread-unsafe (the provers
+    are single-threaded). While the {!Sink} is disabled, [with_span] costs
+    one flag check and allocates no span records. *)
+
+type t
+
+(** [with_span name f] runs [f], recording a span named [name] nested
+    under the innermost open span (or as a new root) when the sink is
+    enabled; otherwise it is a direct call of [f]. Exceptions close the
+    span and propagate. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** Whether spans are currently being recorded (the sink is enabled). *)
+val recording : unit -> bool
+
+(** Drop all recorded roots, the open-span stack and the sequence counter. *)
+val reset : unit -> unit
+
+(** Clock used for span timestamps; defaults to [Sys.time]. Binaries
+    linking unix should install [Unix.gettimeofday] for wall time. *)
+val set_clock : (unit -> float) -> unit
+
+(** {2 Read side} *)
+
+val name : t -> string
+
+(** Seconds between open and close. *)
+val duration_s : t -> float
+
+(** Absolute clock reading at open (exporters normalise to the first root). *)
+val start_s : t -> float
+
+(** Words allocated in the minor heap during the span. *)
+val minor_words : t -> float
+
+(** Words allocated directly in the major heap (promotions excluded). *)
+val major_words : t -> float
+
+(** Completed children, oldest first. *)
+val children : t -> t list
+
+(** Completed top-level spans, oldest first. *)
+val roots : unit -> t list
+
+(** The most recently closed span at any depth — immediately after a
+    toplevel [with_span] returns, this is that span. *)
+val last_completed : unit -> t option
+
+(** Number of currently open spans (0 outside any [with_span]). *)
+val depth : unit -> int
+
+(** Depth-first search by name under a span / under all roots. *)
+val find_rec : t -> string -> t option
+
+val find_root : string -> t option

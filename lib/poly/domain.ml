@@ -1,5 +1,10 @@
 module Bigint = Zkvc_num.Bigint
 
+(* Shared across field instantiations: radix-2 transform call count and
+   the distribution of transform sizes. *)
+let ntt_calls = Zkvc_obs.Metrics.counter "poly.ntt.calls"
+let ntt_size = Zkvc_obs.Metrics.histogram "poly.ntt.size"
+
 module Make (F : Zkvc_field.Field_intf.S) = struct
   module Batch = Zkvc_field.Batch.Make (F)
 
@@ -52,6 +57,8 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
   (* Iterative Cooley–Tukey; [root] must have order [Array.length a]. *)
   let ntt_with root a =
     let n = Array.length a in
+    Zkvc_obs.Metrics.incr ntt_calls;
+    Zkvc_obs.Metrics.observe_int ntt_size n;
     bit_reverse_permute a;
     let len = ref 2 in
     while !len <= n do

@@ -57,11 +57,20 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
 
   let stats (t : t) =
     let count f = Array.fold_left (fun acc c -> acc + L.num_terms (f c)) 0 t.constraints in
-    { constraints = num_constraints t;
-      variables = num_vars t;
-      nonzero_a = count (fun c -> c.a);
-      nonzero_b = count (fun c -> c.b);
-      nonzero_c = count (fun c -> c.c) }
+    let s =
+      { constraints = num_constraints t;
+        variables = num_vars t;
+        nonzero_a = count (fun c -> c.a);
+        nonzero_b = count (fun c -> c.b);
+        nonzero_c = count (fun c -> c.c) }
+    in
+    let module M = Zkvc_obs.Metrics in
+    M.set (M.gauge "r1cs.constraints") (float_of_int s.constraints);
+    M.set (M.gauge "r1cs.variables") (float_of_int s.variables);
+    M.set (M.gauge "r1cs.nonzero_a") (float_of_int s.nonzero_a);
+    M.set (M.gauge "r1cs.nonzero_b") (float_of_int s.nonzero_b);
+    M.set (M.gauge "r1cs.nonzero_c") (float_of_int s.nonzero_c);
+    s
 
   let pp_stats fmt s =
     Format.fprintf fmt

@@ -13,6 +13,8 @@ let proof_size_bytes p = ((Array.length p.ls + Array.length p.rs) * 64) + 32
 
 let q_generator = Pedersen.hash_to_point "ipa-q"
 
+let rounds_metric = Zkvc_obs.Metrics.counter "ipa.rounds"
+
 let inner a b =
   let acc = ref Fr.zero in
   Array.iteri (fun i v -> acc := Fr.add !acc (Fr.mul v b.(i))) a;
@@ -34,6 +36,7 @@ let prove key tr ~a ~b =
   let rounds = ref [] in
   let len = ref n in
   while !len > 1 do
+    Zkvc_obs.Metrics.incr rounds_metric;
     let half = !len / 2 in
     let al = Array.sub a 0 half and ar = Array.sub a half half in
     let bl = Array.sub b 0 half and br = Array.sub b half half in

@@ -8,6 +8,7 @@ module Sc = Sumcheck.Make (Fr)
 module Ml = Zkvc_poly.Multilinear.Make (Fr)
 module T = Zkvc_transcript.Transcript
 module Ch = T.Challenge (Fr)
+module Span = Zkvc_obs.Span
 
 type instance =
   { mu : int; (* log2 padded rows *)
@@ -143,8 +144,9 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
   let nrows = 1 lsl key.wrows and ncols = 1 lsl key.wcols in
   let blinds = Array.init nrows (fun _ -> Fr.random st) in
   let comm_rows =
-    Array.init nrows (fun i ->
-        Pedersen.commit key.pedersen (Array.sub w (i * ncols) ncols) ~blind:blinds.(i))
+    Span.with_span "prove.commit_witness" (fun () ->
+        Array.init nrows (fun i ->
+            Pedersen.commit key.pedersen (Array.sub w (i * ncols) ncols) ~blind:blinds.(i)))
   in
   let public_inputs = Array.to_list (Array.sub assignment 1 t.num_inputs) in
   let tr = transcript_init t ~public_inputs in
@@ -152,10 +154,14 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
   (* phase 1 *)
   let tau = Ch.challenges tr ~label:"tau" t.mu in
   let eq_tau = Ml.evals (Ml.eq_table tau) in
-  let az = Sm.mul_vec t.a z and bz = Sm.mul_vec t.b z and cz = Sm.mul_vec t.c z in
+  let az, bz, cz =
+    Span.with_span "prove.matrix_vector" (fun () ->
+        (Sm.mul_vec t.a z, Sm.mul_vec t.b z, Sm.mul_vec t.c z))
+  in
   let sc1, rx, finals1 =
-    Sc.prove tr ~label:"sc1" ~degree:3 [| eq_tau; az; bz; cz |]
-      ~combine:(fun v -> Fr.mul v.(0) (Fr.sub (Fr.mul v.(1) v.(2)) v.(3)))
+    Span.with_span "prove.sumcheck1" (fun () ->
+        Sc.prove tr ~label:"sc1" ~degree:3 [| eq_tau; az; bz; cz |]
+          ~combine:(fun v -> Fr.mul v.(0) (Fr.sub (Fr.mul v.(1) v.(2)) v.(3))))
   in
   let va = finals1.(1) and vb = finals1.(2) and vc = finals1.(3) in
   Ch.absorb_list tr ~label:"claims" [ va; vb; vc ];
@@ -163,53 +169,56 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
   let ra = Ch.challenge tr ~label:"ra" in
   let rb = Ch.challenge tr ~label:"rb" in
   let rc = Ch.challenge tr ~label:"rc" in
-  let weights = Ml.evals (Ml.eq_table rx) in
-  let ma = Sm.fold_rows t.a weights
-  and mb = Sm.fold_rows t.b weights
-  and mc = Sm.fold_rows t.c weights in
   let mx =
-    Array.init (2 * t.half) (fun j ->
-        Fr.add (Fr.mul ra ma.(j)) (Fr.add (Fr.mul rb mb.(j)) (Fr.mul rc mc.(j))))
+    Span.with_span "prove.matrix_fold" (fun () ->
+        let weights = Ml.evals (Ml.eq_table rx) in
+        let ma = Sm.fold_rows t.a weights
+        and mb = Sm.fold_rows t.b weights
+        and mc = Sm.fold_rows t.c weights in
+        Array.init (2 * t.half) (fun j ->
+            Fr.add (Fr.mul ra ma.(j)) (Fr.add (Fr.mul rb mb.(j)) (Fr.mul rc mc.(j)))))
   in
   let sc2, ry, _finals2 =
-    Sc.prove tr ~label:"sc2" ~degree:2 [| mx; z |]
-      ~combine:(fun v -> Fr.mul v.(0) v.(1))
+    Span.with_span "prove.sumcheck2" (fun () ->
+        Sc.prove tr ~label:"sc2" ~degree:2 [| mx; z |]
+          ~combine:(fun v -> Fr.mul v.(0) v.(1)))
   in
   (* Hyrax-style opening of w̃ at the witness-half point *)
-  let ry_w = List.tl ry in
-  let lcoords, _rcoords = split_at key.wrows ry_w in
-  let lweights = Ml.evals (Ml.eq_table lcoords) in
-  let folded =
-    Array.init ncols (fun j ->
-        let acc = ref Fr.zero in
-        for i = 0 to nrows - 1 do
-          acc := Fr.add !acc (Fr.mul lweights.(i) w.((i * ncols) + j))
-        done;
-        !acc)
-  in
-  let fold_blind =
-    let acc = ref Fr.zero in
-    for i = 0 to nrows - 1 do
-      acc := Fr.add !acc (Fr.mul lweights.(i) blinds.(i))
-    done;
-    !acc
-  in
   let opening =
-    match opening_mode with
-    | `Hyrax_fold -> Fold_opening { folded; fold_blind }
-    | `Ipa ->
-      let _rcoords_len = key.wcols in
-      let rcoords = snd (split_at key.wrows ry_w) in
-      let rweights = Ml.evals (Ml.eq_table rcoords) in
-      let w_eval =
-        let acc = ref Fr.zero in
-        Array.iteri (fun j v -> acc := Fr.add !acc (Fr.mul v rweights.(j))) folded;
-        !acc
-      in
-      Ch.absorb tr ~label:"open-blind" fold_blind;
-      Ch.absorb tr ~label:"open-eval" w_eval;
-      let ipa = Ipa.prove key.pedersen tr ~a:folded ~b:rweights in
-      Ipa_opening { blind = fold_blind; w_eval; ipa }
+    Span.with_span "prove.opening" (fun () ->
+        let ry_w = List.tl ry in
+        let lcoords, _rcoords = split_at key.wrows ry_w in
+        let lweights = Ml.evals (Ml.eq_table lcoords) in
+        let folded =
+          Array.init ncols (fun j ->
+              let acc = ref Fr.zero in
+              for i = 0 to nrows - 1 do
+                acc := Fr.add !acc (Fr.mul lweights.(i) w.((i * ncols) + j))
+              done;
+              !acc)
+        in
+        let fold_blind =
+          let acc = ref Fr.zero in
+          for i = 0 to nrows - 1 do
+            acc := Fr.add !acc (Fr.mul lweights.(i) blinds.(i))
+          done;
+          !acc
+        in
+        match opening_mode with
+        | `Hyrax_fold -> Fold_opening { folded; fold_blind }
+        | `Ipa ->
+          let _rcoords_len = key.wcols in
+          let rcoords = snd (split_at key.wrows ry_w) in
+          let rweights = Ml.evals (Ml.eq_table rcoords) in
+          let w_eval =
+            let acc = ref Fr.zero in
+            Array.iteri (fun j v -> acc := Fr.add !acc (Fr.mul v rweights.(j))) folded;
+            !acc
+          in
+          Ch.absorb tr ~label:"open-blind" fold_blind;
+          Ch.absorb tr ~label:"open-eval" w_eval;
+          let ipa = Ipa.prove key.pedersen tr ~a:folded ~b:rweights in
+          Ipa_opening { blind = fold_blind; w_eval; ipa })
   in
   { comm_rows; sc1; va; vb; vc; sc2; opening }
 
@@ -243,9 +252,10 @@ let verify key t ~public_inputs proof =
           | Some (e2, ry) ->
             (* combined matrix MLE at (rx, ry), O(nnz) *)
             let m_eval =
-              Fr.add
-                (Fr.mul ra (Sm.eval t.a ~rx ~ry))
-                (Fr.add (Fr.mul rb (Sm.eval t.b ~rx ~ry)) (Fr.mul rc (Sm.eval t.c ~rx ~ry)))
+              Span.with_span "verify.matrix_eval" (fun () ->
+                  Fr.add
+                    (Fr.mul ra (Sm.eval t.a ~rx ~ry))
+                    (Fr.add (Fr.mul rb (Sm.eval t.b ~rx ~ry)) (Fr.mul rc (Sm.eval t.c ~rx ~ry))))
             in
             match ry with
             | [] -> false

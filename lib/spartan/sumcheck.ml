@@ -7,6 +7,9 @@
 module Make (F : Zkvc_field.Field_intf.S) = struct
   module T = Zkvc_transcript.Transcript
   module Ch = T.Challenge (F)
+  module Span = Zkvc_obs.Span
+
+  let rounds_metric = Zkvc_obs.Metrics.counter "sumcheck.rounds"
 
   (** One round message: evaluations of the round polynomial at
       0, 1, ..., degree. *)
@@ -49,34 +52,42 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     let current_len = ref len in
     let rounds = ref [] and challenges = ref [] in
     let point_values = Array.make (Array.length tables) F.zero in
-    for _round = 1 to mu do
-      let half = !current_len / 2 in
-      let evals = Array.make (degree + 1) F.zero in
-      for i = 0 to half - 1 do
-        for xi = 0 to degree do
-          let x = xs.(xi) in
-          Array.iteri
-            (fun t_idx t ->
+    for round_ix = 1 to mu do
+      let round_body () =
+        Zkvc_obs.Metrics.incr rounds_metric;
+        let half = !current_len / 2 in
+        let evals = Array.make (degree + 1) F.zero in
+        for i = 0 to half - 1 do
+          for xi = 0 to degree do
+            let x = xs.(xi) in
+            Array.iteri
+              (fun t_idx t ->
+                let lo = t.(i) and hi = t.(i + half) in
+                (* value of the table's MLE with first var := x *)
+                point_values.(t_idx) <- F.add lo (F.mul x (F.sub hi lo)))
+              tables;
+            evals.(xi) <- F.add evals.(xi) (combine point_values)
+          done
+        done;
+        Ch.absorb_array transcript ~label:(label ^ "/round") evals;
+        let r = Ch.challenge transcript ~label:(label ^ "/chal") in
+        (* fold every table: first variable := r *)
+        Array.iter
+          (fun t ->
+            for i = 0 to half - 1 do
               let lo = t.(i) and hi = t.(i + half) in
-              (* value of the table's MLE with first var := x *)
-              point_values.(t_idx) <- F.add lo (F.mul x (F.sub hi lo)))
-            tables;
-          evals.(xi) <- F.add evals.(xi) (combine point_values)
-        done
-      done;
-      Ch.absorb_array transcript ~label:(label ^ "/round") evals;
-      let r = Ch.challenge transcript ~label:(label ^ "/chal") in
-      (* fold every table: first variable := r *)
-      Array.iter
-        (fun t ->
-          for i = 0 to half - 1 do
-            let lo = t.(i) and hi = t.(i + half) in
-            t.(i) <- F.add lo (F.mul r (F.sub hi lo))
-          done)
-        tables;
-      current_len := half;
-      rounds := evals :: !rounds;
-      challenges := r :: !challenges
+              t.(i) <- F.add lo (F.mul r (F.sub hi lo))
+            done)
+          tables;
+        current_len := half;
+        rounds := evals :: !rounds;
+        challenges := r :: !challenges
+      in
+      (* the span name is only materialised while recording, so the
+         disabled path does not allocate round labels *)
+      if Span.recording () then
+        Span.with_span (Printf.sprintf "%s.round%d" label round_ix) round_body
+      else round_body ()
     done;
     let finals = Array.map (fun t -> t.(0)) tables in
     (List.rev !rounds, List.rev !challenges, finals)

@@ -1,0 +1,267 @@
+(* Zkvc_obs: spans, metrics, exporters — and the contract that Api.run's
+   measurement record stays consistent with the span data it is rebuilt
+   from when the sink is recording. *)
+
+module Obs = Zkvc_obs
+module Span = Zkvc_obs.Span
+module Metrics = Zkvc_obs.Metrics
+module Json = Zkvc_obs.Json
+module Export = Zkvc_obs.Export
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Mc = Zkvc.Matmul_circuit
+module Mspec = Zkvc.Matmul_spec
+module Spec = Mspec.Make (Fr)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* every test starts from a clean, disabled sink *)
+let fresh () =
+  Obs.Sink.disable ();
+  Span.reset ();
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+
+let test_span_nesting () =
+  fresh ();
+  Obs.Sink.enable ();
+  let r =
+    Span.with_span "outer" (fun () ->
+        Span.with_span "first" (fun () -> ignore (Sys.opaque_identity 1));
+        Span.with_span "second" (fun () ->
+            Span.with_span "inner" (fun () -> ignore (Sys.opaque_identity 2)));
+        42)
+  in
+  Obs.Sink.disable ();
+  check_int "with_span returns the thunk's value" 42 r;
+  let roots = Span.roots () in
+  check_int "one root" 1 (List.length roots);
+  let outer = List.hd roots in
+  check_string "root name" "outer" (Span.name outer);
+  let kids = Span.children outer in
+  Alcotest.(check (list string))
+    "children in execution order" [ "first"; "second" ]
+    (List.map Span.name kids);
+  let second = List.nth kids 1 in
+  Alcotest.(check (list string))
+    "grandchild under second" [ "inner" ]
+    (List.map Span.name (Span.children second));
+  check_bool "find_rec locates the grandchild" true (Span.find_rec outer "inner" <> None);
+  check_bool "durations are non-negative" true
+    (List.for_all (fun s -> Span.duration_s s >= 0.) (outer :: kids));
+  (* children are nested inside the parent's interval, so their total
+     duration cannot exceed the parent's *)
+  let child_sum = List.fold_left (fun acc s -> acc +. Span.duration_s s) 0. kids in
+  check_bool "child durations sum within parent" true
+    (child_sum <= Span.duration_s outer +. 1e-9);
+  check_int "stack empty after close" 0 (Span.depth ())
+
+let test_span_exception_closes () =
+  fresh ();
+  Obs.Sink.enable ();
+  (try Span.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Obs.Sink.disable ();
+  check_int "span recorded despite exception" 1 (List.length (Span.roots ()));
+  check_int "stack unwound" 0 (Span.depth ())
+
+let test_disabled_fast_path () =
+  fresh ();
+  check_bool "sink starts disabled" false (Obs.Sink.is_enabled ());
+  let f () = Sys.opaque_identity 7 in
+  (* warm up so any one-time allocation is out of the measured window *)
+  ignore (Span.with_span "warm" f);
+  let q0 = (Gc.quick_stat ()).Gc.minor_words in
+  for _ = 1 to 1000 do
+    ignore (Span.with_span "off" f)
+  done;
+  let allocated = (Gc.quick_stat ()).Gc.minor_words -. q0 in
+  check_int "no span records created" 0 (List.length (Span.roots ()));
+  check_bool "nothing marked completed" true (Span.last_completed () = None);
+  (* a span record alone is >10 words; 1000 disabled calls must stay far
+     below one record per call *)
+  check_bool
+    (Printf.sprintf "disabled calls do not allocate span records (%.0f words/1000 calls)"
+       allocated)
+    true
+    (allocated < 1000.)
+
+let test_metrics_gated_by_sink () =
+  fresh ();
+  let c = Metrics.counter "test.gated" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  check_int "counter unchanged while disabled" 0 (Metrics.counter_value c);
+  Obs.Sink.enable ();
+  Metrics.incr c;
+  Metrics.add c 10;
+  Obs.Sink.disable ();
+  check_int "counter counts while enabled" 11 (Metrics.counter_value c);
+  check_bool "same name interns to same instrument" true (Metrics.counter "test.gated" == c)
+
+let test_histogram_percentiles () =
+  fresh ();
+  Obs.Sink.enable ();
+  let h = Metrics.histogram "test.hist" in
+  (* 1..100 in scrambled order: percentiles must not depend on insertion order *)
+  for i = 0 to 99 do
+    Metrics.observe_int h (((i * 37) mod 100) + 1)
+  done;
+  Obs.Sink.disable ();
+  let p x = match Metrics.percentile h x with Some v -> v | None -> Float.nan in
+  check_int "count" 100 (Metrics.hist_count h);
+  check_bool "sum" true (Metrics.hist_sum h = 5050.);
+  check_bool "min" true (p 0. = 1.);
+  check_bool "p50 (nearest rank)" true (p 50. = 50.);
+  check_bool "p90" true (p 90. = 90.);
+  check_bool "p99" true (p 99. = 99.);
+  check_bool "max" true (p 100. = 100.);
+  check_bool "empty histogram has no percentile" true
+    (Metrics.percentile (Metrics.histogram "test.empty") 50. = None)
+
+(* ------------------------------------------------------------------ *)
+(* json                                                                *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.String "a\"b\\c\nd\te\r\x01");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("tiny", Json.Float 0.1);
+        ("t", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]) ]
+  in
+  (match Json.of_string (Json.to_string v) with
+   | Ok v' -> check_bool "compact round-trip" true (v = v')
+   | Error e -> Alcotest.failf "compact parse failed: %s" e);
+  (match Json.of_string (Json.to_string_pretty v) with
+   | Ok v' -> check_bool "pretty round-trip" true (v = v')
+   | Error e -> Alcotest.failf "pretty parse failed: %s" e);
+  check_bool "garbage rejected" true (Result.is_error (Json.of_string "{broken"));
+  check_bool "trailing data rejected" true (Result.is_error (Json.of_string "1 2"))
+
+let test_chrome_trace_valid () =
+  fresh ();
+  Obs.Sink.enable ();
+  Span.with_span "root" (fun () ->
+      Span.with_span "child-a" (fun () -> ());
+      Span.with_span "child-b" (fun () -> ()));
+  Obs.Sink.disable ();
+  let spans = Span.roots () in
+  let text = Json.to_string (Export.to_chrome_trace spans) in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "chrome trace is not valid JSON: %s" e
+  | Ok parsed ->
+    let events =
+      match Json.member "traceEvents" parsed with
+      | Some l -> (match Json.to_list_opt l with Some l -> l | None -> [])
+      | None -> []
+    in
+    check_int "one event per span" 3 (List.length events);
+    List.iter
+      (fun ev ->
+        check_bool "event has name" true (Json.member "name" ev <> None);
+        check_bool "event is a complete event" true
+          (Json.member "ph" ev = Some (Json.String "X"));
+        check_bool "ts is a number" true
+          (Option.bind (Json.member "ts" ev) Json.to_number_opt <> None);
+        check_bool "dur is a number" true
+          (Option.bind (Json.member "dur" ev) Json.to_number_opt <> None))
+      events;
+    (* jsonl: every line parses on its own *)
+    let lines =
+      Export.to_jsonl spans |> String.split_on_char '\n'
+      |> List.filter (fun l -> l <> "")
+    in
+    check_int "jsonl line per span" 3 (List.length lines);
+    List.iter
+      (fun line ->
+        match Json.of_string line with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "jsonl line failed to parse: %s" e)
+      lines
+
+(* ------------------------------------------------------------------ *)
+(* Api.run measurement consistency (both backends)                      *)
+
+let run_backend_consistency backend prove_root =
+  fresh ();
+  let rng = Random.State.make [| 7 |] in
+  let d = Mspec.dims ~a:2 ~n:4 ~b:2 in
+  let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:64 in
+  let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:64 in
+  Obs.Sink.enable ();
+  let _proof, m = Api.run ~rng backend Mc.Crpc_psq ~x ~w d in
+  Obs.Sink.disable ();
+  let span =
+    match Span.find_root prove_root with
+    | Some s -> s
+    | None -> Alcotest.failf "missing %s root span" prove_root
+  in
+  (* the measurement's prove time is rebuilt from exactly this span *)
+  check_bool "prove_s equals the prove span duration" true
+    (Float.abs (m.Api.timings.Api.prove_s -. Span.duration_s span) < 1e-9);
+  (* and the phase children partition (a subset of) it: no double counting *)
+  let children = Span.children span in
+  check_bool "prove span has phase children" true (children <> []);
+  let child_sum = List.fold_left (fun acc c -> acc +. Span.duration_s c) 0. children in
+  check_bool "child phases sum to at most prove_s" true
+    (child_sum <= m.Api.timings.Api.prove_s +. 1e-9);
+  (* field multiplications were counted while proving *)
+  check_bool "field.mont_mul counted" true
+    (Metrics.counter_value (Metrics.counter "field.mont_mul") > 0)
+
+let test_api_groth16_consistency () =
+  run_backend_consistency Api.Backend_groth16 "groth16.prove";
+  (* the acceptance-criteria phases: all five MSMs appear under prove *)
+  let span = Option.get (Span.find_root "groth16.prove") in
+  let names = List.map Span.name (Span.children span) in
+  List.iter
+    (fun phase -> check_bool ("phase " ^ phase) true (List.mem phase names))
+    [ "prove.h_coeffs"; "prove.msm_a"; "prove.msm_b_g2"; "prove.msm_b_g1";
+      "prove.msm_l"; "prove.msm_h" ]
+
+let test_api_spartan_consistency () =
+  run_backend_consistency Api.Backend_spartan "spartan.prove";
+  let span = Option.get (Span.find_root "spartan.prove") in
+  (* per-sumcheck-round spans are nested under the sumcheck phases *)
+  check_bool "sc1 round spans" true (Span.find_rec span "sc1.round1" <> None);
+  check_bool "sc2 round spans" true (Span.find_rec span "sc2.round1" <> None);
+  check_bool "sumcheck rounds counted" true
+    (Metrics.counter_value (Metrics.counter "sumcheck.rounds") > 0)
+
+let test_disabled_run_records_nothing () =
+  fresh ();
+  let rng = Random.State.make [| 8 |] in
+  let d = Mspec.dims ~a:2 ~n:2 ~b:2 in
+  let x = Spec.random_matrix rng ~rows:2 ~cols:2 ~bound:64 in
+  let w = Spec.random_matrix rng ~rows:2 ~cols:2 ~bound:64 in
+  let _proof, m = Api.run ~rng Api.Backend_spartan Mc.Vanilla ~x ~w d in
+  check_bool "timings still measured" true (m.Api.timings.Api.prove_s >= 0.);
+  check_int "no spans recorded" 0 (List.length (Span.roots ()));
+  check_int "no field mults counted" 0
+    (Metrics.counter_value (Metrics.counter "field.mont_mul"))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "span",
+        [ Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes span" `Quick test_span_exception_closes;
+          Alcotest.test_case "disabled fast path" `Quick test_disabled_fast_path ] );
+      ( "metrics",
+        [ Alcotest.test_case "sink gating" `Quick test_metrics_gated_by_sink;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles ] );
+      ( "export",
+        [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid ] );
+      ( "api",
+        [ Alcotest.test_case "groth16 timings from spans" `Quick test_api_groth16_consistency;
+          Alcotest.test_case "spartan timings from spans" `Quick test_api_spartan_consistency;
+          Alcotest.test_case "disabled run records nothing" `Quick
+            test_disabled_run_records_nothing ] ) ]

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI entry point: full build, tier-1 test suites, and a smoke bench run
+# that must produce a non-empty machine-readable report.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke bench (tab2, scale 16) =="
+BENCH_JSON=${BENCH_JSON:-/tmp/bench.json}
+rm -f "$BENCH_JSON"
+dune exec bench/main.exe -- --only tab2 --scale 16 --json "$BENCH_JSON"
+
+if [ ! -s "$BENCH_JSON" ]; then
+    echo "ci: bench json report missing or empty: $BENCH_JSON" >&2
+    exit 1
+fi
+echo "ci: ok ($BENCH_JSON $(wc -c < "$BENCH_JSON") bytes)"

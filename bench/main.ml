@@ -10,14 +10,19 @@
      abl   design-choice ablations called out in DESIGN.md
      micro substrate micro-benchmarks (Bechamel)
 
-   Usage: main.exe [--full] [--only SECTIONS] [--scale N] [--json FILE]
+   Usage: main.exe [--full] [--only SECTIONS] [--scale N] [--jobs N] [--json FILE]
      --full       run matmul benches at the paper's dimensions (slow)
      --scale N    divide matmul dimensions by N (default 4; 1 = paper size)
+     --jobs N     prover worker domains (0 = all cores; default
+                  ZKVC_JOBS or 1)
      --only ...   comma-separated subset of {tab1,fig3,fig6,tab2,tab3,tab4,abl,micro}
      --json FILE  also write every matmul measurement as a machine-readable
                   JSON report (perf trajectory for future PRs)
 
-   Absolute times differ from the paper (single-threaded OCaml vs a
+   All times are monotonic wall-clock (bechamel's clock_gettime stub),
+   never [Sys.time]: that is process CPU time, which sums across worker
+   domains and would report a parallel prover as no faster than a
+   sequential one. Absolute times differ from the paper (OCaml vs a
    16-core Threadripper running libsnark/Rust); all claims are about the
    ratios between schemes measured under identical conditions. Rows
    labelled "(emulated)" rescale our measured baseline by the paper's
@@ -41,6 +46,9 @@ module Json = Zkvc_obs.Json
 let cfg = Nl.default_config
 let rng = Random.State.make [| 0xbe; 0xc4 |]
 
+(* monotonic wall clock in seconds *)
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 (* ------------------------------------------------------------------ *)
 (* options                                                              *)
 
@@ -54,7 +62,7 @@ let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "abl"; "m
 let usage_error msg =
   Printf.eprintf "bench: %s\n" msg;
   Printf.eprintf
-    "usage: main.exe [--full] [--scale N] [--only SECTIONS] [--json FILE]\n";
+    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--json FILE]\n";
   exit 2
 
 let () =
@@ -71,6 +79,13 @@ let () =
        | None -> usage_error (Printf.sprintf "--scale expects an integer, got %S" n));
       parse rest
     | [ "--scale" ] -> usage_error "--scale expects an argument"
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 0 -> Zkvc_parallel.set_jobs j
+       | Some j -> usage_error (Printf.sprintf "--jobs must be >= 0, got %d" j)
+       | None -> usage_error (Printf.sprintf "--jobs expects an integer, got %S" n));
+      parse rest
+    | [ "--jobs" ] -> usage_error "--jobs expects an argument"
     | "--only" :: s :: rest ->
       let sections = String.split_on_char ',' s in
       List.iter
@@ -89,7 +104,10 @@ let () =
     | [ "--json" ] -> usage_error "--json expects an argument"
     | arg :: _ -> usage_error ("unknown argument: " ^ arg)
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  parse (List.tl (Array.to_list Sys.argv));
+  (* every Api.run / Span timing in this process reads wall time, not
+     CPU time; install before any worker domain is spawned *)
+  Obs.Span.set_clock now
 
 let enabled section = !only = [] || List.mem section !only
 
@@ -127,6 +145,8 @@ let write_json_report () =
         [ ("schema", Json.String "zkvc-bench/1");
           ("scale", Json.Int !scale);
           ("full", Json.Bool !full);
+          ("jobs", Json.Int (Zkvc_parallel.jobs ()));
+          ("clock", Json.String "monotonic");
           ( "sections",
             Json.List
               (List.map
@@ -215,9 +235,9 @@ let run_fig3 () =
   (* a REAL interactive baseline: Thaler's matmul sumcheck, the zkCNN-family
      technique (no constraint system, not zero-knowledge) *)
   let x, w = inst in
-  let t0 = Sys.time () in
+  let t0 = now () in
   let tproof = Zkvc_gkr.Thaler_matmul.prove ~a:x ~b:w in
-  let t_thaler = Sys.time () -. t0 in
+  let t_thaler = now () -. t0 in
   row "GKR-matmul" t_thaler false;
   Printf.printf
     "GKR-matmul = measured Thaler'13 sumcheck (interactive family, not zk),\n";
@@ -421,9 +441,9 @@ let run_ablations () =
     (fun deg ->
       let p1 = P.random rng ~degree:deg and p2 = P.random rng ~degree:deg in
       let time f =
-        let t0 = Sys.time () in
+        let t0 = now () in
         ignore (f ());
-        Sys.time () -. t0
+        now () -. t0
       in
       let ts = time (fun () -> P.mul_schoolbook p1 p2) in
       let tn = time (fun () -> P.mul_ntt p1 p2) in
@@ -435,13 +455,13 @@ let run_ablations () =
   let module Msm = Zkvc_curve.Msm.Make (Zkvc_curve.G1) in
   let points = Array.init 2048 (fun _ -> Zkvc_curve.G1.random rng) in
   let scalars = Array.init 2048 (fun _ -> Fr.to_bigint (Fr.random rng)) in
-  let t0 = Sys.time () in
+  let t0 = now () in
   ignore (Msm.msm_bigint points scalars);
-  let t_pip = Sys.time () -. t0 in
-  let t0 = Sys.time () in
+  let t_pip = now () -. t0 in
+  let t0 = now () in
   ignore
     (Msm.msm_naive ~mul:Zkvc_curve.G1.mul (Array.sub points 0 128) (Array.sub scalars 0 128));
-  let t_naive = (Sys.time () -. t0) *. (2048. /. 128.) in
+  let t_naive = (now () -. t0) *. (2048. /. 128.) in
   Printf.printf "  pippenger %.3fs vs naive (extrapolated) %.3fs -> %.1fx\n%!" t_pip t_naive
     (t_naive /. Stdlib.max 1e-9 t_pip);
   (* 4. softmax squaring depth vs accuracy *)
@@ -484,12 +504,12 @@ let run_ablations () =
   let skey = Spartan.setup inst in
   List.iter
     (fun (name, mode) ->
-      let t0 = Sys.time () in
+      let t0 = now () in
       let proof = Spartan.prove ~opening_mode:mode rng skey inst assignment in
-      let t_p = Sys.time () -. t0 in
-      let t0 = Sys.time () in
+      let t_p = now () -. t0 in
+      let t0 = now () in
       let ok = Spartan.verify skey inst ~public_inputs:[] proof in
-      let t_v = Sys.time () -. t0 in
+      let t_v = now () -. t0 in
       Printf.printf "  %-12s proof=%-6dB prove=%.3fs verify=%.3fs ok=%b\n%!" name
         (Spartan.proof_size_bytes proof) t_p t_v ok)
     [ ("hyrax-fold", `Hyrax_fold); ("ipa", `Ipa) ];
@@ -556,8 +576,10 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Printf.printf "zkVC reproduction bench harness (scale=1/%d%s)\n" !scale
-    (if !full then " full" else "");
+  Printf.printf "zkVC reproduction bench harness (scale=1/%d%s, jobs=%d, clock=monotonic)\n"
+    !scale
+    (if !full then " full" else "")
+    (Zkvc_parallel.jobs ());
   if enabled "tab1" then run_tab1 ();
   if enabled "fig3" then run_fig3 ();
   if enabled "fig6" then run_fig6 ();

@@ -66,6 +66,13 @@ let strategy_arg =
        & info [ "strategy" ] ~docv:"STRATEGY"
            ~doc:"Matmul encoding: vanilla, vanilla+psq, crpc or crpc+psq.")
 
+let jobs_arg =
+  Arg.(value & opt int Zkvc_parallel.env_jobs
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Prover worker domains (0 = one per core). Proofs are \
+                 byte-identical for every value. Defaults to $(b,ZKVC_JOBS) \
+                 or 1.")
+
 (* ---- count ---- *)
 
 let count_cmd =
@@ -108,7 +115,8 @@ let prove_cmd =
              ~doc:"Record prover metrics (field mults, MSM sizes, NTT sizes, \
                    sumcheck rounds, R1CS shape) and print them with the span tree.")
   in
-  let run d strategy backend seed trace metrics =
+  let run d strategy backend seed trace metrics jobs =
+    Zkvc_parallel.set_jobs jobs;
     let rng = Random.State.make [| seed |] in
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
@@ -144,7 +152,7 @@ let prove_cmd =
   let doc = "Prove a random matmul instance and verify it (prints timings)." in
   Cmd.v (Cmd.info "prove" ~doc)
     Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ jobs_arg)
 
 (* ---- model ---- *)
 
@@ -188,12 +196,12 @@ let gkr_cmd =
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
     let y = Spec.multiply x w in
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let proof = Zkvc_gkr.Thaler_matmul.prove ~a:x ~b:w in
-    let t_prove = Sys.time () -. t0 in
-    let t0 = Sys.time () in
+    let t_prove = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
     let ok = Zkvc_gkr.Thaler_matmul.verify ~a:x ~b:w ~c:y proof in
-    let t_verify = Sys.time () -. t0 in
+    let t_verify = Unix.gettimeofday () -. t0 in
     Printf.printf
       "thaler-matmul %s: prove=%.4fs verify=%.4fs proof=%dB verified=%b\n"
       (Format.asprintf "%a" Mspec.pp_dims d)

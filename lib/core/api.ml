@@ -39,10 +39,14 @@ type proof =
 
 module Obs = Zkvc_obs
 
+(* Uses whatever clock is installed via [Obs.Span.set_clock] — a
+   monotonic wall clock in the bench harness. The default [Sys.time] is
+   process CPU time, which sums across domains and would misreport a
+   parallel prover as no faster. *)
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Obs.Span.now () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Obs.Span.now () -. t0)
 
 (* When the observability sink is recording, phase durations are read back
    from the span just closed, so the measurement record and any exported

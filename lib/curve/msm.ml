@@ -6,6 +6,7 @@
 module Bigint = Zkvc_num.Bigint
 module Fr = Zkvc_field.Fr
 module Metrics = Zkvc_obs.Metrics
+module Parallel = Zkvc_parallel
 
 (* Shared across group instantiations (G1, G2): how many MSMs ran, their
    input sizes and the Pippenger window widths chosen for them. *)
@@ -53,11 +54,11 @@ module Make (G : Group) = struct
       Metrics.observe_int msm_size n;
       Metrics.observe_int msm_window c;
       let nwin = (scalar_bits + c - 1) / c in
-      let result = ref G.zero in
-      for w = nwin - 1 downto 0 do
-        for _ = 1 to c do
-          result := G.double !result
-        done;
+      (* Each of the nwin windows accumulates its buckets independently —
+         the parallel axis. The doubling ladder that stitches the window
+         sums together stays sequential (it is O(scalar_bits) additions),
+         so the combined result is identical for every job count. *)
+      let window_sum w =
         let buckets = Array.make ((1 lsl c) - 1) G.zero in
         for i = 0 to n - 1 do
           let d = digit scalars.(i) c w in
@@ -69,12 +70,32 @@ module Make (G : Group) = struct
           running := G.add !running buckets.(j);
           acc := G.add !acc !running
         done;
-        result := G.add !result !acc
+        !acc
+      in
+      let sums =
+        if Parallel.jobs () > 1 && n >= 32 then
+          Parallel.parallel_init nwin window_sum
+        else Array.init nwin window_sum
+      in
+      let result = ref G.zero in
+      for w = nwin - 1 downto 0 do
+        for _ = 1 to c do
+          result := G.double !result
+        done;
+        result := G.add !result sums.(w)
       done;
       !result
     end
 
-  let msm points scalars = msm_bigint points (Array.map Fr.to_bigint scalars)
+  let msm points scalars =
+    (* out-of-Montgomery conversion of the witness is itself a hot linear
+       pass; map it on the pool when one is available *)
+    let scalars_b =
+      if Parallel.jobs () > 1 && Array.length scalars >= 1024 then
+        Parallel.parallel_map Fr.to_bigint scalars
+      else Array.map Fr.to_bigint scalars
+    in
+    msm_bigint points scalars_b
 
   (** Reference implementation for tests: Σ naive scalar muls. *)
   let msm_naive ~mul points scalars =

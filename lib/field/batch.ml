@@ -1,19 +1,26 @@
 module Make (F : Field_intf.S) = struct
+  (* Montgomery's trick with zero masking: zero entries contribute F.one
+     to the running products and are left untouched, so one zero no
+     longer collapses the prefix product (and with it every output) to
+     F.inv zero. *)
   let invert_all a =
     let n = Array.length a in
     if n > 0 then begin
-      (* prefix.(i) = a.(0) * ... * a.(i) *)
+      (* prefix.(i) = product of the non-zero entries among a.(0..i) *)
       let prefix = Array.make n F.one in
-      prefix.(0) <- a.(0);
-      for i = 1 to n - 1 do
-        prefix.(i) <- F.mul prefix.(i - 1) a.(i)
+      let running = ref F.one in
+      for i = 0 to n - 1 do
+        if not (F.is_zero a.(i)) then running := F.mul !running a.(i);
+        prefix.(i) <- !running
       done;
-      let inv_all = ref (F.inv prefix.(n - 1)) in
+      let inv_all = ref (F.inv !running) in
       for i = n - 1 downto 1 do
         let ai = a.(i) in
-        a.(i) <- F.mul !inv_all prefix.(i - 1);
-        inv_all := F.mul !inv_all ai
+        if not (F.is_zero ai) then begin
+          a.(i) <- F.mul !inv_all prefix.(i - 1);
+          inv_all := F.mul !inv_all ai
+        end
       done;
-      a.(0) <- !inv_all
+      if not (F.is_zero a.(0)) then a.(0) <- !inv_all
     end
 end

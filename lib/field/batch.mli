@@ -2,7 +2,8 @@
     of one inversion and [3n] multiplications. *)
 
 module Make (F : Field_intf.S) : sig
-  (** [invert_all a] inverts every element in place.
-      Raises [Division_by_zero] if any element is zero. *)
+  (** [invert_all a] inverts every non-zero element in place; zero
+      entries are skipped and remain zero (they no longer corrupt the
+      other outputs through the shared prefix product). *)
   val invert_all : F.t array -> unit
 end

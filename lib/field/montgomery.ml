@@ -71,7 +71,7 @@ end) : Field_intf.S = struct
 
   (* CIOS Montgomery multiplication (Koç–Acar–Kaliski). *)
   let mont_mul a b =
-    if !obs_on then mul_metric.Zkvc_obs.Metrics.value <- mul_metric.Zkvc_obs.Metrics.value + 1;
+    if !obs_on then Atomic.incr mul_metric.Zkvc_obs.Metrics.value;
     let t = Array.make (k + 2) 0 in
     for i = 0 to k - 1 do
       let ai = a.(i) in

@@ -1,54 +1,107 @@
 (* Named counters / gauges / histograms for prover internals. Instruments
-   are interned by name so hot paths can hold the record and bump a
-   mutable field; every write is guarded by the shared sink flag. *)
+   are interned by name so hot paths can hold the record and bump it;
+   every write is guarded by the shared sink flag.
 
-type counter = { c_name : string; mutable value : int }
+   Domain-safety: counters are atomic (lock-free increments from worker
+   domains); gauge and histogram writes take [write_mutex] — they sit on
+   per-call paths (one observation per MSM/NTT), never in per-field-op
+   loops. Histograms retain at most [reservoir_capacity] samples via
+   deterministic reservoir sampling and keep [count]/[sum] exact; the
+   sorted view is cached between observations so [percentile] is O(1)
+   after the first query. *)
+
+type counter = { c_name : string; value : int Atomic.t }
 
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
 
+(** Maximum samples a histogram retains; extra observations replace
+    retained ones with probability [capacity/count] (reservoir). *)
+let reservoir_capacity = 1024
+
 type histogram =
   { h_name : string;
-    mutable samples : float list; (* reverse observation order *)
+    mutable samples : float array; (* reservoir; first [n_retained] slots live *)
+    mutable n_retained : int;
     mutable h_count : int;
-    mutable h_sum : float }
+    mutable h_sum : float;
+    mutable rng : int; (* deterministic LCG state for reservoir replacement *)
+    mutable sorted : float array option (* cache, dropped on every observe *) }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let intern tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some v -> v
-  | None ->
-    let v = make () in
-    Hashtbl.replace tbl name v;
-    v
+(* Guards gauge/histogram mutation and instrument interning. *)
+let write_mutex = Mutex.create ()
 
-let counter name = intern counters name (fun () -> { c_name = name; value = 0 })
+let intern tbl name make =
+  Mutex.lock write_mutex;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.replace tbl name v;
+      v
+  in
+  Mutex.unlock write_mutex;
+  v
+
+let counter name = intern counters name (fun () -> { c_name = name; value = Atomic.make 0 })
 
 let gauge name =
   intern gauges name (fun () -> { g_name = name; g_value = 0.; g_set = false })
 
 let histogram name =
-  intern histograms name (fun () -> { h_name = name; samples = []; h_count = 0; h_sum = 0. })
+  intern histograms name (fun () ->
+      { h_name = name;
+        samples = [||];
+        n_retained = 0;
+        h_count = 0;
+        h_sum = 0.;
+        rng = Hashtbl.hash name;
+        sorted = None })
 
-let incr c = if !Sink.enabled then c.value <- c.value + 1
-let add c n = if !Sink.enabled then c.value <- c.value + n
-let counter_value c = c.value
+let incr c = if !Sink.enabled then Atomic.incr c.value
+let add c n = if !Sink.enabled then ignore (Atomic.fetch_and_add c.value n)
+let counter_value c = Atomic.get c.value
 
 let set g v =
   if !Sink.enabled then begin
+    Mutex.lock write_mutex;
     g.g_value <- v;
-    g.g_set <- true
+    g.g_set <- true;
+    Mutex.unlock write_mutex
   end
 
 let gauge_value g = if g.g_set then Some g.g_value else None
 
+let lcg st = ((st * 25214903917) + 11) land 0x3FFFFFFFFFFFF
+
 let observe h v =
   if !Sink.enabled then begin
-    h.samples <- v :: h.samples;
+    Mutex.lock write_mutex;
     h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v
+    h.h_sum <- h.h_sum +. v;
+    h.sorted <- None;
+    if h.n_retained < reservoir_capacity then begin
+      if Array.length h.samples = h.n_retained then begin
+        let cap =
+          Stdlib.min reservoir_capacity (Stdlib.max 16 (2 * Array.length h.samples))
+        in
+        let grown = Array.make cap 0. in
+        Array.blit h.samples 0 grown 0 h.n_retained;
+        h.samples <- grown
+      end;
+      h.samples.(h.n_retained) <- v;
+      h.n_retained <- h.n_retained + 1
+    end
+    else begin
+      h.rng <- lcg h.rng;
+      let slot = h.rng mod h.h_count in
+      if slot < reservoir_capacity then h.samples.(slot) <- v
+    end;
+    Mutex.unlock write_mutex
   end
 
 let observe_int h v = observe h (float_of_int v)
@@ -57,12 +110,29 @@ let hist_count h = h.h_count
 
 let hist_sum h = h.h_sum
 
-(* Nearest-rank percentile over all retained samples; [p] in [0, 100]. *)
+let hist_retained h = h.n_retained
+
+let sorted_samples h =
+  Mutex.lock write_mutex;
+  let s =
+    match h.sorted with
+    | Some s -> s
+    | None ->
+      let s = Array.sub h.samples 0 h.n_retained in
+      Array.sort compare s;
+      h.sorted <- Some s;
+      s
+  in
+  Mutex.unlock write_mutex;
+  s
+
+(* Nearest-rank percentile over the retained reservoir; [p] in [0, 100].
+   Exact while fewer than [reservoir_capacity] samples were observed,
+   an unbiased-sample estimate beyond that. *)
 let percentile h p =
   if h.h_count = 0 then None
   else begin
-    let sorted = List.sort compare h.samples in
-    let arr = Array.of_list sorted in
+    let arr = sorted_samples h in
     let n = Array.length arr in
     let rank =
       int_of_float (ceil (p /. 100. *. float_of_int n))
@@ -72,14 +142,19 @@ let percentile h p =
   end
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.value <- 0) counters;
+  Mutex.lock write_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
   Hashtbl.iter (fun _ g -> g.g_value <- 0.; g.g_set <- false) gauges;
   Hashtbl.iter
     (fun _ h ->
-      h.samples <- [];
+      h.samples <- [||];
+      h.n_retained <- 0;
       h.h_count <- 0;
-      h.h_sum <- 0.)
-    histograms
+      h.h_sum <- 0.;
+      h.rng <- Hashtbl.hash h.h_name;
+      h.sorted <- None)
+    histograms;
+  Mutex.unlock write_mutex
 
 let sorted_bindings tbl name_of =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
@@ -96,7 +171,8 @@ let snapshot () =
   let counters_json =
     sorted_bindings counters (fun c -> c.c_name)
     |> List.filter_map (fun c ->
-           if c.value = 0 then None else Some (c.c_name, Json.Int c.value))
+           let v = counter_value c in
+           if v = 0 then None else Some (c.c_name, Json.Int v))
   in
   let gauges_json =
     sorted_bindings gauges (fun g -> g.g_name)
@@ -129,12 +205,13 @@ let to_string () =
   let b = Buffer.create 256 in
   let nonzero_counters =
     sorted_bindings counters (fun c -> c.c_name)
-    |> List.filter (fun c -> c.value <> 0)
+    |> List.filter (fun c -> counter_value c <> 0)
   in
   if nonzero_counters <> [] then begin
     Buffer.add_string b "counters:\n";
     List.iter
-      (fun c -> Buffer.add_string b (Printf.sprintf "  %-32s %d\n" c.c_name c.value))
+      (fun c ->
+        Buffer.add_string b (Printf.sprintf "  %-32s %d\n" c.c_name (counter_value c)))
       nonzero_counters
   end;
   let set_gauges =

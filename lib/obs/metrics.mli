@@ -5,11 +5,19 @@
     Instruments are interned by name: calling [counter name] twice returns
     the same instrument. All writes are guarded by the {!Sink} flag, so a
     disabled sink records nothing and costs one load + branch per write
-    site. Like spans, the registry is thread-unsafe by design. *)
+    site.
 
-type counter = { c_name : string; mutable value : int }
+    Domain-safety: counters use atomic increments so worker domains (see
+    [Zkvc_parallel]) never lose updates; gauge and histogram writes are
+    serialised by an internal mutex. Histograms retain at most
+    {!reservoir_capacity} samples (deterministic reservoir sampling) while
+    keeping [count] and [sum] exact, and cache the sorted view between
+    observations so repeated {!percentile} queries cost O(1). *)
+
+type counter = { c_name : string; value : int Atomic.t }
 (** Exposed as a record so hot loops can hold the instrument and bump
-    [value] directly after checking [Sink.enabled]. *)
+    [value] directly (e.g. [Atomic.incr c.value]) after checking
+    [Sink.enabled]. *)
 
 type gauge
 
@@ -26,13 +34,26 @@ val counter_value : counter -> int
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float option
 
+(** Maximum samples a histogram retains; beyond it, reservoir sampling
+    keeps an unbiased subset while [hist_count]/[hist_sum] stay exact. *)
+val reservoir_capacity : int
+
 val observe : histogram -> float -> unit
 val observe_int : histogram -> int -> unit
+
+(** Exact number of observations (not bounded by the reservoir). *)
 val hist_count : histogram -> int
+
+(** Exact sum of all observations. *)
 val hist_sum : histogram -> float
 
-(** Nearest-rank percentile over all retained samples, [p] in [0,100];
-    [None] when empty. [percentile h 0.] is the minimum, [100.] the max. *)
+(** Samples currently retained, at most {!reservoir_capacity}. *)
+val hist_retained : histogram -> int
+
+(** Nearest-rank percentile over the retained samples, [p] in [0,100];
+    [None] when empty. [percentile h 0.] is the minimum, [100.] the max.
+    Exact until {!reservoir_capacity} observations, a reservoir estimate
+    after that. *)
 val percentile : histogram -> float -> float option
 
 (** Zero all registered instruments (registrations themselves persist). *)

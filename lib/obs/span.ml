@@ -1,8 +1,11 @@
 (* Hierarchical spans: nestable named regions capturing wall time and
-   allocation deltas from [Gc.quick_stat]. A single implicit stack makes
-   the API reentrant ([with_span] inside [with_span]) but deliberately
-   thread-unsafe — the provers are single-threaded and the disabled fast
-   path must stay branch-cheap.
+   allocation deltas from [Gc.quick_stat]. The implicit stack lives in
+   domain-local storage, so [with_span] is reentrant AND safe to call
+   from Zkvc_parallel worker domains: each domain records onto its own
+   stack. Exporters read the calling domain's state, so worker-side spans
+   are effectively discarded — the supported recording pattern is to open
+   spans on the coordinating domain around parallel regions, which is
+   what every instrumented kernel does.
 
    When the sink is disabled, [with_span] is one flag load away from a
    direct call of the thunk: no span record, no clock read, no Gc stat. *)
@@ -25,25 +28,36 @@ let clock = ref Sys.time
 let set_clock f = clock := f
 let now () = !clock ()
 
-let seq_counter = ref 0
-let stack : t list ref = ref []
-let rev_roots : t list ref = ref []
-let last : t option ref = ref None
+(* creation order is global (atomic) so sequence numbers stay unique even
+   when worker domains open spans; the stack/roots/last triple is
+   domain-local *)
+let seq_counter = Atomic.make 0
+
+type state =
+  { mutable stack : t list;
+    mutable rev_roots : t list;
+    mutable last : t option }
+
+let state_key =
+  Domain.DLS.new_key (fun () -> { stack = []; rev_roots = []; last = None })
+
+let state () = Domain.DLS.get state_key
 
 let recording () = !Sink.enabled
 
 let reset () =
-  stack := [];
-  rev_roots := [];
-  last := None;
-  seq_counter := 0
+  let st = state () in
+  st.stack <- [];
+  st.rev_roots <- [];
+  st.last <- None;
+  Atomic.set seq_counter 0
 
 let open_span name =
   let q = Gc.quick_stat () in
-  incr seq_counter;
+  let st = state () in
   let s =
     { name;
-      seq = !seq_counter;
+      seq = Atomic.fetch_and_add seq_counter 1 + 1;
       start_s = now ();
       stop_s = Float.nan;
       start_minor = q.Gc.minor_words;
@@ -53,7 +67,7 @@ let open_span name =
       major_words = 0.;
       rev_children = [] }
   in
-  stack := s :: !stack;
+  st.stack <- s :: st.stack;
   s
 
 let close_span s =
@@ -62,8 +76,9 @@ let close_span s =
   s.minor_words <- q.Gc.minor_words -. s.start_minor;
   s.major_words <-
     q.Gc.major_words -. s.start_major -. (q.Gc.promoted_words -. s.start_promoted);
-  (match !stack with
-   | top :: rest when top == s -> stack := rest
+  let st = state () in
+  (match st.stack with
+   | top :: rest when top == s -> st.stack <- rest
    | _ ->
      (* unbalanced close (an inner span escaped via an exception we did not
         wrap); drop frames down to this span so the stack self-heals *)
@@ -72,11 +87,11 @@ let close_span s =
        | _ :: rest -> drop rest
        | [] -> []
      in
-     stack := drop !stack);
-  (match !stack with
+     st.stack <- drop st.stack);
+  (match st.stack with
    | parent :: _ -> parent.rev_children <- s :: parent.rev_children
-   | [] -> rev_roots := s :: !rev_roots);
-  last := Some s
+   | [] -> st.rev_roots <- s :: st.rev_roots);
+  st.last <- Some s
 
 let with_span name f =
   if not !Sink.enabled then f ()
@@ -101,9 +116,9 @@ let minor_words s = s.minor_words
 let major_words s = s.major_words
 let children s = List.rev s.rev_children
 
-let roots () = List.rev !rev_roots
-let last_completed () = !last
-let depth () = List.length !stack
+let roots () = List.rev (state ()).rev_roots
+let last_completed () = (state ()).last
+let depth () = List.length (state ()).stack
 
 let rec find_rec s wanted =
   if s.name = wanted then Some s

@@ -1,9 +1,15 @@
 (** Hierarchical span tracing: nestable named regions capturing wall time
     plus allocation statistics from [Gc.quick_stat].
 
-    The span stack is implicit and reentrant but thread-unsafe (the provers
-    are single-threaded). While the {!Sink} is disabled, [with_span] costs
-    one flag check and allocates no span records. *)
+    The span stack is implicit, reentrant and domain-local: every domain
+    (including [Zkvc_parallel] workers) records onto its own stack, and
+    the read side ({!roots}, {!last_completed}, {!depth}) returns the
+    calling domain's state. Spans opened on worker domains are therefore
+    invisible to exporters running on the coordinating domain — the
+    supported pattern is to open spans on the coordinator around parallel
+    regions, which is what the instrumented kernels do. While the {!Sink}
+    is disabled, [with_span] costs one flag check and allocates no span
+    records. *)
 
 type t
 
@@ -20,8 +26,14 @@ val recording : unit -> bool
 val reset : unit -> unit
 
 (** Clock used for span timestamps; defaults to [Sys.time]. Binaries
-    linking unix should install [Unix.gettimeofday] for wall time. *)
+    should install a wall clock ([Unix.gettimeofday], or the bench's
+    monotonic clock) — process CPU time sums across domains and would
+    misreport parallel phases. Install before spawning workers. *)
 val set_clock : (unit -> float) -> unit
+
+(** Read the currently installed clock (used by [Api.run] timings so
+    measurements agree with span data even when the sink is off). *)
+val now : unit -> float
 
 (** {2 Read side} *)
 

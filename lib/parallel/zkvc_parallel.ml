@@ -1,0 +1,165 @@
+(* Chunk-grabbing domain pool. One shared task slot: the caller publishes
+   a task under [mutex], bumps [generation] and broadcasts; workers (and
+   the caller itself) pull chunks from the task's atomic cursor until it
+   is drained. Completion is detected by counting finished chunks, so the
+   caller never joins domains — workers are reused across calls and live
+   for the whole process.
+
+   Determinism needs nothing from this file beyond "every index is
+   processed exactly once": all parallelised kernels write disjoint slots
+   holding canonical field representations. *)
+
+type task =
+  { run : int -> int -> unit; (* process the half-open range [lo, hi) *)
+    hi : int;
+    chunk : int;
+    cursor : int Atomic.t;
+    chunks_left : int Atomic.t;
+    first_exn : exn option Atomic.t }
+
+let mutex = Mutex.create ()
+let work_cond = Condition.create ()
+let done_cond = Condition.create ()
+let current : task option ref = ref None
+let generation = ref 0
+let spawned = ref 0
+
+(* true on pool workers (set once per worker domain); a parallel call from
+   a worker runs sequentially rather than touching the shared task slot *)
+let on_worker = Domain.DLS.new_key (fun () -> false)
+
+(* true on the caller while a task is in flight; nested calls from the
+   caller's own chunks run sequentially *)
+let in_flight = ref false
+
+let max_jobs = 64
+
+let clamp_jobs n =
+  if n <= 0 then Stdlib.max 1 (Stdlib.min max_jobs (Domain.recommended_domain_count ()))
+  else Stdlib.max 1 (Stdlib.min max_jobs n)
+
+let env_jobs =
+  match Sys.getenv_opt "ZKVC_JOBS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n -> clamp_jobs n
+     | None -> 1)
+
+let current_jobs = ref env_jobs
+
+let jobs () = !current_jobs
+let set_jobs n = current_jobs := clamp_jobs n
+
+let run_chunks t =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add t.cursor t.chunk in
+    if lo < t.hi then begin
+      (try t.run lo (Stdlib.min (lo + t.chunk) t.hi)
+       with e -> ignore (Atomic.compare_and_set t.first_exn None (Some e)));
+      let left = Atomic.fetch_and_add t.chunks_left (-1) - 1 in
+      if left = 0 then begin
+        Mutex.lock mutex;
+        Condition.broadcast done_cond;
+        Mutex.unlock mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop () =
+  Domain.DLS.set on_worker true;
+  let seen = ref 0 in
+  while true do
+    Mutex.lock mutex;
+    while !generation = !seen do
+      Condition.wait work_cond mutex
+    done;
+    seen := !generation;
+    let t = !current in
+    Mutex.unlock mutex;
+    match t with Some t -> run_chunks t | None -> ()
+  done
+
+let ensure_workers n =
+  while !spawned < n do
+    ignore (Domain.spawn worker_loop);
+    incr spawned
+  done
+
+let sequential n f = if n > 0 then f 0 n
+
+let default_chunk n j = Stdlib.max 1 ((n + (4 * j) - 1) / (4 * j))
+
+let parallel_for_ranges ?chunk n f =
+  if n <= 0 then ()
+  else begin
+    let j = !current_jobs in
+    if j <= 1 || n = 1 || Domain.DLS.get on_worker || !in_flight then sequential n f
+    else begin
+      let chunk =
+        match chunk with Some c -> Stdlib.max 1 c | None -> default_chunk n j
+      in
+      let nchunks = (n + chunk - 1) / chunk in
+      if nchunks <= 1 then sequential n f
+      else begin
+        ensure_workers (j - 1);
+        let t =
+          { run = f;
+            hi = n;
+            chunk;
+            cursor = Atomic.make 0;
+            chunks_left = Atomic.make nchunks;
+            first_exn = Atomic.make None }
+        in
+        in_flight := true;
+        Mutex.lock mutex;
+        current := Some t;
+        incr generation;
+        Condition.broadcast work_cond;
+        Mutex.unlock mutex;
+        run_chunks t;
+        Mutex.lock mutex;
+        while Atomic.get t.chunks_left > 0 do
+          Condition.wait done_cond mutex
+        done;
+        current := None;
+        Mutex.unlock mutex;
+        in_flight := false;
+        match Atomic.get t.first_exn with Some e -> raise e | None -> ()
+      end
+    end
+  end
+
+let parallel_for ?chunk n f =
+  parallel_for_ranges ?chunk n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_init n f =
+  if n <= 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_for (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let parallel_map f a = parallel_init (Array.length a) (fun i -> f a.(i))
+
+let parallel_reduce ?chunk n ~init ~range ~combine =
+  if n <= 0 then init
+  else begin
+    let j = !current_jobs in
+    let chunk = match chunk with Some c -> Stdlib.max 1 c | None -> default_chunk n j in
+    let nchunks = (n + chunk - 1) / chunk in
+    if nchunks <= 1 then combine init (range 0 n)
+    else begin
+      let parts = Array.make nchunks init in
+      parallel_for ~chunk:1 nchunks (fun ci ->
+          let lo = ci * chunk in
+          parts.(ci) <- range lo (Stdlib.min (lo + chunk) n));
+      Array.fold_left combine init parts
+    end
+  end

@@ -1,0 +1,57 @@
+(** Fixed-size domain pool for the prover's embarrassingly-parallel
+    kernels (Pippenger windows, NTT butterflies, QAP column evaluation,
+    Pedersen row commitments, sumcheck table folds).
+
+    Worker domains are spawned once, on first use, and kept for the
+    process lifetime; work is distributed as contiguous index chunks
+    grabbed from an atomic cursor, with the calling domain participating.
+    The job count defaults to [1] — everything runs exactly as the
+    sequential code — unless raised via {!set_jobs}, [--jobs] on the CLI
+    and bench, or the [ZKVC_JOBS] environment variable ([0] means "one
+    job per recommended domain").
+
+    Determinism contract: every kernel parallelised through this module
+    computes each output slot as a pure function of its index over
+    canonical field representations, so results — and therefore proofs —
+    are byte-identical for every job count. Chunking decides only who
+    computes what, never what is computed.
+
+    Calls from a worker domain, or nested calls from inside a running
+    [parallel_*] body, degrade to sequential execution instead of
+    deadlocking on the shared pool. *)
+
+(** Current job count (>= 1). *)
+val jobs : unit -> int
+
+(** Set the job count. [n <= 0] selects [Domain.recommended_domain_count],
+    anything else is clamped to [1 .. 64]. Worker domains ([n - 1] of
+    them) are spawned lazily by the first parallel call that needs them. *)
+val set_jobs : int -> unit
+
+(** The job count requested by the [ZKVC_JOBS] environment variable at
+    startup (already applied), or [1] if unset/invalid. *)
+val env_jobs : int
+
+(** [parallel_for ?chunk n f] runs [f i] for every [i] in [0 .. n-1].
+    [f] must only write state owned by index [i]. *)
+val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
+
+(** [parallel_for_ranges ?chunk n f] partitions [0 .. n-1] into chunks
+    and calls [f lo hi] per chunk (half-open [lo, hi)). Useful when the
+    body wants to hoist per-chunk state (e.g. a seeded twiddle factor). *)
+val parallel_for_ranges : ?chunk:int -> int -> (int -> int -> unit) -> unit
+
+(** [parallel_init n f] is [Array.init n f] with the elements computed in
+    parallel ([f 0] runs first, on the caller, to seed the array). *)
+val parallel_init : int -> (int -> 'a) -> 'a array
+
+(** [parallel_map f a] is [Array.map f a] computed in parallel. *)
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_reduce ?chunk n ~init ~range ~combine] evaluates
+    [range lo hi] on disjoint chunks covering [0 .. n-1] and folds the
+    chunk results with [combine], seeded by [init], in ascending chunk
+    order. [range] must not mutate [init]; with an associative exact
+    [combine] (field addition) the result is independent of chunking. *)
+val parallel_reduce :
+  ?chunk:int -> int -> init:'a -> range:(int -> int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a

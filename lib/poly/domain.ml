@@ -1,9 +1,14 @@
 module Bigint = Zkvc_num.Bigint
+module Parallel = Zkvc_parallel
 
 (* Shared across field instantiations: radix-2 transform call count and
    the distribution of transform sizes. *)
 let ntt_calls = Zkvc_obs.Metrics.counter "poly.ntt.calls"
 let ntt_size = Zkvc_obs.Metrics.histogram "poly.ntt.size"
+
+(* Transforms below this size are always sequential: one butterfly layer
+   would not amortise a pool wake-up. *)
+let parallel_min_size = 1 lsl 10
 
 module Make (F : Zkvc_field.Field_intf.S) = struct
   module Batch = Zkvc_field.Batch.Make (F)
@@ -54,28 +59,47 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       end
     done
 
-  (* Iterative Cooley–Tukey; [root] must have order [Array.length a]. *)
+  (* Iterative Cooley–Tukey; [root] must have order [Array.length a].
+
+     Parallelism: within a layer every butterfly touches a disjoint index
+     pair, so blocks (early layers: many small blocks) or intra-block
+     ranges (late layers: few big blocks) can run on the pool. A range
+     starting at offset [j0] seeds its twiddle with [wlen^j0], which is
+     the same canonical field element the sequential running product
+     reaches — results are byte-identical for every job count. *)
   let ntt_with root a =
     let n = Array.length a in
     Zkvc_obs.Metrics.incr ntt_calls;
     Zkvc_obs.Metrics.observe_int ntt_size n;
     bit_reverse_permute a;
+    let parallel = Parallel.jobs () > 1 && n >= parallel_min_size in
     let len = ref 2 in
     while !len <= n do
       let wlen = F.pow root (Bigint.of_int (n / !len)) in
       let half = !len / 2 in
-      let i = ref 0 in
-      while !i < n do
-        let w = ref F.one in
-        for j = 0 to half - 1 do
-          let u = a.(!i + j) in
-          let v = F.mul a.(!i + j + half) !w in
-          a.(!i + j) <- F.add u v;
-          a.(!i + j + half) <- F.sub u v;
+      let nblocks = n / !len in
+      (* butterflies [j_lo, j_hi) of the block starting at [base] *)
+      let block_range base j_lo j_hi =
+        let w = ref (if j_lo = 0 then F.one else F.pow wlen (Bigint.of_int j_lo)) in
+        for j = j_lo to j_hi - 1 do
+          let u = a.(base + j) in
+          let v = F.mul a.(base + j + half) !w in
+          a.(base + j) <- F.add u v;
+          a.(base + j + half) <- F.sub u v;
           w := F.mul !w wlen
+        done
+      in
+      if not parallel then
+        for b = 0 to nblocks - 1 do
+          block_range (b * !len) 0 half
+        done
+      else if nblocks >= 2 * Parallel.jobs () then
+        Parallel.parallel_for nblocks (fun b -> block_range (b * !len) 0 half)
+      else
+        for b = 0 to nblocks - 1 do
+          let base = b * !len in
+          Parallel.parallel_for_ranges half (fun lo hi -> block_range base lo hi)
         done;
-        i := !i + !len
-      done;
       len := !len * 2
     done
 
@@ -86,19 +110,37 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     check_len d a "Domain.ntt";
     ntt_with d.omega a
 
+  let scale_all d a =
+    if Parallel.jobs () > 1 && d.size >= parallel_min_size then
+      Parallel.parallel_for d.size (fun i -> a.(i) <- F.mul a.(i) d.size_inv)
+    else
+      for i = 0 to d.size - 1 do
+        a.(i) <- F.mul a.(i) d.size_inv
+      done
+
   let intt d a =
     check_len d a "Domain.intt";
     ntt_with d.omega_inv a;
-    for i = 0 to d.size - 1 do
-      a.(i) <- F.mul a.(i) d.size_inv
-    done
+    scale_all d a
 
+  (* Coset pointwise scale a.(i) *= shift^i; each parallel range seeds
+     its running power with F.pow (canonical, so chunking-invariant). *)
   let scale_by_powers shift a =
-    let s = ref F.one in
-    for i = 0 to Array.length a - 1 do
-      a.(i) <- F.mul a.(i) !s;
-      s := F.mul !s shift
-    done
+    let n = Array.length a in
+    if Parallel.jobs () > 1 && n >= parallel_min_size then
+      Parallel.parallel_for_ranges n (fun lo hi ->
+          let s = ref (F.pow shift (Bigint.of_int lo)) in
+          for i = lo to hi - 1 do
+            a.(i) <- F.mul a.(i) !s;
+            s := F.mul !s shift
+          done)
+    else begin
+      let s = ref F.one in
+      for i = 0 to n - 1 do
+        a.(i) <- F.mul a.(i) !s;
+        s := F.mul !s shift
+      done
+    end
 
   let eval_on_coset d shift a =
     check_len d a "Domain.eval_on_coset";
@@ -108,9 +150,7 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
   let interp_from_coset d shift a =
     check_len d a "Domain.interp_from_coset";
     ntt_with d.omega_inv a;
-    for i = 0 to d.size - 1 do
-      a.(i) <- F.mul a.(i) d.size_inv
-    done;
+    scale_all d a;
     scale_by_powers (F.inv shift) a
 
   let vanishing_eval d x = F.sub (F.pow x (Bigint.of_int d.size)) F.one

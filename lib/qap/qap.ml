@@ -11,6 +11,7 @@
     Groth16's input-consistency argument. *)
 
 module Bigint = Zkvc_num.Bigint
+module Parallel = Zkvc_parallel
 
 module Make (F : Zkvc_field.Field_intf.S) = struct
   module Cs = Zkvc_r1cs.Constraint_system.Make (F)
@@ -53,12 +54,18 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     let a = Array.make n F.zero
     and b = Array.make n F.zero
     and c = Array.make n F.zero in
-    Array.iteri
-      (fun i { Cs.a = la; b = lb; c = lc; label = _ } ->
-        a.(i) <- L.eval la assignment;
-        b.(i) <- L.eval lb assignment;
-        c.(i) <- L.eval lc assignment)
-      t.cs.Cs.constraints;
+    (* rows are independent dot products against the shared (read-only)
+       assignment — the QAP column-evaluation parallel axis *)
+    let rows = t.cs.Cs.constraints in
+    let eval_row i =
+      let { Cs.a = la; b = lb; c = lc; label = _ } = rows.(i) in
+      a.(i) <- L.eval la assignment;
+      b.(i) <- L.eval lb assignment;
+      c.(i) <- L.eval lc assignment
+    in
+    if Parallel.jobs () > 1 && Array.length rows >= 256 then
+      Parallel.parallel_for (Array.length rows) eval_row
+    else Array.iteri (fun i _ -> eval_row i) rows;
     let base = Cs.num_constraints t.cs in
     for j = 0 to Cs.num_inputs t.cs do
       a.(base + j) <- assignment.(j)
@@ -79,9 +86,12 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     D.eval_on_coset t.domain t.coset_shift c;
     let zinv = F.inv (D.vanishing_eval t.domain t.coset_shift) in
     let h = Array.make n F.zero in
-    for i = 0 to n - 1 do
-      h.(i) <- F.mul zinv (F.sub (F.mul a.(i) b.(i)) c.(i))
-    done;
+    let quotient i = h.(i) <- F.mul zinv (F.sub (F.mul a.(i) b.(i)) c.(i)) in
+    if Parallel.jobs () > 1 && n >= 1024 then Parallel.parallel_for n quotient
+    else
+      for i = 0 to n - 1 do
+        quotient i
+      done;
     D.interp_from_coset t.domain t.coset_shift h;
     (* deg h ≤ n - 2 for a satisfying assignment *)
     Array.sub h 0 (n - 1)

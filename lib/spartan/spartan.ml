@@ -9,6 +9,7 @@ module Ml = Zkvc_poly.Multilinear.Make (Fr)
 module T = Zkvc_transcript.Transcript
 module Ch = T.Challenge (Fr)
 module Span = Zkvc_obs.Span
+module Parallel = Zkvc_parallel
 
 type instance =
   { mu : int; (* log2 padded rows *)
@@ -144,9 +145,14 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
   let nrows = 1 lsl key.wrows and ncols = 1 lsl key.wcols in
   let blinds = Array.init nrows (fun _ -> Fr.random st) in
   let comm_rows =
+    (* rows commit independently; the MSM inside each commit degrades to
+       its sequential path when called from a pool worker *)
     Span.with_span "prove.commit_witness" (fun () ->
-        Array.init nrows (fun i ->
-            Pedersen.commit key.pedersen (Array.sub w (i * ncols) ncols) ~blind:blinds.(i)))
+        let commit_row i =
+          Pedersen.commit key.pedersen (Array.sub w (i * ncols) ncols) ~blind:blinds.(i)
+        in
+        if Parallel.jobs () > 1 && nrows >= 4 then Parallel.parallel_init nrows commit_row
+        else Array.init nrows commit_row)
   in
   let public_inputs = Array.to_list (Array.sub assignment 1 t.num_inputs) in
   let tr = transcript_init t ~public_inputs in
@@ -175,8 +181,12 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
         let ma = Sm.fold_rows t.a weights
         and mb = Sm.fold_rows t.b weights
         and mc = Sm.fold_rows t.c weights in
-        Array.init (2 * t.half) (fun j ->
-            Fr.add (Fr.mul ra ma.(j)) (Fr.add (Fr.mul rb mb.(j)) (Fr.mul rc mc.(j)))))
+        let combine j =
+          Fr.add (Fr.mul ra ma.(j)) (Fr.add (Fr.mul rb mb.(j)) (Fr.mul rc mc.(j)))
+        in
+        let n = 2 * t.half in
+        if Parallel.jobs () > 1 && n >= 1024 then Parallel.parallel_init n combine
+        else Array.init n combine)
   in
   let sc2, ry, _finals2 =
     Span.with_span "prove.sumcheck2" (fun () ->
@@ -189,13 +199,16 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
         let ry_w = List.tl ry in
         let lcoords, _rcoords = split_at key.wrows ry_w in
         let lweights = Ml.evals (Ml.eq_table lcoords) in
+        let fold_col j =
+          let acc = ref Fr.zero in
+          for i = 0 to nrows - 1 do
+            acc := Fr.add !acc (Fr.mul lweights.(i) w.((i * ncols) + j))
+          done;
+          !acc
+        in
         let folded =
-          Array.init ncols (fun j ->
-              let acc = ref Fr.zero in
-              for i = 0 to nrows - 1 do
-                acc := Fr.add !acc (Fr.mul lweights.(i) w.((i * ncols) + j))
-              done;
-              !acc)
+          if Parallel.jobs () > 1 && ncols >= 64 then Parallel.parallel_init ncols fold_col
+          else Array.init ncols fold_col
         in
         let fold_blind =
           let acc = ref Fr.zero in

@@ -4,12 +4,17 @@
     [Σ_{x ∈ {0,1}^µ} combine(t_1(x), ..., t_k(x))] where [combine] is a
     polynomial of total degree [degree] in the table values. *)
 
+module Parallel = Zkvc_parallel
+
 module Make (F : Zkvc_field.Field_intf.S) = struct
   module T = Zkvc_transcript.Transcript
   module Ch = T.Challenge (F)
   module Span = Zkvc_obs.Span
 
   let rounds_metric = Zkvc_obs.Metrics.counter "sumcheck.rounds"
+
+  (* rounds with fewer table entries than this run sequentially *)
+  let parallel_min_half = 1 lsl 10
 
   (** One round message: evaluations of the round polynomial at
       0, 1, ..., degree. *)
@@ -56,28 +61,66 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       let round_body () =
         Zkvc_obs.Metrics.incr rounds_metric;
         let half = !current_len / 2 in
-        let evals = Array.make (degree + 1) F.zero in
-        for i = 0 to half - 1 do
-          for xi = 0 to degree do
-            let x = xs.(xi) in
-            Array.iteri
-              (fun t_idx t ->
-                let lo = t.(i) and hi = t.(i + half) in
-                (* value of the table's MLE with first var := x *)
-                point_values.(t_idx) <- F.add lo (F.mul x (F.sub hi lo)))
-              tables;
-            evals.(xi) <- F.add evals.(xi) (combine point_values)
-          done
-        done;
+        let parallel = Parallel.jobs () > 1 && half >= parallel_min_half in
+        (* per-index contributions to the round polynomial; the sum over
+           i is a modular (exact, associative) reduction, so partial sums
+           per chunk recombine to the same field elements regardless of
+           how the range is split *)
+        let eval_range lo_i hi_i =
+          let local = Array.make (degree + 1) F.zero in
+          let pv = Array.make (Array.length tables) F.zero in
+          for i = lo_i to hi_i - 1 do
+            for xi = 0 to degree do
+              let x = xs.(xi) in
+              Array.iteri
+                (fun t_idx t ->
+                  let lo = t.(i) and hi = t.(i + half) in
+                  (* value of the table's MLE with first var := x *)
+                  pv.(t_idx) <- F.add lo (F.mul x (F.sub hi lo)))
+                tables;
+              local.(xi) <- F.add local.(xi) (combine pv)
+            done
+          done;
+          local
+        in
+        let evals =
+          if parallel then
+            Parallel.parallel_reduce half
+              ~init:(Array.make (degree + 1) F.zero)
+              ~range:eval_range
+              ~combine:(fun x y -> Array.map2 F.add x y)
+          else begin
+            (* sequential path reuses the hoisted point_values scratch *)
+            let evals = Array.make (degree + 1) F.zero in
+            for i = 0 to half - 1 do
+              for xi = 0 to degree do
+                let x = xs.(xi) in
+                Array.iteri
+                  (fun t_idx t ->
+                    let lo = t.(i) and hi = t.(i + half) in
+                    point_values.(t_idx) <- F.add lo (F.mul x (F.sub hi lo)))
+                  tables;
+                evals.(xi) <- F.add evals.(xi) (combine point_values)
+              done
+            done;
+            evals
+          end
+        in
         Ch.absorb_array transcript ~label:(label ^ "/round") evals;
         let r = Ch.challenge transcript ~label:(label ^ "/chal") in
-        (* fold every table: first variable := r *)
+        (* fold every table: first variable := r; index i touches only
+           slots i and i + half, disjoint across the parallel range *)
         Array.iter
           (fun t ->
-            for i = 0 to half - 1 do
-              let lo = t.(i) and hi = t.(i + half) in
-              t.(i) <- F.add lo (F.mul r (F.sub hi lo))
-            done)
+            if parallel then
+              Parallel.parallel_for half (fun i ->
+                  let lo = t.(i) and hi = t.(i + half) in
+                  t.(i) <- F.add lo (F.mul r (F.sub hi lo)))
+            else
+              for i = 0 to half - 1 do
+                let lo = t.(i) and hi = t.(i + half) in
+                t.(i) <- F.add lo (F.mul r (F.sub hi lo))
+              done)
           tables;
         current_len := half;
         rounds := evals :: !rounds;

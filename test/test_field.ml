@@ -91,6 +91,60 @@ module Fr_suite = Make_suite (Zkvc_field.Fr) (struct let name = "Fr" end)
 module Fq_suite = Make_suite (Zkvc_field.Fq) (struct let name = "Fq" end)
 module Fsmall_suite = Make_suite (Zkvc_field.Fsmall) (struct let name = "Fsmall" end)
 
+module Fr = Zkvc_field.Fr
+module Fr_batch = Zkvc_field.Batch.Make (Fr)
+
+let batch_tests =
+  let st = Random.State.make [| 3; 1; 4 |] in
+  (* (length, zero mask) — masks include all-zero and no-zero extremes *)
+  let arb =
+    QCheck.make
+      ~print:(fun (n, mask) ->
+        Printf.sprintf "n=%d mask=%s" n
+          (String.concat "" (List.map (fun b -> if b then "0" else "x") mask)))
+      QCheck.Gen.(
+        1 -- 40 >>= fun n ->
+        list_repeat n (frequency [ (3, return false); (1, return true) ]) >>= fun mask ->
+        return (n, mask))
+  in
+  let qcheck_zeros =
+    QCheck.Test.make ~name:"invert_all skips zeros, inverts the rest" ~count:300 arb
+      (fun (n, mask) ->
+        let mask = Array.of_list mask in
+        let a =
+          Array.init n (fun i ->
+              if mask.(i) then Fr.zero
+              else
+                let rec nz () =
+                  let x = Fr.random st in
+                  if Fr.is_zero x then nz () else x
+                in
+                nz ())
+        in
+        let orig = Array.copy a in
+        Fr_batch.invert_all a;
+        Array.for_all2
+          (fun x y ->
+            if Fr.is_zero x then Fr.is_zero y else Fr.is_one (Fr.mul x y))
+          orig a)
+  in
+  [ Alcotest.test_case "invert_all: all zeros is a no-op" `Quick (fun () ->
+        let a = Array.make 5 Fr.zero in
+        Fr_batch.invert_all a;
+        Alcotest.(check bool) "all zero" true (Array.for_all Fr.is_zero a));
+    Alcotest.test_case "invert_all: zero in first and last slot" `Quick (fun () ->
+        let x = Fr.of_int 7 in
+        let a = [| Fr.zero; x; Fr.zero |] in
+        Fr_batch.invert_all a;
+        Alcotest.(check bool) "a.(0)" true (Fr.is_zero a.(0));
+        Alcotest.(check bool) "a.(1)" true (Fr.is_one (Fr.mul a.(1) x));
+        Alcotest.(check bool) "a.(2)" true (Fr.is_zero a.(2)));
+    Alcotest.test_case "invert_all: empty array" `Quick (fun () ->
+        let a = [||] in
+        Fr_batch.invert_all a;
+        Alcotest.(check int) "len" 0 (Array.length a));
+    QCheck_alcotest.to_alcotest qcheck_zeros ]
+
 let known_value_tests =
   [ Alcotest.test_case "Fr modulus bits" `Quick (fun () ->
         Alcotest.(check int) "254" 254 (B.num_bits Zkvc_field.Fr.modulus);
@@ -119,4 +173,8 @@ let known_value_tests =
 
 let () =
   Alcotest.run "zkvc_field"
-    [ Fr_suite.suite; Fq_suite.suite; Fsmall_suite.suite; ("known-values", known_value_tests) ]
+    [ Fr_suite.suite;
+      Fq_suite.suite;
+      Fsmall_suite.suite;
+      ("known-values", known_value_tests);
+      ("batch-inversion", batch_tests) ]

@@ -123,6 +123,64 @@ let test_histogram_percentiles () =
   check_bool "empty histogram has no percentile" true
     (Metrics.percentile (Metrics.histogram "test.empty") 50. = None)
 
+let test_histogram_reservoir_bounds () =
+  fresh ();
+  Obs.Sink.enable ();
+  let h = Metrics.histogram "test.reservoir" in
+  let n = 10_000 in
+  for i = 1 to n do
+    Metrics.observe_int h i
+  done;
+  Obs.Sink.disable ();
+  check_int "count stays exact past the cap" n (Metrics.hist_count h);
+  check_bool "sum stays exact past the cap" true
+    (Metrics.hist_sum h = float_of_int (n * (n + 1) / 2));
+  check_bool "retention bounded" true
+    (Metrics.hist_retained h <= Metrics.reservoir_capacity);
+  check_int "full reservoir" Metrics.reservoir_capacity (Metrics.hist_retained h);
+  (* sampled percentiles stay inside the observed range and ordered *)
+  let p x = Option.get (Metrics.percentile h x) in
+  check_bool "percentiles within range" true (p 0. >= 1. && p 100. <= float_of_int n);
+  check_bool "percentiles monotone" true (p 10. <= p 50. && p 50. <= p 90.)
+
+let test_histogram_cache_interleaving () =
+  fresh ();
+  Obs.Sink.enable ();
+  let h = Metrics.histogram "test.cache" in
+  (* percentile reads (which build the sorted cache) interleaved with
+     observations must always reflect every observation so far *)
+  Metrics.observe h 5.;
+  check_bool "p100 after first" true (Metrics.percentile h 100. = Some 5.);
+  Metrics.observe h 9.;
+  check_bool "p100 sees new max" true (Metrics.percentile h 100. = Some 9.);
+  check_bool "p0 unchanged" true (Metrics.percentile h 0. = Some 5.);
+  Metrics.observe h 1.;
+  Obs.Sink.disable ();
+  check_bool "p0 sees new min" true (Metrics.percentile h 0. = Some 1.);
+  check_int "count" 3 (Metrics.hist_count h)
+
+let test_counters_atomic_across_domains () =
+  fresh ();
+  Obs.Sink.enable ();
+  let c = Metrics.counter "test.multicore" in
+  let h = Metrics.histogram "test.multicore.hist" in
+  let per_domain = 20_000 and ndomains = 4 in
+  let worker () =
+    for i = 1 to per_domain do
+      Metrics.incr c;
+      (* histogram observes serialise on an internal lock *)
+      if i land 1023 = 0 then Metrics.observe_int h i
+    done
+  in
+  let ds = List.init (ndomains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  Obs.Sink.disable ();
+  check_int "no lost increments" (ndomains * per_domain) (Metrics.counter_value c);
+  check_int "no lost observations"
+    (ndomains * (per_domain / 1024))
+    (Metrics.hist_count h)
+
 (* ------------------------------------------------------------------ *)
 (* json                                                                *)
 
@@ -256,7 +314,13 @@ let () =
           Alcotest.test_case "disabled fast path" `Quick test_disabled_fast_path ] );
       ( "metrics",
         [ Alcotest.test_case "sink gating" `Quick test_metrics_gated_by_sink;
-          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles ] );
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "reservoir bounds retention" `Quick
+            test_histogram_reservoir_bounds;
+          Alcotest.test_case "sorted cache tracks observations" `Quick
+            test_histogram_cache_interleaving;
+          Alcotest.test_case "counters atomic across domains" `Quick
+            test_counters_atomic_across_domains ] );
       ( "export",
         [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid ] );

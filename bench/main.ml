@@ -10,14 +10,23 @@
      abl   design-choice ablations called out in DESIGN.md
      micro substrate micro-benchmarks (Bechamel)
 
-   Usage: main.exe [--full] [--only SECTIONS] [--scale N] [--jobs N] [--json FILE]
+   Usage: main.exe [--full] [--only SECTIONS] [--scale N] [--jobs N]
+                   [--repeat N] [--json FILE]
      --full       run matmul benches at the paper's dimensions (slow)
      --scale N    divide matmul dimensions by N (default 4; 1 = paper size)
      --jobs N     prover worker domains (0 = all cores; default
                   ZKVC_JOBS or 1)
      --only ...   comma-separated subset of {tab1,fig3,fig6,tab2,tab3,tab4,abl,micro}
-     --json FILE  also write every matmul measurement as a machine-readable
-                  JSON report (perf trajectory for future PRs)
+     --repeat N   repeat every matmul measurement N times after one
+                  untimed warmup run; tables and the report carry the
+                  median (and the report the per-rep times + MAD)
+     --json FILE  also write every matmul measurement as a schema-versioned
+                  Zkvc_obs.Report (the perf trajectory diffed by
+                  tools/perf_diff); "-" writes the report to stdout and
+                  moves the human tables to stderr so it pipes cleanly
+
+   Human tables go to stdout; progress and log chatter go to stderr
+   (swapped as described above under --json -).
 
    All times are monotonic wall-clock (bechamel's clock_gettime stub),
    never [Sys.time]: that is process CPU time, which sums across worker
@@ -54,15 +63,23 @@ let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let full = ref false
 let scale = ref 4
+let repeat = ref 1
 let only : string list ref = ref []
 let json_file : string option ref = ref None
+
+(* human tables; redirected to stderr when --json - owns stdout *)
+let out = ref stdout
+let tbl fmt = Printf.fprintf !out fmt
+
+(* progress / log chatter, never on the table stream *)
+let progress fmt = Printf.eprintf fmt
 
 let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "abl"; "micro" ]
 
 let usage_error msg =
   Printf.eprintf "bench: %s\n" msg;
   Printf.eprintf
-    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--json FILE]\n";
+    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--repeat N] [--json FILE]\n";
   exit 2
 
 let () =
@@ -98,6 +115,13 @@ let () =
       only := sections;
       parse rest
     | [ "--only" ] -> usage_error "--only expects an argument"
+    | "--repeat" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some r when r >= 1 -> repeat := r
+       | Some r -> usage_error (Printf.sprintf "--repeat must be >= 1, got %d" r)
+       | None -> usage_error (Printf.sprintf "--repeat expects an integer, got %S" n));
+      parse rest
+    | [ "--repeat" ] -> usage_error "--repeat expects an argument"
     | "--json" :: f :: rest ->
       json_file := Some f;
       parse rest
@@ -105,66 +129,127 @@ let () =
     | arg :: _ -> usage_error ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* with the report on stdout, the human tables move to stderr so the
+     machine output stays pipeable *)
+  if !json_file = Some "-" then out := stderr;
   (* every Api.run / Span timing in this process reads wall time, not
      CPU time; install before any worker domain is spawned *)
   Obs.Span.set_clock now
 
 let enabled section = !only = [] || List.mem section !only
 
-(* rows of the machine-readable report, newest last *)
-let json_results : Json.t list ref = ref []
+(* ------------------------------------------------------------------ *)
+(* machine-readable report (Zkvc_obs.Report, schema zkvc-bench/2)       *)
 
-let record_measurement ~section ~scheme (m : Api.measurement) =
-  if !json_file <> None then
-    json_results :=
-      Json.Obj
-        [ ("section", Json.String section);
-          ("scheme", Json.String scheme);
-          ("strategy", Json.String (Mc.strategy_name m.Api.strategy));
-          ("backend", Json.String (Api.backend_name m.Api.backend));
-          ( "dims",
-            Json.Obj
-              [ ("a", Json.Int m.Api.dims.Mspec.a);
-                ("n", Json.Int m.Api.dims.Mspec.n);
-                ("b", Json.Int m.Api.dims.Mspec.b) ] );
-          ("constraints", Json.Int m.Api.constraints);
-          ("variables", Json.Int m.Api.variables);
-          ("nonzero_a", Json.Int m.Api.nonzero_a);
-          ("proof_bytes", Json.Int m.Api.proof_bytes);
-          ("setup_s", Json.Float m.Api.timings.Api.setup_s);
-          ("prove_s", Json.Float m.Api.timings.Api.prove_s);
-          ("verify_s", Json.Float m.Api.timings.Api.verify_s) ]
-      :: !json_results
+(* Commit of the measured tree, read straight from .git so the bench
+   needs no subprocess: HEAD is either a detached sha or a symref into
+   refs/ (possibly packed). Best effort — "unknown" on any surprise. *)
+let git_rev () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          Some (String.trim (input_line ic)))
+    with Sys_error _ | End_of_file -> None
+  in
+  match read_line ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+    if String.length head >= 5 && String.sub head 0 5 = "ref: " then begin
+      let r = String.sub head 5 (String.length head - 5) in
+      match read_line (Filename.concat ".git" r) with
+      | Some sha -> sha
+      | None -> (
+        (* loose ref absent: look for "SHA refs/..." in packed-refs *)
+        try
+          let ic = open_in ".git/packed-refs" in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+              let rec scan () =
+                let line = input_line ic in
+                match String.index_opt line ' ' with
+                | Some i when String.sub line (i + 1) (String.length line - i - 1) = r ->
+                  String.sub line 0 i
+                | _ -> scan ()
+              in
+              try scan () with End_of_file -> "unknown")
+        with Sys_error _ -> "unknown")
+    end
+    else head
+
+let iso8601_utc_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* measurements of the report, newest first *)
+let report_measurements : Obs.Report.measurement list ref = ref []
+
+(* One report measurement from the timed reps of one (section, scheme,
+   strategy, backend, dims) cell; the deterministic ledger fields are
+   identical across reps, the GC fields come from the last rep. *)
+let record_measurement ~section ~scheme (ms : Api.measurement list) =
+  if !json_file <> None then begin
+    let m = List.nth ms (List.length ms - 1) in
+    let reps =
+      List.map
+        (fun (r : Api.measurement) ->
+          { Obs.Report.setup_s = r.Api.timings.Api.setup_s;
+            prove_s = r.Api.timings.Api.prove_s;
+            verify_s = r.Api.timings.Api.verify_s })
+        ms
+    in
+    let ledger =
+      { Obs.Report.constraints = m.Api.constraints;
+        variables = m.Api.variables;
+        nonzero_a = m.Api.nonzero_a;
+        nonzero_b = m.Api.nonzero_b;
+        nonzero_c = m.Api.nonzero_c;
+        witness = m.Api.witness;
+        top_heap_words = m.Api.top_heap_words;
+        major_collections = m.Api.major_collections }
+    in
+    report_measurements :=
+      Obs.Report.summarize ~section ~scheme
+        ~strategy:(Mc.strategy_name m.Api.strategy)
+        ~backend:(Api.backend_name m.Api.backend)
+        ~dims:(m.Api.dims.Mspec.a, m.Api.dims.Mspec.n, m.Api.dims.Mspec.b)
+        ~reps ~proof_bytes:m.Api.proof_bytes ~ledger
+      :: !report_measurements
+  end
 
 let write_json_report () =
   match !json_file with
   | None -> ()
   | Some file ->
     let report =
-      Json.Obj
-        [ ("schema", Json.String "zkvc-bench/1");
-          ("scale", Json.Int !scale);
-          ("full", Json.Bool !full);
-          ("jobs", Json.Int (Zkvc_parallel.jobs ()));
-          ("clock", Json.String "monotonic");
-          ( "sections",
-            Json.List
-              (List.map
-                 (fun s -> Json.String s)
-                 (if !only = [] then valid_sections else !only)) );
-          ("results", Json.List (List.rev !json_results)) ]
+      { Obs.Report.env =
+          { Obs.Report.git_rev = git_rev ();
+            ocaml_version = Sys.ocaml_version;
+            nproc = Domain.recommended_domain_count ();
+            jobs = Zkvc_parallel.jobs ();
+            scale = !scale;
+            full = !full;
+            clock = "monotonic";
+            date = iso8601_utc_now () };
+        sections = (if !only = [] then valid_sections else !only);
+        measurements = List.rev !report_measurements }
     in
-    (try Obs.Export.write_file file (Json.to_string_pretty report)
-     with Sys_error msg ->
-       Printf.eprintf "bench: cannot write json report: %s\n" msg;
-       exit 1);
-    Printf.printf "json report: %d measurement(s) written to %s\n"
-      (List.length !json_results) file
+    let text = Json.to_string_pretty (Obs.Report.to_json report) in
+    if file = "-" then print_string text
+    else (
+      try Obs.Export.write_file file text
+      with Sys_error msg ->
+        Printf.eprintf "bench: cannot write json report: %s\n" msg;
+        exit 1);
+    progress "bench: json report: %d measurement(s), %d rep(s) each, written to %s\n"
+      (List.length !report_measurements)
+      !repeat
+      (if file = "-" then "stdout" else file)
 
 let header title =
-  Printf.printf "\n======================================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "======================================================================\n%!"
+  tbl "\n======================================================================\n";
+  tbl "%s\n" title;
+  tbl "======================================================================\n%!"
 
 let scaled_dims d2 =
   let d = Mspec.vit_embedding ~dim2:d2 in
@@ -184,27 +269,45 @@ let random_instance d =
 
 let run_tab1 () =
   header "Table I — scheme properties";
-  Printf.printf "%-14s %6s %8s %12s %14s %10s\n" "scheme" "zk" "non-int" "const-proof"
+  tbl "%-14s %6s %8s %12s %14s %10s\n" "scheme" "zk" "non-int" "const-proof"
     "no-trust-setup" "source";
   List.iter
     (fun s ->
-      Printf.printf "%-14s %6s %8s %12s %14s %10s\n" s.Cost.scheme_name "yes"
+      tbl "%-14s %6s %8s %12s %14s %10s\n" s.Cost.scheme_name "yes"
         (if s.Cost.interactive then "no" else "yes")
         (if s.Cost.constant_proof then "yes" else "no")
         (if s.Cost.trusted_setup then "no" else "yes")
         (if s.Cost.emulated then "(emulated)" else "measured"))
     Cost.schemes;
-  Printf.printf
+  tbl
     "zkVC-G/zkVC-S rows correspond to this repository's Groth16/Spartan backends.\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3 + Table II share matmul measurements                        *)
 
+(* The Api.measurement shown in tables when --repeat > 1: per-phase
+   medians across the reps (robust to a stray GC pause), ledger fields
+   from the last rep (identical across reps anyway). *)
+let median_measurement (ms : Api.measurement list) =
+  match ms with
+  | [ m ] -> m
+  | _ ->
+    let med f = Obs.Stats.median (Array.of_list (List.map f ms)) in
+    let m = List.nth ms (List.length ms - 1) in
+    { m with
+      Api.timings =
+        { Api.setup_s = med (fun r -> r.Api.timings.Api.setup_s);
+          prove_s = med (fun r -> r.Api.timings.Api.prove_s);
+          verify_s = med (fun r -> r.Api.timings.Api.verify_s) } }
+
 let measure ?(section = "") ?(scheme = "") backend strategy d inst =
   let x, w = inst in
-  let _proof, m = Api.run ~rng backend strategy ~x ~w d in
-  if section <> "" then record_measurement ~section ~scheme m;
-  m
+  let run () = snd (Api.run ~rng backend strategy ~x ~w d) in
+  (* one untimed warmup so the first rep doesn't pay cold-cache costs *)
+  if !repeat > 1 then ignore (run ());
+  let ms = List.init !repeat (fun _ -> run ()) in
+  if section <> "" then record_measurement ~section ~scheme ms;
+  median_measurement ms
 
 let run_fig3 () =
   let d = scaled_dims 128 in
@@ -218,10 +321,10 @@ let run_fig3 () =
   let g_zkvc = measure ~section:"fig3" ~scheme:"zkVC-G" Api.Backend_groth16 Mc.Crpc_psq d inst in
   let s_vanilla = measure ~section:"fig3" ~scheme:"Spartan" Api.Backend_spartan Mc.Vanilla d inst in
   let s_zkvc = measure ~section:"fig3" ~scheme:"zkVC-S" Api.Backend_spartan Mc.Crpc_psq d inst in
-  Printf.printf "%-14s %12s %12s %10s\n" "scheme" "prove(s)" "vs-groth16" "source";
+  tbl "%-14s %12s %12s %10s\n" "scheme" "prove(s)" "vs-groth16" "source";
   let base = g_vanilla.Api.timings.Api.prove_s in
   let row name t emulated =
-    Printf.printf "%-14s %12.3f %11.1fx %10s\n" name t (base /. Stdlib.max 1e-9 t)
+    tbl "%-14s %12.3f %11.1fx %10s\n" name t (base /. Stdlib.max 1e-9 t)
       (if emulated then "(emulated)" else "measured")
   in
   List.iter
@@ -239,13 +342,13 @@ let run_fig3 () =
   let tproof = Zkvc_gkr.Thaler_matmul.prove ~a:x ~b:w in
   let t_thaler = now () -. t0 in
   row "GKR-matmul" t_thaler false;
-  Printf.printf
+  tbl
     "GKR-matmul = measured Thaler'13 sumcheck (interactive family, not zk),\n";
-  Printf.printf "             proof %d B vs zkVC-G's 256 B constant.\n"
+  tbl "             proof %d B vs zkVC-G's 256 B constant.\n"
     (Zkvc_gkr.Thaler_matmul.proof_size_bytes tproof);
-  Printf.printf
+  tbl
     "paper shape: zkVC-G ~12.5x faster than vCNN/groth16; zkVC-S ~5x faster than Spartan\n";
-  Printf.printf
+  tbl
     "measured   : zkVC-G %.1fx faster than groth16; zkVC-S %.1fx faster than Spartan\n%!"
     (base /. Stdlib.max 1e-9 g_zkvc.Api.timings.Api.prove_s)
     (s_vanilla.Api.timings.Api.prove_s /. Stdlib.max 1e-9 s_zkvc.Api.timings.Api.prove_s)
@@ -253,7 +356,7 @@ let run_fig3 () =
 let run_fig6 () =
   header "Figure 6 — prove / verify / proof size / online time across embedding dims";
   let dims = [ 128; 256; 512 ] in
-  Printf.printf "%-10s %-14s %10s %10s %10s %12s\n" "dim2" "scheme" "prove(s)" "verify(s)"
+  tbl "%-10s %-14s %10s %10s %10s %12s\n" "dim2" "scheme" "prove(s)" "verify(s)"
     "proof(B)" "online(s)";
   List.iter
     (fun d2 ->
@@ -269,20 +372,20 @@ let run_fig6 () =
         (fun (name, backend, strategy) ->
           let m = measure ~section:"fig6" ~scheme:name backend strategy d inst in
           (* non-interactive: the verifier's only online work is [verify] *)
-          Printf.printf "%-10d %-14s %10.3f %10.4f %10d %12.4f\n%!" d2 name
+          tbl "%-10d %-14s %10.3f %10.4f %10d %12.4f\n%!" d2 name
             m.Api.timings.Api.prove_s m.Api.timings.Api.verify_s m.Api.proof_bytes
             m.Api.timings.Api.verify_s)
         rows;
       (* zkCNN is interactive: both parties stay online through proving *)
       let zkcnn = List.find (fun s -> s.Cost.scheme_name = "zkCNN") Cost.schemes in
-      Printf.printf "%-10d %-14s %10s %10.3f %10d %12s (emulated)\n%!" d2 "zkCNN" "~"
+      tbl "%-10d %-14s %10s %10.3f %10d %12s (emulated)\n%!" d2 "zkCNN" "~"
         zkcnn.Cost.paper_verify_s
         (int_of_float (zkcnn.Cost.paper_proof_kb *. 1024.))
         "prove+verify")
     dims;
-  Printf.printf
+  tbl
     "shape: zkVC leads all non-interactive schemes in proving; verification and\n";
-  Printf.printf "proof size stay flat, unlike the interactive zkCNN.\n%!"
+  tbl "proof size stay flat, unlike the interactive zkCNN.\n%!"
 
 let run_tab2 () =
   let d = scaled_dims 128 in
@@ -290,7 +393,7 @@ let run_tab2 () =
     (Format.asprintf "Table II — CRPC x PSQ ablation, dims %a%s" Mspec.pp_dims d
        (if !scale = 1 then "" else Printf.sprintf " (scaled 1/%d)" !scale));
   let inst = random_instance d in
-  Printf.printf "%-6s %-6s | %12s %12s | %12s %12s | %12s %9s\n" "CRPC" "PSQ" "g16-prove(s)"
+  tbl "%-6s %-6s | %12s %12s | %12s %12s | %12s %9s\n" "CRPC" "PSQ" "g16-prove(s)"
     "g16-verify" "sp-prove(s)" "sp-verify" "constraints" "nnz(A)";
   let strategies =
     [ (false, false, Mc.Vanilla);
@@ -303,7 +406,7 @@ let run_tab2 () =
       (fun (crpc, psq, strategy) ->
         let g = measure ~section:"tab2" ~scheme:"zkVC-G" Api.Backend_groth16 strategy d inst in
         let s = measure ~section:"tab2" ~scheme:"zkVC-S" Api.Backend_spartan strategy d inst in
-        Printf.printf "%-6s %-6s | %12.3f %12.4f | %12.3f %12.4f | %12d %9d\n%!"
+        tbl "%-6s %-6s | %12.3f %12.4f | %12.3f %12.4f | %12d %9d\n%!"
           (if crpc then "yes" else "no")
           (if psq then "yes" else "no")
           g.Api.timings.Api.prove_s g.Api.timings.Api.verify_s s.Api.timings.Api.prove_s
@@ -315,15 +418,15 @@ let run_tab2 () =
     let _, _, g, _ = List.find (fun (c', p', _, _) -> c = c' && p = p') results in
     g.Api.timings.Api.prove_s
   in
-  Printf.printf "\npaper Table II (16-core, [49,64]x[64,128]):\n";
+  tbl "\npaper Table II (16-core, [49,64]x[64,128]):\n";
   List.iter
     (fun (c, p, pg, vg, ps, vs) ->
-      Printf.printf "%-6s %-6s | %12.2f %12.3f | %12.2f %12.2f\n"
+      tbl "%-6s %-6s | %12.2f %12.3f | %12.2f %12.2f\n"
         (if c then "yes" else "no")
         (if p then "yes" else "no")
         pg vg ps vs)
     Cost.paper_table2;
-  Printf.printf
+  tbl
     "\nspeedup shape (prove, groth16): CRPC %.1fx, CRPC+PSQ %.1fx (paper: 9.0x, 12.5x)\n%!"
     (get false false /. Stdlib.max 1e-9 (get true false))
     (get false false /. Stdlib.max 1e-9 (get true true))
@@ -333,10 +436,10 @@ let run_tab2 () =
 
 let run_tab3 () =
   header "Table III — token mixers on ViT models (constraints exact; times calibrated)";
-  Printf.printf "calibrating prover cost models with real proofs...\n%!";
+  progress "calibrating prover cost models with real proofs...\n%!";
   let calib_g = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_groth16 in
   let calib_s = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_spartan in
-  Printf.printf "%-14s %-12s %8s %14s %12s %10s %10s %12s %10s\n" "dataset" "variant"
+  tbl "%-14s %-12s %8s %14s %12s %10s %10s %12s %10s\n" "dataset" "variant"
     "top1(%)" "constraints" "est-P_G(s)" "est/SA" "paper/SA" "paper-P_G" "paper-P_S";
   let variants =
     [ Models.Soft_approx; Models.Soft_free_s; Models.Soft_free_p; Models.Zkvc_hybrid ]
@@ -357,7 +460,7 @@ let run_tab3 () =
             | Some a, Some b -> Printf.sprintf "%.2f" (a /. b)
             | _ -> "-"
           in
-          Printf.printf "%-14s %-12s %8s %14d %12.1f %10.2f %10s %12s %10s\n%!" dataset
+          tbl "%-14s %-12s %8s %14d %12.1f %10.2f %10s %12s %10s\n%!" dataset
             (Models.variant_name row.Pm.variant)
             (match row.Pm.paper_top1 with Some a -> Printf.sprintf "%.1f" a | None -> "-")
             row.Pm.constraints row.Pm.est_prove_g est_ratio paper_ratio
@@ -367,17 +470,17 @@ let run_tab3 () =
     [ ("Cifar-10", Models.vit_cifar10);
       ("TinyImageNet", Models.vit_tiny_imagenet);
       ("ImageNet", Models.vit_imagenet) ];
-  Printf.printf
+  tbl
     "\naccuracy columns are the paper's reported values (no datasets in this\n";
-  Printf.printf
+  tbl
     "container; DESIGN.md substitution 3). Shape to check: within each dataset\n";
-  Printf.printf "SoftFree-P < zkVC < SoftFree-S < SoftApprox in proving cost.\n%!"
+  tbl "SoftFree-P < zkVC < SoftFree-S < SoftApprox in proving cost.\n%!"
 
 let run_tab4 () =
   header "Table IV — token mixers on BERT (GLUE)";
   let calib_g = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_groth16 in
   let calib_s = Cost.calibrate ~n1:(1 lsl 9) ~n2:(1 lsl 11) Cost.Backend_spartan in
-  Printf.printf "%-12s %7s %7s %7s %7s %14s %12s %8s %9s %12s %12s\n" "variant" "MNLI"
+  tbl "%-12s %7s %7s %7s %7s %14s %12s %8s %9s %12s %12s\n" "variant" "MNLI"
     "QNLI" "SST-2" "MRPC" "constraints" "est-P_G(s)" "est/SA" "paper/SA" "paper-P_G"
     "paper-P_S";
   let sa_counts =
@@ -405,7 +508,7 @@ let run_tab4 () =
         | Some (_, _, _, _, _, pg, _) -> Printf.sprintf "%.2f" (pg /. sa_paper)
         | None -> "-"
       in
-      Printf.printf "%-12s %7s %7s %7s %7s %14d %12.1f %8.2f %9s %12s %12s\n%!" vname
+      tbl "%-12s %7s %7s %7s %7s %14d %12.1f %8.2f %9s %12s %12s\n%!" vname
         (acc (fun (_, a, _, _, _, _, _) -> a))
         (acc (fun (_, _, a, _, _, _, _) -> a))
         (acc (fun (_, _, _, a, _, _, _) -> a))
@@ -414,7 +517,7 @@ let run_tab4 () =
         (acc (fun (_, _, _, _, _, pg, _) -> pg))
         (acc (fun (_, _, _, _, _, _, ps) -> ps)))
     variants;
-  Printf.printf "\nshape to check: SoftFree-L < zkVC < SoftFree-S < SoftApprox.\n%!"
+  tbl "\nshape to check: SoftFree-L < zkVC < SoftFree-S < SoftApprox.\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md)                                                *)
@@ -423,19 +526,19 @@ let run_ablations () =
   header "Ablations";
   (* 1. PSQ wire density *)
   let d = scaled_dims 128 in
-  Printf.printf "[abl-psq] wire statistics at %s:\n" (Format.asprintf "%a" Mspec.pp_dims d);
+  tbl "[abl-psq] wire statistics at %s:\n" (Format.asprintf "%a" Mspec.pp_dims d);
   let x, w = random_instance d in
   List.iter
     (fun strategy ->
       let cs, _, _ = Api.build_circuit strategy ~x ~w d in
       let s = Api.Cs.stats cs in
-      Printf.printf
+      tbl
         "  %-12s constraints=%-8d vars=%-8d nnz(A)=%-8d nnz(B)=%-8d nnz(C)=%d\n%!"
         (Mc.strategy_name strategy) s.Api.Cs.constraints s.Api.Cs.variables
         s.Api.Cs.nonzero_a s.Api.Cs.nonzero_b s.Api.Cs.nonzero_c)
     Mc.all_strategies;
   (* 2. NTT vs schoolbook crossover *)
-  Printf.printf "[abl-ntt] polynomial multiplication crossover:\n";
+  tbl "[abl-ntt] polynomial multiplication crossover:\n";
   let module P = Zkvc_poly.Dense_poly.Make (Fr) in
   List.iter
     (fun deg ->
@@ -447,11 +550,11 @@ let run_ablations () =
       in
       let ts = time (fun () -> P.mul_schoolbook p1 p2) in
       let tn = time (fun () -> P.mul_ntt p1 p2) in
-      Printf.printf "  degree %-6d schoolbook %.4fs ntt %.4fs -> %s wins\n%!" deg ts tn
+      tbl "  degree %-6d schoolbook %.4fs ntt %.4fs -> %s wins\n%!" deg ts tn
         (if ts < tn then "schoolbook" else "ntt"))
     [ 16; 64; 256; 1024 ];
   (* 3. Pippenger vs naive MSM *)
-  Printf.printf "[abl-msm] MSM n=2048:\n";
+  tbl "[abl-msm] MSM n=2048:\n";
   let module Msm = Zkvc_curve.Msm.Make (Zkvc_curve.G1) in
   let points = Array.init 2048 (fun _ -> Zkvc_curve.G1.random rng) in
   let scalars = Array.init 2048 (fun _ -> Fr.to_bigint (Fr.random rng)) in
@@ -462,10 +565,10 @@ let run_ablations () =
   ignore
     (Msm.msm_naive ~mul:Zkvc_curve.G1.mul (Array.sub points 0 128) (Array.sub scalars 0 128));
   let t_naive = (now () -. t0) *. (2048. /. 128.) in
-  Printf.printf "  pippenger %.3fs vs naive (extrapolated) %.3fs -> %.1fx\n%!" t_pip t_naive
+  tbl "  pippenger %.3fs vs naive (extrapolated) %.3fs -> %.1fx\n%!" t_pip t_naive
     (t_naive /. Stdlib.max 1e-9 t_pip);
   (* 4. softmax squaring depth vs accuracy *)
-  Printf.printf "[abl-exp] exponential approximation error by squaring depth n:\n";
+  tbl "[abl-exp] exponential approximation error by squaring depth n:\n";
   List.iter
     (fun n ->
       let c =
@@ -481,11 +584,11 @@ let run_ablations () =
       let unit_cost =
         (Compiler.Counter.count c (Ops.Op_softmax { rows = 1; len = 8 })).Ops.constraints
       in
-      Printf.printf "  n=%d  max|err|=%.4f  softmax-row(8) constraints=%d\n%!" n !max_err
+      tbl "  n=%d  max|err|=%.4f  softmax-row(8) constraints=%d\n%!" n !max_err
         unit_cost)
     [ 2; 3; 4; 5; 6 ];
   (* 5. Spartan opening mode: Hyrax fold (sqrt) vs IPA (log) *)
-  Printf.printf "[abl-open] Spartan witness opening: Hyrax fold vs inner-product argument:\n";
+  tbl "[abl-open] Spartan witness opening: Hyrax fold vs inner-product argument:\n";
   let module Spartan = Zkvc_spartan.Spartan in
   let module Bld = Zkvc_r1cs.Builder.Make (Fr) in
   let module Gg = Zkvc_r1cs.Gadgets.Make (Fr) in
@@ -510,17 +613,17 @@ let run_ablations () =
       let t0 = now () in
       let ok = Spartan.verify skey inst ~public_inputs:[] proof in
       let t_v = now () -. t0 in
-      Printf.printf "  %-12s proof=%-6dB prove=%.3fs verify=%.3fs ok=%b\n%!" name
+      tbl "  %-12s proof=%-6dB prove=%.3fs verify=%.3fs ok=%b\n%!" name
         (Spartan.proof_size_bytes proof) t_p t_v ok)
     [ ("hyrax-fold", `Hyrax_fold); ("ipa", `Ipa) ];
   (* 6. real per-op proofs on both backends *)
-  Printf.printf "[abl-ops] real proofs of individual NN ops:\n";
+  tbl "[abl-ops] real proofs of individual NN ops:\n";
   List.iter
     (fun (label, op) ->
       List.iter
         (fun (bname, backend) ->
           let nc, tp, tv, bytes = Pm.prove_op backend cfg op in
-          Printf.printf "  %-22s %-8s n=%-7d prove=%.3fs verify=%.4fs proof=%dB\n%!" label
+          tbl "  %-22s %-8s n=%-7d prove=%.3fs verify=%.4fs proof=%dB\n%!" label
             bname nc tp tv bytes)
         [ ("groth16", Cost.Backend_groth16); ("spartan", Cost.Backend_spartan) ])
     [ ("softmax(1x8)", Ops.Op_softmax { rows = 1; len = 8 });
@@ -568,18 +671,19 @@ let run_micro () =
       Hashtbl.iter
         (fun name r ->
           match Analyze.OLS.estimates r with
-          | Some [ est ] -> Printf.printf "  %-12s %12.1f ns/op\n%!" name est
-          | Some _ | None -> Printf.printf "  %-12s (no estimate)\n%!" name)
+          | Some [ est ] -> tbl "  %-12s %12.1f ns/op\n%!" name est
+          | Some _ | None -> tbl "  %-12s (no estimate)\n%!" name)
         res)
     tests
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Printf.printf "zkVC reproduction bench harness (scale=1/%d%s, jobs=%d, clock=monotonic)\n"
+  progress "zkVC reproduction bench harness (scale=1/%d%s, jobs=%d, repeat=%d, clock=monotonic)\n"
     !scale
     (if !full then " full" else "")
-    (Zkvc_parallel.jobs ());
+    (Zkvc_parallel.jobs ())
+    !repeat;
   if enabled "tab1" then run_tab1 ();
   if enabled "fig3" then run_fig3 ();
   if enabled "fig6" then run_fig6 ();
@@ -589,4 +693,4 @@ let () =
   if enabled "abl" then run_ablations ();
   if enabled "micro" then run_micro ();
   write_json_report ();
-  Printf.printf "\nbench complete.\n"
+  progress "bench complete.\n"

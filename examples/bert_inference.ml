@@ -17,6 +17,10 @@ module Cost = Zkvc_zkml.Cost_model
 
 let cfg = Zkvc.Nonlinear.default_config
 
+(* all Span/Api timings read wall time; the Sys.time default is process
+   CPU time, which the span docs warn against (it sums across domains) *)
+let () = Zkvc_obs.Span.set_clock Unix.gettimeofday
+
 let () =
   let rng = Random.State.make [| 11 |] in
   let arch = Models.shrink Models.bert_glue ~factor:4 in

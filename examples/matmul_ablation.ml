@@ -13,6 +13,10 @@ module Bld = Zkvc_r1cs.Builder.Make (Fr)
 module Cs = Zkvc_r1cs.Constraint_system.Make (Fr)
 module Lin = Zkvc_r1cs.Lc.Make (Fr)
 
+(* all Span/Api timings read wall time; the Sys.time default is process
+   CPU time, which the span docs warn against (it sums across domains) *)
+let () = Zkvc_obs.Span.set_clock Unix.gettimeofday
+
 let () =
   let d = Mspec.dims ~a:2 ~n:2 ~b:2 in
   let x = [| [| Fr.of_int 1; Fr.of_int 2 |]; [| Fr.of_int 3; Fr.of_int 4 |] |] in

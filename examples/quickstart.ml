@@ -8,6 +8,10 @@ module Api = Zkvc.Api
 module Mspec = Zkvc.Matmul_spec
 module Spec = Mspec.Make (Fr)
 
+(* all Span/Api timings read wall time; the Sys.time default is process
+   CPU time, which the span docs warn against (it sums across domains) *)
+let () = Zkvc_obs.Span.set_clock Unix.gettimeofday
+
 let () =
   let rng = Random.State.make [| 42 |] in
 

@@ -23,6 +23,8 @@ type timings =
     prove_s : float;
     verify_s : float }
 
+(* Cost ledger per proved statement: circuit shape (deterministic) plus
+   GC cost (noise — never compared exactly across runs). See api.mli. *)
 type measurement =
   { strategy : Matmul_circuit.strategy;
     backend : backend;
@@ -30,7 +32,12 @@ type measurement =
     constraints : int;
     variables : int;
     nonzero_a : int;
+    nonzero_b : int;
+    nonzero_c : int;
+    witness : int;
     proof_bytes : int;
+    top_heap_words : int;
+    major_collections : int;
     timings : timings }
 
 type proof =
@@ -78,6 +85,7 @@ let build_circuit strategy ~x ~w d =
     The Groth16 setup time is reported separately and — like the paper —
     excluded from proving time. *)
 let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
+  let gc0 = Gc.quick_stat () in
   let (cs, assignment, _y), _build_time =
     timed "zkvc.build_circuit" (fun () -> build_circuit strategy ~x ~w d)
   in
@@ -89,6 +97,8 @@ let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
     match backend with
     | Backend_groth16 ->
       let qap, t_qap = timed "groth16.qap" (fun () -> Qap.create cs) in
+      (* publishes the qap.* density gauges next to the r1cs.* ones *)
+      let (_ : Qap.density) = Qap.density qap in
       let (pk, vk), t_setup = timed "groth16.setup" (fun () -> Groth16.setup rng qap) in
       let proof, t_prove =
         timed "groth16.prove" (fun () -> Groth16.prove rng pk qap assignment)
@@ -114,6 +124,7 @@ let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
         Spartan.proof_size_bytes proof,
         { setup_s = t_pre +. t_key; prove_s = t_prove; verify_s = t_verify } )
   in
+  let gc1 = Gc.quick_stat () in
   ( proof,
     { strategy;
       backend;
@@ -121,12 +132,18 @@ let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
       constraints = stats.Cs.constraints;
       variables = stats.Cs.variables;
       nonzero_a = stats.Cs.nonzero_a;
+      nonzero_b = stats.Cs.nonzero_b;
+      nonzero_c = stats.Cs.nonzero_c;
+      witness = Cs.num_aux cs;
       proof_bytes;
+      top_heap_words = gc1.Gc.top_heap_words;
+      major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
       timings } )
 
 let pp_measurement fmt m =
   Format.fprintf fmt
-    "%-12s %-8s %a  constraints=%-8d vars=%-8d nnzA=%-8d proof=%dB  setup=%.3fs prove=%.3fs verify=%.4fs"
+    "%-12s %-8s %a  constraints=%-8d vars=%-8d nnz=%d/%d/%d witness=%-8d proof=%dB  setup=%.3fs prove=%.3fs verify=%.4fs"
     (Matmul_circuit.strategy_name m.strategy)
     (backend_name m.backend) Matmul_spec.pp_dims m.dims m.constraints m.variables
-    m.nonzero_a m.proof_bytes m.timings.setup_s m.timings.prove_s m.timings.verify_s
+    m.nonzero_a m.nonzero_b m.nonzero_c m.witness m.proof_bytes m.timings.setup_s
+    m.timings.prove_s m.timings.verify_s

@@ -12,6 +12,13 @@ val backend_name : backend -> string
 
 type timings = { setup_s : float; prove_s : float; verify_s : float }
 
+(** Everything the bench's cost ledger records per proved statement.
+    [nonzero_a/b/c] are nonzero entries per QAP column family (= R1CS
+    matrix); [nonzero_a] is the paper's "left wires". [witness] is the
+    private witness length ([num_aux]). [top_heap_words] is the GC's peak
+    heap at the end of the run and [major_collections] the number of major
+    GC cycles the run triggered — both measurement noise, never compared
+    exactly across runs. *)
 type measurement =
   { strategy : Matmul_circuit.strategy;
     backend : backend;
@@ -19,7 +26,12 @@ type measurement =
     constraints : int;
     variables : int;
     nonzero_a : int;
+    nonzero_b : int;
+    nonzero_c : int;
+    witness : int;
     proof_bytes : int;
+    top_heap_words : int;
+    major_collections : int;
     timings : timings }
 
 type proof =

@@ -1,0 +1,67 @@
+(** Noise-aware comparison of two {!Report} files (old baseline vs new
+    run) — the logic behind [tools/perf_diff] and the CI regression gate.
+
+    Measurements are matched by {!Report.key}. Wall-time comparison is
+    deliberately forgiving: a prove-time increase only counts as a
+    regression when the delta exceeds [max (threshold ·. old) (k ·. MAD)],
+    where MAD is the larger of the two runs' median absolute deviations —
+    so a single noisy rep cannot fail CI, but a real slowdown (the
+    acceptance bar is 2×) always does. The cost ledger's deterministic
+    fields (constraints, variables, nonzeros, witness length) are compared
+    for {e exact equality} regardless of [check_time]: constraint counts
+    must never drift silently. GC fields ([top_heap_words],
+    [major_collections]) are reported but never gate. *)
+
+type verdict =
+  | Ok_within_noise  (** |delta| inside the noise band *)
+  | Improved  (** faster by more than the band *)
+  | Regressed  (** slower by more than the band *)
+  | Ledger_drift  (** deterministic cost-ledger fields differ *)
+  | Only_old  (** key present only in the old report *)
+  | Only_new  (** key present only in the new report *)
+
+val verdict_name : verdict -> string
+
+(** [gating v] is true when [v] must fail the gate ([Regressed],
+    [Ledger_drift]). Missing/new keys are reported but do not fail: the
+    bench legitimately grows and shrinks sections across PRs. *)
+val gating : verdict -> bool
+
+type entry =
+  { key : string;
+    verdict : verdict;
+    old_prove_s : float;  (** NaN when [Only_new] *)
+    new_prove_s : float;  (** NaN when [Only_old] *)
+    delta_s : float;  (** new − old; NaN when either side is missing *)
+    band_s : float;  (** allowed half-width: max(threshold·old, k·MAD) *)
+    notes : string list  (** human-readable detail, e.g. drifted fields *)
+  }
+
+type result =
+  { entries : entry list;  (** old-report order, then new-only keys *)
+    regressions : int;
+    drifts : int;
+    ok : bool  (** no gating verdict present *) }
+
+(** [compare_reports ~old_ ~new_]. [threshold] (default [0.25]) is the
+    relative wall-time tolerance; [k] (default [4.]) scales the MAD term;
+    [floor_s] (default [0.005]) is an absolute lower bound on the band so
+    microsecond-scale measurements never gate; [check_time] (default
+    [true]) — when false, skip the wall-time comparison entirely (CI sets
+    this when the runner's core count differs from the baseline's) while
+    still enforcing ledger equality. *)
+val compare_reports :
+  ?threshold:float ->
+  ?k:float ->
+  ?floor_s:float ->
+  ?check_time:bool ->
+  old_:Report.t ->
+  new_:Report.t ->
+  unit ->
+  result
+
+(** JSON verdict for machine consumers: schema ["zkvc-perf-diff/1"]. *)
+val result_to_json : result -> Json.t
+
+(** Human-readable table (one line per entry plus a summary line). *)
+val result_to_string : result -> string

@@ -47,6 +47,35 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
   (** Degree bound of the quotient [h]: [domain_size - 1] coefficients. *)
   let h_length t = domain_size t - 1
 
+  (** Sparsity of the QAP column families over the padded row set: R1CS
+      matrix nonzeros plus the [num_inputs + 1] input-consistency rows on
+      the A side. The bench's cost ledger and the [qap.*] metric gauges
+      read these. *)
+  type density =
+    { rows : int;
+      domain : int;
+      nnz_a : int;
+      nnz_b : int;
+      nnz_c : int }
+
+  let density t =
+    let count f =
+      Array.fold_left (fun acc c -> acc + L.num_terms (f c)) 0 t.cs.Cs.constraints
+    in
+    let d =
+      { rows = t.padded_rows;
+        domain = domain_size t;
+        nnz_a = count (fun c -> c.Cs.a) + Cs.num_inputs t.cs + 1;
+        nnz_b = count (fun c -> c.Cs.b);
+        nnz_c = count (fun c -> c.Cs.c) }
+    in
+    let module M = Zkvc_obs.Metrics in
+    M.set (M.gauge "qap.domain_size") (float_of_int d.domain);
+    M.set (M.gauge "qap.nnz_a") (float_of_int d.nnz_a);
+    M.set (M.gauge "qap.nnz_b") (float_of_int d.nnz_b);
+    M.set (M.gauge "qap.nnz_c") (float_of_int d.nnz_c);
+    d
+
   (* Row evaluations ⟨M_i, z⟩ for every (padded) row. The input-consistency
      row for input j contributes z_j to A and zero to B, C. *)
   let row_evals t assignment =

@@ -14,6 +14,11 @@ module Mc = Zkvc.Matmul_circuit
 module Mspec = Zkvc.Matmul_spec
 module Spec = Mspec.Make (Fr)
 
+(* the duration/ordering assertions below are timing-sensitive: the
+   Sys.time default has coarse granularity and counts CPU time, so
+   install a wall clock before any span is recorded *)
+let () = Span.set_clock Unix.gettimeofday
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI entry point: full build, tier-1 test suites at two job counts, and a
+# CI entry point: full build, tier-1 test suites at two job counts, a
 # paired smoke bench (sequential vs parallel) that must produce non-empty
-# machine-readable reports and a sane speedup ratio.
+# machine-readable reports and a sane speedup ratio, and a noise-aware
+# perf gate that diffs the sequential smoke report against the committed
+# baseline (BENCH_0003.json) with tools/perf_diff.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,12 +19,12 @@ ZKVC_JOBS=1 dune runtest --force
 echo "== dune runtest (jobs=max, nproc=$NPROC) =="
 ZKVC_JOBS=0 dune runtest --force
 
-echo "== smoke bench (tab2, scale 16, jobs=1 vs jobs=max) =="
+echo "== smoke bench (tab2, scale 16, repeat 3, jobs=1 vs jobs=max) =="
 BENCH_JSON=${BENCH_JSON:-/tmp/bench.json}
 BENCH_JSON_PAR=${BENCH_JSON_PAR:-/tmp/bench-par.json}
 rm -f "$BENCH_JSON" "$BENCH_JSON_PAR"
-dune exec bench/main.exe -- --only tab2 --scale 16 --jobs 1 --json "$BENCH_JSON"
-dune exec bench/main.exe -- --only tab2 --scale 16 --jobs 0 --json "$BENCH_JSON_PAR"
+dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 1 --json "$BENCH_JSON"
+dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 0 --json "$BENCH_JSON_PAR"
 
 for f in "$BENCH_JSON" "$BENCH_JSON_PAR"; do
     if [ ! -s "$f" ]; then
@@ -51,6 +53,30 @@ else
             exit 1
         }
     }' </dev/null
+fi
+
+echo "== perf gate: tools/perf_diff vs committed baseline =="
+BASELINE=${BASELINE:-BENCH_0003.json}
+if [ ! -s "$BASELINE" ]; then
+    echo "ci: baseline report missing: $BASELINE" >&2
+    exit 1
+fi
+
+# env.nproc of a report (first "nproc" field in the file)
+json_nproc() {
+    grep -o '"nproc": *[0-9]*' "$1" | head -n 1 | grep -o '[0-9]*$'
+}
+BASE_NPROC=$(json_nproc "$BASELINE")
+RUN_NPROC=$(json_nproc "$BENCH_JSON")
+
+if [ "$BASE_NPROC" = "$RUN_NPROC" ]; then
+    dune exec tools/perf_diff.exe -- "$BASELINE" "$BENCH_JSON"
+else
+    # wall times from a different core count are not comparable, but the
+    # cost ledger is deterministic: constraint counts must never drift
+    echo "ci: baseline nproc=$BASE_NPROC, runner nproc=$RUN_NPROC;"
+    echo "ci: skipping wall-time comparison, still checking cost-ledger equality"
+    dune exec tools/perf_diff.exe -- --skip-time "$BASELINE" "$BENCH_JSON"
 fi
 
 echo "ci: ok ($BENCH_JSON, $BENCH_JSON_PAR)"

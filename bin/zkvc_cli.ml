@@ -15,6 +15,10 @@ module Models = Zkvc_nn.Models
 module Compiler = Zkvc_zkml.Compiler
 module Ops = Zkvc_zkml.Ops
 module Obs = Zkvc_obs
+module Wire = Zkvc_serve.Wire
+module Server = Zkvc_serve.Server
+module Client = Zkvc_serve.Client
+module Key_cache = Zkvc_serve.Key_cache
 
 open Cmdliner
 
@@ -73,6 +77,28 @@ let jobs_arg =
                  byte-identical for every value. Defaults to $(b,ZKVC_JOBS) \
                  or 1.")
 
+let backend_arg =
+  Arg.(value & opt backend_conv Api.Backend_groth16
+       & info [ "backend" ] ~docv:"BACKEND" ~doc:"groth16 or spartan.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+(* ---- codec file IO ---- *)
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
 (* ---- count ---- *)
 
 let count_cmd =
@@ -96,13 +122,6 @@ let count_cmd =
 (* ---- prove ---- *)
 
 let prove_cmd =
-  let backend_arg =
-    Arg.(value & opt backend_conv Api.Backend_groth16
-         & info [ "backend" ] ~docv:"BACKEND" ~doc:"groth16 or spartan.")
-  in
-  let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-  in
   let trace_arg =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -115,21 +134,47 @@ let prove_cmd =
              ~doc:"Record prover metrics (field mults, MSM sizes, NTT sizes, \
                    sumcheck rounds, R1CS shape) and print them with the span tree.")
   in
-  let run d strategy backend seed trace metrics jobs =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write a self-contained proof file (codec-encoded proof + \
+                   public inputs + statement descriptor) verifiable with \
+                   $(b,zkvc_cli verify) on another machine.")
+  in
+  let run d strategy backend seed trace metrics jobs out =
     Zkvc_parallel.set_jobs jobs;
     let rng = Random.State.make [| seed |] in
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
     let observing = trace <> None || metrics in
     if observing then begin
-      Obs.Span.set_clock Unix.gettimeofday;
       Obs.Span.reset ();
       Obs.Metrics.reset ();
       Obs.Sink.enable ()
     end;
-    let _proof, m = Api.run ~rng backend strategy ~x ~w d in
+    let proof, m = Api.run ~rng backend strategy ~x ~w d in
     if observing then Obs.Sink.disable ();
     Format.printf "%a@." Api.pp_measurement m;
+    (match out with
+     | Some file ->
+       (* rebuild the statement descriptor (prepare is deterministic in x,w) *)
+       let prep = Api.prepare strategy ~x ~w d in
+       let key_id =
+         Key_cache.id_of backend strategy d ~challenge:prep.Api.challenge prep.Api.cs
+       in
+       let pf =
+         { Wire.pf_backend = backend;
+           pf_strategy = strategy;
+           pf_dims = d;
+           pf_challenge = prep.Api.challenge;
+           pf_key_id = key_id;
+           pf_public_inputs =
+             Array.to_list (Array.sub prep.Api.assignment 1 (Api.Cs.num_inputs prep.Api.cs));
+           pf_proof = proof }
+       in
+       write_file file (Wire.encode_proof_file pf);
+       Printf.printf "proof file: %s (key %s)\n" file (Wire.hex_of_id key_id)
+     | None -> ());
     (match trace with
      | Some file ->
        (try
@@ -152,7 +197,7 @@ let prove_cmd =
   let doc = "Prove a random matmul instance and verify it (prints timings)." in
   Cmd.v (Cmd.info "prove" ~doc)
     Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ trace_arg
-          $ metrics_arg $ jobs_arg)
+          $ metrics_arg $ jobs_arg $ out_arg)
 
 (* ---- model ---- *)
 
@@ -214,7 +259,334 @@ let gkr_cmd =
   let doc = "Prove a matmul with the interactive-family Thaler'13 sumcheck (GKR baseline)." in
   Cmd.v (Cmd.info "gkr" ~doc) Term.(const run $ dims_arg $ seed_arg)
 
+(* ---- keygen ---- *)
+
+let keygen_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the key file here.")
+  in
+  let run d strategy backend seed jobs out =
+    Zkvc_parallel.set_jobs jobs;
+    let rng = Random.State.make [| seed |] in
+    let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+    let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+    let prep = Api.prepare strategy ~x ~w d in
+    let keys = Api.keygen ~rng backend prep.Api.cs in
+    let key_id = Key_cache.id_of backend strategy d ~challenge:prep.Api.challenge prep.Api.cs in
+    write_file out
+      (Wire.encode_key_file
+         { Wire.kf_backend = backend;
+           kf_strategy = strategy;
+           kf_dims = d;
+           kf_challenge = prep.Api.challenge;
+           kf_key_id = key_id;
+           kf_keys = keys });
+    Printf.printf "key file: %s (key %s)\n" out (Wire.hex_of_id key_id);
+    0
+  in
+  let doc =
+    "Generate backend keys for a circuit and write them as a key file \
+     (CRPC challenges are seed-dependent, so use the same seed as prove)."
+  in
+  Cmd.v (Cmd.info "keygen" ~doc)
+    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ jobs_arg $ out_arg)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let key_arg =
+    Arg.(required & opt (some string) None
+         & info [ "key" ] ~docv:"FILE" ~doc:"Key file from $(b,keygen).")
+  in
+  let proof_arg =
+    Arg.(required & opt (some string) None
+         & info [ "proof" ] ~docv:"FILE" ~doc:"Proof file from $(b,prove --out).")
+  in
+  let run key_file proof_file =
+    match Wire.decode_key_file (read_file key_file) with
+    | Error e ->
+      Printf.eprintf "zkvc_cli: bad key file %s: %s\n" key_file (Wire.error_to_string e);
+      2
+    | Ok kf -> (
+      match Wire.decode_proof_file (read_file proof_file) with
+      | Error e ->
+        Printf.eprintf "zkvc_cli: bad proof file %s: %s\n" proof_file
+          (Wire.error_to_string e);
+        2
+      | Ok pf ->
+        if pf.Wire.pf_key_id <> kf.Wire.kf_key_id then begin
+          Printf.eprintf
+            "zkvc_cli: proof was made for key %s but the key file holds %s\n"
+            (Wire.hex_of_id pf.Wire.pf_key_id)
+            (Wire.hex_of_id kf.Wire.kf_key_id);
+          2
+        end
+        else begin
+          let ok =
+            try
+              Api.verify_with kf.Wire.kf_keys ~public_inputs:pf.Wire.pf_public_inputs
+                pf.Wire.pf_proof
+            with Invalid_argument _ -> false
+          in
+          Printf.printf "verified: %b\n" ok;
+          if ok then 0 else 1
+        end)
+  in
+  let doc = "Verify a proof file against a key file (no witness needed)." in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ key_arg $ proof_arg)
+
+(* ---- serve ---- *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/zkvc.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(value & opt int 16
+         & info [ "queue" ] ~docv:"N" ~doc:"Job queue capacity (backpressure bound).")
+  in
+  let cache_arg =
+    Arg.(value & opt int Key_cache.default_capacity
+         & info [ "cache" ] ~docv:"N" ~doc:"In-memory key cache capacity (LRU).")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Spill generated keys to key files in DIR and reload evicted \
+                   ones from there.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a span per request and write a Chrome trace on shutdown.")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Print serve.* and prover metrics on shutdown.")
+  in
+  let job_delay_arg =
+    Arg.(value & opt float 0.
+         & info [ "job-delay" ] ~docv:"SECONDS"
+             ~doc:"Testing hook: sleep before each job to make queue-full and \
+                   deadline behaviour deterministic.")
+  in
+  let run socket queue cache cache_dir jobs trace metrics job_delay =
+    let cfg =
+      { Server.socket_path = socket;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        cache_dir;
+        jobs;
+        job_delay_s = job_delay;
+        observe = trace <> None || metrics }
+    in
+    if cfg.Server.observe then begin
+      Obs.Span.reset ();
+      Obs.Metrics.reset ()
+    end;
+    let t = Server.start cfg in
+    Printf.printf "zkvc serve: listening on %s (queue=%d cache=%d jobs=%d)\n%!" socket
+      queue cache (Zkvc_parallel.jobs ());
+    Server.wait t;
+    let s = Server.status t in
+    Printf.printf
+      "zkvc serve: stopped after %d requests (cache %d hits / %d misses, %d \
+       timeouts, %d rejected, %d batched)\n"
+      s.Wire.requests s.Wire.cache_hits s.Wire.cache_misses s.Wire.timeouts
+      s.Wire.rejections s.Wire.batched;
+    (match trace with
+     | Some file ->
+       (try Obs.Export.write_chrome_trace file (Obs.Span.roots ())
+        with Sys_error msg -> Printf.eprintf "zkvc serve: cannot write trace: %s\n" msg)
+     | None -> ());
+    if metrics then print_string (Obs.Metrics.to_string ());
+    0
+  in
+  let doc =
+    "Run the persistent proof service on a Unix-domain socket (keys stay \
+     cached across requests; talk to it with $(b,zkvc_cli client))."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ queue_arg $ cache_arg $ cache_dir_arg $ jobs_arg
+          $ trace_arg $ metrics_arg $ job_delay_arg)
+
+(* ---- client ---- *)
+
+let deadline_arg =
+  Arg.(value & opt int 0
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Abort the request server-side after MS milliseconds (0 = none).")
+
+let client_fail code message =
+  Printf.eprintf "zkvc_cli: server error (%s): %s\n"
+    (Wire.error_code_to_string code) message;
+  3
+
+let client_transport_fail e =
+  Printf.eprintf "zkvc_cli: transport error: %s\n" (Wire.error_to_string e);
+  3
+
+let unexpected_response () =
+  Printf.eprintf "zkvc_cli: unexpected response type\n";
+  3
+
+let client_prove_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the returned proof as a proof file.")
+  in
+  let run socket d strategy backend seed deadline_ms out =
+    Client.with_connection socket (fun c ->
+        match
+          Client.request c
+            (Wire.Prove
+               { backend;
+                 strategy;
+                 dims = d;
+                 input = Wire.Seeded { seed; bound = 256 };
+                 deadline_ms })
+        with
+        | Error e -> client_transport_fail e
+        | Ok (Wire.Error { code; message }) -> client_fail code message
+        | Ok (Wire.Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s })
+          ->
+          Printf.printf "proved in %.4fs (key %s, cache %s, proof %dB)\n" prove_s
+            (Wire.hex_of_id key_id)
+            (if cache_hit then "hit" else "miss")
+            (Api.proof_size proof);
+          (match out with
+           | Some file ->
+             write_file file
+               (Wire.encode_proof_file
+                  { Wire.pf_backend = backend;
+                    pf_strategy = strategy;
+                    pf_dims = d;
+                    pf_challenge = challenge;
+                    pf_key_id = key_id;
+                    pf_public_inputs = public_inputs;
+                    pf_proof = proof });
+             Printf.printf "proof file: %s\n" file
+           | None -> ());
+          0
+        | Ok _ -> unexpected_response ())
+  in
+  let doc = "Prove a seeded matmul instance on the server." in
+  Cmd.v (Cmd.info "prove" ~doc)
+    Term.(const run $ socket_arg $ dims_arg $ strategy_arg $ backend_arg $ seed_arg
+          $ deadline_arg $ out_arg)
+
+let client_keygen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Save the returned key file here.")
+  in
+  let run socket d strategy backend seed deadline_ms out =
+    Client.with_connection socket (fun c ->
+        match
+          Client.request c
+            (Wire.Keygen { backend; strategy; dims = d; seed; bound = 256; deadline_ms })
+        with
+        | Error e -> client_transport_fail e
+        | Ok (Wire.Error { code; message }) -> client_fail code message
+        | Ok (Wire.Keygen_ok { key_id; cache_hit; key_bytes }) ->
+          Printf.printf "key %s (cache %s, %dB)\n" (Wire.hex_of_id key_id)
+            (if cache_hit then "hit" else "miss")
+            (Bytes.length key_bytes);
+          (match out with
+           | Some file ->
+             write_file file key_bytes;
+             Printf.printf "key file: %s\n" file
+           | None -> ());
+          0
+        | Ok _ -> unexpected_response ())
+  in
+  let doc = "Generate (or fetch cached) keys on the server." in
+  Cmd.v (Cmd.info "keygen" ~doc)
+    Term.(const run $ socket_arg $ dims_arg $ strategy_arg $ backend_arg $ seed_arg
+          $ deadline_arg $ out_arg)
+
+let client_verify_cmd =
+  let proof_arg =
+    Arg.(required & opt (some string) None
+         & info [ "proof" ] ~docv:"FILE" ~doc:"Proof file to verify on the server.")
+  in
+  let run socket proof_file deadline_ms =
+    match Wire.decode_proof_file (read_file proof_file) with
+    | Error e ->
+      Printf.eprintf "zkvc_cli: bad proof file %s: %s\n" proof_file
+        (Wire.error_to_string e);
+      2
+    | Ok pf ->
+      Client.with_connection socket (fun c ->
+          match
+            Client.request c
+              (Wire.Verify
+                 { key_id = pf.Wire.pf_key_id;
+                   public_inputs = pf.Wire.pf_public_inputs;
+                   proof = pf.Wire.pf_proof;
+                   deadline_ms })
+          with
+          | Error e -> client_transport_fail e
+          | Ok (Wire.Error { code; message }) -> client_fail code message
+          | Ok (Wire.Verify_ok ok) ->
+            Printf.printf "verified: %b\n" ok;
+            if ok then 0 else 1
+          | Ok _ -> unexpected_response ())
+  in
+  let doc = "Verify a proof file against the server's key cache." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ socket_arg $ proof_arg $ deadline_arg)
+
+let client_status_cmd =
+  let run socket =
+    Client.with_connection socket (fun c ->
+        match Client.request c Wire.Status with
+        | Error e -> client_transport_fail e
+        | Ok (Wire.Error { code; message }) -> client_fail code message
+        | Ok (Wire.Status_ok s) ->
+          Printf.printf
+            "uptime_s=%.1f requests=%d queue=%d/%d cache_hits=%d cache_misses=%d \
+             cache_entries=%d timeouts=%d rejections=%d batched=%d\n"
+            s.Wire.uptime_s s.Wire.requests s.Wire.queue_depth s.Wire.queue_capacity
+            s.Wire.cache_hits s.Wire.cache_misses s.Wire.cache_entries s.Wire.timeouts
+            s.Wire.rejections s.Wire.batched;
+          0
+        | Ok _ -> unexpected_response ())
+  in
+  Cmd.v (Cmd.info "status" ~doc:"Print the server's status counters.")
+    Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    Client.with_connection socket (fun c ->
+        match Client.request c Wire.Shutdown with
+        | Error e -> client_transport_fail e
+        | Ok (Wire.Error { code; message }) -> client_fail code message
+        | Ok Wire.Shutdown_ok ->
+          Printf.printf "server stopped\n";
+          0
+        | Ok _ -> unexpected_response ())
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Drain in-flight jobs and stop the server gracefully.")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  let doc = "Talk to a running $(b,zkvc_cli serve) instance." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [ client_prove_cmd; client_keygen_cmd; client_verify_cmd; client_status_cmd;
+      client_shutdown_cmd ]
+
 let () =
+  (* span timestamps must be wall time everywhere (Sys.time is per-process
+     CPU time and sums across prover domains) *)
+  Obs.Span.set_clock Unix.gettimeofday;
   let doc = "zkVC: fast zero-knowledge proofs for verifiable matrix multiplication" in
   let info = Cmd.info "zkvc_cli" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval' (Cmd.group info [ count_cmd; prove_cmd; model_cmd; gkr_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ count_cmd; prove_cmd; model_cmd; gkr_cmd; keygen_cmd; verify_cmd;
+            serve_cmd; client_cmd ]))

@@ -67,10 +67,16 @@ let timed name f =
   end
   else time f
 
+type prepared =
+  { cs : Cs.t;
+    assignment : Fr.t array;
+    y : Fr.t array array;
+    challenge : Fr.t option }
+
 (** Build the matmul circuit for the given strategy. For CRPC strategies
     the challenge is derived by Fiat–Shamir from X, W and Y (commit-then-
     prove flow); the same derivation runs on the verifier side. *)
-let build_circuit strategy ~x ~w d =
+let prepare strategy ~x ~w d =
   let y = Spec.multiply x w in
   let challenge =
     if Matmul_circuit.uses_challenge strategy then Some (Mc.derive_challenge ~x ~w ~y)
@@ -79,51 +85,97 @@ let build_circuit strategy ~x ~w d =
   let b = Bld.create () in
   let _wires, _y = Mc.build b strategy ?challenge ~x ~w d in
   let cs, assignment = Bld.finalize b in
-  (cs, assignment, y)
+  { cs; assignment; y; challenge }
+
+let build_circuit strategy ~x ~w d =
+  let p = prepare strategy ~x ~w d in
+  (p.cs, p.assignment, p.y)
+
+(* The circuit shape produced by every gadget in this repository depends
+   only on structural parameters plus — for CRPC — the challenge, never on
+   witness values (see Builder), so synthesising with all-zero matrices
+   reproduces the exact constraint system. This is what a verifier that
+   never saw X and W (a key-file consumer, the serve disk cache) uses. *)
+let circuit_shape strategy ?challenge d =
+  (match (Matmul_circuit.uses_challenge strategy, challenge) with
+   | true, None ->
+     invalid_arg "Api.circuit_shape: CRPC strategies need the proof's challenge"
+   | _ -> ());
+  let challenge = if Matmul_circuit.uses_challenge strategy then challenge else None in
+  let x = Array.make_matrix d.Matmul_spec.a d.Matmul_spec.n Fr.zero in
+  let w = Array.make_matrix d.Matmul_spec.n d.Matmul_spec.b Fr.zero in
+  let b = Bld.create () in
+  let _wires, _y = Mc.build b strategy ?challenge ~x ~w d in
+  fst (Bld.finalize b)
+
+type keys =
+  | Groth16_keys of
+      { qap : Qap.t; pk : Groth16.proving_key; vk : Groth16.verifying_key }
+  | Spartan_keys of { inst : Spartan.instance; key : Spartan.key }
+
+let keys_backend = function
+  | Groth16_keys _ -> Backend_groth16
+  | Spartan_keys _ -> Backend_spartan
+
+let default_rng () = Random.State.make [| 0x5eed |]
+
+(* [keygen] consumes [rng] exactly as [run] historically did (Groth16
+   setup draws; Spartan setup is deterministic), so [keygen] followed by
+   [prove_with] on the same [rng] is byte-identical to [run]. *)
+let keygen ?(rng = default_rng ()) backend cs =
+  match backend with
+  | Backend_groth16 ->
+    let qap = Obs.Span.with_span "groth16.qap" (fun () -> Qap.create cs) in
+    (* publishes the qap.* density gauges next to the r1cs.* ones *)
+    let (_ : Qap.density) = Qap.density qap in
+    let pk, vk = Obs.Span.with_span "groth16.setup" (fun () -> Groth16.setup rng qap) in
+    Groth16_keys { qap; pk; vk }
+  | Backend_spartan ->
+    let inst = Obs.Span.with_span "spartan.preprocess" (fun () -> Spartan.preprocess cs) in
+    let key = Obs.Span.with_span "spartan.setup" (fun () -> Spartan.setup inst) in
+    Spartan_keys { inst; key }
+
+let prove_with ?(rng = default_rng ()) keys assignment =
+  match keys with
+  | Groth16_keys { qap; pk; _ } -> Groth16_proof (Groth16.prove rng pk qap assignment)
+  | Spartan_keys { inst; key } -> Spartan_proof (Spartan.prove rng key inst assignment)
+
+let verify_with keys ~public_inputs proof =
+  match (keys, proof) with
+  | Groth16_keys { vk; _ }, Groth16_proof p -> Groth16.verify vk ~public_inputs p
+  | Spartan_keys { inst; key }, Spartan_proof p ->
+    Spartan.verify key inst ~public_inputs p
+  | Groth16_keys _, Spartan_proof _ | Spartan_keys _, Groth16_proof _ ->
+    invalid_arg "Api.verify_with: proof/key backend mismatch"
+
+let proof_size = function
+  | Groth16_proof p -> Groth16.proof_size_bytes p
+  | Spartan_proof p -> Spartan.proof_size_bytes p
 
 (** Prove + verify once, returning the proof and a full measurement row.
     The Groth16 setup time is reported separately and — like the paper —
     excluded from proving time. *)
-let run ?(rng = Random.State.make [| 0x5eed |]) backend strategy ~x ~w d =
+let run ?(rng = default_rng ()) backend strategy ~x ~w d =
   let gc0 = Gc.quick_stat () in
-  let (cs, assignment, _y), _build_time =
-    timed "zkvc.build_circuit" (fun () -> build_circuit strategy ~x ~w d)
+  let prep, _build_time =
+    timed "zkvc.build_circuit" (fun () -> prepare strategy ~x ~w d)
   in
+  let cs = prep.cs in
   let stats = Cs.stats cs in
   let public_inputs =
-    Array.to_list (Array.sub assignment 1 (Cs.num_inputs cs))
+    Array.to_list (Array.sub prep.assignment 1 (Cs.num_inputs cs))
   in
-  let proof, proof_bytes, timings =
-    match backend with
-    | Backend_groth16 ->
-      let qap, t_qap = timed "groth16.qap" (fun () -> Qap.create cs) in
-      (* publishes the qap.* density gauges next to the r1cs.* ones *)
-      let (_ : Qap.density) = Qap.density qap in
-      let (pk, vk), t_setup = timed "groth16.setup" (fun () -> Groth16.setup rng qap) in
-      let proof, t_prove =
-        timed "groth16.prove" (fun () -> Groth16.prove rng pk qap assignment)
-      in
-      let ok, t_verify =
-        timed "groth16.verify" (fun () -> Groth16.verify vk ~public_inputs proof)
-      in
-      if not ok then failwith "zkvc: groth16 proof failed to verify";
-      ( Groth16_proof proof,
-        Groth16.proof_size_bytes proof,
-        { setup_s = t_qap +. t_setup; prove_s = t_prove; verify_s = t_verify } )
-    | Backend_spartan ->
-      let inst, t_pre = timed "spartan.preprocess" (fun () -> Spartan.preprocess cs) in
-      let key, t_key = timed "spartan.setup" (fun () -> Spartan.setup inst) in
-      let proof, t_prove =
-        timed "spartan.prove" (fun () -> Spartan.prove rng key inst assignment)
-      in
-      let ok, t_verify =
-        timed "spartan.verify" (fun () -> Spartan.verify key inst ~public_inputs proof)
-      in
-      if not ok then failwith "zkvc: spartan proof failed to verify";
-      ( Spartan_proof proof,
-        Spartan.proof_size_bytes proof,
-        { setup_s = t_pre +. t_key; prove_s = t_prove; verify_s = t_verify } )
+  let name = backend_name backend in
+  let keys, t_setup = timed (name ^ ".keygen") (fun () -> keygen ~rng backend cs) in
+  let proof, t_prove =
+    timed (name ^ ".prove") (fun () -> prove_with ~rng keys prep.assignment)
   in
+  let ok, t_verify =
+    timed (name ^ ".verify") (fun () -> verify_with keys ~public_inputs proof)
+  in
+  if not ok then failwith ("zkvc: " ^ name ^ " proof failed to verify");
+  let proof_bytes = proof_size proof in
+  let timings = { setup_s = t_setup; prove_s = t_prove; verify_s = t_verify } in
   let gc1 = Gc.quick_stat () in
   ( proof,
     { strategy;

@@ -47,6 +47,56 @@ val build_circuit :
   Matmul_spec.dims ->
   Cs.t * Fr.t array * Fr.t array array
 
+(** Everything {!build_circuit} computes, plus the Fiat–Shamir challenge
+    the CRPC strategies bound into the constraint coefficients ([None]
+    for the vanilla strategies). *)
+type prepared =
+  { cs : Cs.t;
+    assignment : Fr.t array;
+    y : Fr.t array array;
+    challenge : Fr.t option }
+
+val prepare :
+  Matmul_circuit.strategy ->
+  x:Fr.t array array ->
+  w:Fr.t array array ->
+  Matmul_spec.dims ->
+  prepared
+
+(** Rebuild only the constraint system of a statement shape, without
+    knowing X or W: circuit structure depends solely on (strategy, dims)
+    plus — for CRPC — the challenge. Used by verifiers that receive keys
+    and proofs from elsewhere (key files, the proof service disk cache).
+    Raises [Invalid_argument] if a CRPC strategy is given no challenge. *)
+val circuit_shape :
+  Matmul_circuit.strategy -> ?challenge:Fr.t -> Matmul_spec.dims -> Cs.t
+
+(** Per-circuit proving/verifying material for one backend — the unit the
+    proof service caches so setup runs once per circuit shape. *)
+type keys =
+  | Groth16_keys of
+      { qap : Zkvc_groth16.Groth16.Qap.t;
+        pk : Zkvc_groth16.Groth16.proving_key;
+        vk : Zkvc_groth16.Groth16.verifying_key }
+  | Spartan_keys of
+      { inst : Zkvc_spartan.Spartan.instance; key : Zkvc_spartan.Spartan.key }
+
+val keys_backend : keys -> backend
+
+(** Run the backend's setup for one compiled circuit. Consumes [rng]
+    exactly as {!run} does (Groth16 toxic-waste draws; Spartan setup is
+    deterministic), so [keygen] followed by {!prove_with} on the same
+    [rng] yields a proof byte-identical to {!run}'s. *)
+val keygen : ?rng:Random.State.t -> backend -> Cs.t -> keys
+
+val prove_with : ?rng:Random.State.t -> keys -> Fr.t array -> proof
+
+(** Raises [Invalid_argument] when the proof and keys disagree on the
+    backend. *)
+val verify_with : keys -> public_inputs:Fr.t list -> proof -> bool
+
+val proof_size : proof -> int
+
 (** Prove and verify once; setup time is reported separately and — like
     the paper — excluded from proving time. Raises [Failure] if the
     produced proof does not verify. *)

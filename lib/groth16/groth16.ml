@@ -71,6 +71,117 @@ let proof_of_bytes_compressed_exn bytes =
 let verifying_key_size_bytes vk =
   g1_bytes + (3 * g2_bytes) + (Array.length vk.vk_ic * g1_bytes)
 
+(* ---- key wire encodings ----
+   Length-prefixed point arrays over the tagged uncompressed point
+   formats. Parsing validates every point's curve equation (via
+   [of_bytes_exn]) and the r-order subgroup of every G2 point, matching
+   the discipline of [proof_of_bytes_exn]. *)
+
+let w_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let w_g1 buf p = Buffer.add_bytes buf (G1.to_bytes p)
+let w_g2 buf p = Buffer.add_bytes buf (G2.to_bytes p)
+
+let w_g1_array buf a =
+  w_u32 buf (Array.length a);
+  Array.iter (w_g1 buf) a
+
+let w_g2_array buf a =
+  w_u32 buf (Array.length a);
+  Array.iter (w_g2 buf) a
+
+type cursor = { buf : Bytes.t; mutable pos : int }
+
+let need what c n =
+  if c.pos + n > Bytes.length c.buf then
+    invalid_arg (Printf.sprintf "Groth16.%s: truncated input" what)
+
+let r_u32 what c =
+  need what c 4;
+  let b i = Char.code (Bytes.get c.buf (c.pos + i)) in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  n
+
+let r_g1 what c =
+  need what c G1.size_in_bytes;
+  let p = G1.of_bytes_exn (Bytes.sub c.buf c.pos G1.size_in_bytes) in
+  c.pos <- c.pos + G1.size_in_bytes;
+  p
+
+let r_g2 what c =
+  need what c G2.size_in_bytes;
+  let p = G2.of_bytes_exn (Bytes.sub c.buf c.pos G2.size_in_bytes) in
+  if not (G2.in_subgroup p) then
+    invalid_arg (Printf.sprintf "Groth16.%s: G2 point outside the r-order subgroup" what);
+  c.pos <- c.pos + G2.size_in_bytes;
+  p
+
+let r_array what c width read =
+  let n = r_u32 what c in
+  if n > (Bytes.length c.buf - c.pos) / width then
+    invalid_arg (Printf.sprintf "Groth16.%s: oversized array count" what);
+  Array.init n (fun _ -> read what c)
+
+let finished what c =
+  if c.pos <> Bytes.length c.buf then
+    invalid_arg (Printf.sprintf "Groth16.%s: trailing bytes" what)
+
+let proving_key_to_bytes pk =
+  let buf = Buffer.create (1 lsl 16) in
+  w_g1 buf pk.alpha_g1;
+  w_g1 buf pk.beta_g1;
+  w_g2 buf pk.beta_g2;
+  w_g1 buf pk.delta_g1;
+  w_g2 buf pk.delta_g2;
+  w_g1_array buf pk.a_query;
+  w_g1_array buf pk.b_g1_query;
+  w_g2_array buf pk.b_g2_query;
+  w_g1_array buf pk.h_query;
+  w_g1_array buf pk.l_query;
+  Buffer.to_bytes buf
+
+let proving_key_of_bytes_exn bytes =
+  let what = "proving_key_of_bytes_exn" in
+  let c = { buf = bytes; pos = 0 } in
+  let alpha_g1 = r_g1 what c in
+  let beta_g1 = r_g1 what c in
+  let beta_g2 = r_g2 what c in
+  let delta_g1 = r_g1 what c in
+  let delta_g2 = r_g2 what c in
+  let a_query = r_array what c G1.size_in_bytes r_g1 in
+  let b_g1_query = r_array what c G1.size_in_bytes r_g1 in
+  let b_g2_query = r_array what c G2.size_in_bytes r_g2 in
+  let h_query = r_array what c G1.size_in_bytes r_g1 in
+  let l_query = r_array what c G1.size_in_bytes r_g1 in
+  finished what c;
+  { alpha_g1; beta_g1; beta_g2; delta_g1; delta_g2; a_query; b_g1_query;
+    b_g2_query; h_query; l_query }
+
+let verifying_key_to_bytes vk =
+  let buf = Buffer.create 1024 in
+  w_g1 buf vk.vk_alpha_g1;
+  w_g2 buf vk.vk_beta_g2;
+  w_g2 buf vk.vk_gamma_g2;
+  w_g2 buf vk.vk_delta_g2;
+  w_g1_array buf vk.vk_ic;
+  Buffer.to_bytes buf
+
+let verifying_key_of_bytes_exn bytes =
+  let what = "verifying_key_of_bytes_exn" in
+  let c = { buf = bytes; pos = 0 } in
+  let vk_alpha_g1 = r_g1 what c in
+  let vk_beta_g2 = r_g2 what c in
+  let vk_gamma_g2 = r_g2 what c in
+  let vk_delta_g2 = r_g2 what c in
+  let vk_ic = r_array what c G1.size_in_bytes r_g1 in
+  finished what c;
+  { vk_alpha_g1; vk_beta_g2; vk_gamma_g2; vk_delta_g2; vk_ic }
+
 let rec nonzero st = let x = Fr.random st in if Fr.is_zero x then nonzero st else x
 
 let setup st qap =

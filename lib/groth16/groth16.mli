@@ -59,3 +59,18 @@ val verify_batch : verifying_key -> (Fr.t list * proof) list -> bool
 (** Byte size of the verifying key (grows only with the public input
     count). *)
 val verifying_key_size_bytes : verifying_key -> int
+
+(** {2 Key wire encodings}
+
+    Length-prefixed arrays of tagged uncompressed points. Parsing
+    validates every point's curve equation and every G2 point's r-order
+    subgroup membership (the discipline of {!proof_of_bytes_exn});
+    raises [Invalid_argument] on any failure, truncation, oversized
+    array count or trailing bytes. The subgroup checks make parsing a
+    large proving key O([num_vars]) G2 scalar multiplications — intended
+    for key files and the proof service's disk cache, not a hot path. *)
+
+val proving_key_to_bytes : proving_key -> Bytes.t
+val proving_key_of_bytes_exn : Bytes.t -> proving_key
+val verifying_key_to_bytes : verifying_key -> Bytes.t
+val verifying_key_of_bytes_exn : Bytes.t -> verifying_key

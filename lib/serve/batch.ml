@@ -1,0 +1,26 @@
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Groth16 = Zkvc_groth16.Groth16
+
+let verify_one keys (io, proof) =
+  match Api.verify_with keys ~public_inputs:io proof with
+  | ok -> ok
+  | exception Invalid_argument _ -> false
+
+let verify_each keys items =
+  match keys with
+  | Api.Groth16_keys { vk; _ } -> (
+    let groth_items =
+      List.filter_map
+        (function io, Api.Groth16_proof p -> Some (io, p) | _ -> None)
+        items
+    in
+    match groth_items with
+    | _ :: _ :: _ when List.length groth_items = List.length items ->
+      if Groth16.verify_batch vk groth_items then
+        (List.map (fun _ -> true) items, true)
+      else
+        (* one bad apple: fall back to per-item verdicts *)
+        (List.map (verify_one keys) items, false)
+    | _ -> (List.map (verify_one keys) items, false))
+  | Api.Spartan_keys _ -> (List.map (verify_one keys) items, false)

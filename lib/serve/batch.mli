@@ -1,0 +1,15 @@
+(** Server-side batch verification. Coalesced Groth16 verify requests go
+    through [Groth16.verify_batch] (one multi-pairing for the whole
+    batch); if the batched check fails, each item is re-verified alone so
+    honest proofs in a batch with one corrupted member still pass. *)
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+
+(** [verify_each keys items] returns one verdict per item, in order.
+    Groth16 batches of two or more take the fast path; Spartan (whose
+    verifier has no batch form here) always verifies per item. Returns
+    the verdicts paired with [true] iff the batched fast path decided
+    the whole list. *)
+val verify_each :
+  Api.keys -> (Fr.t list * Api.proof) list -> bool list * bool

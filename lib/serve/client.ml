@@ -1,0 +1,34 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t req : (Wire.response, Wire.error) result =
+  Wire.write_frame t.fd (Wire.Request req);
+  match Wire.read_frame t.fd with
+  | Ok (Wire.Response resp) -> Ok resp
+  | Ok (Wire.Request _) -> Error (Wire.Malformed "server sent a request frame")
+  | Error e -> Error e
+
+let request_exn t req =
+  match request t req with
+  | Ok (Wire.Error { code; message }) ->
+    failwith
+      (Printf.sprintf "server error (%s): %s" (Wire.error_code_to_string code) message)
+  | Ok resp -> resp
+  | Error e -> failwith ("transport error: " ^ Wire.error_to_string e)
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,22 @@
+(** Blocking client for the proof service: one connection, synchronous
+    request/response frames. Not thread-safe — use one [t] per thread. *)
+
+type t
+
+(** Connect to a server's Unix-domain socket. Raises [Unix.Unix_error]
+    when nothing listens there. *)
+val connect : string -> t
+
+val close : t -> unit
+
+(** Send one request and block for the matching response. [Error] is a
+    transport/framing failure; a server-side failure arrives as
+    [Ok (Error _)] (a {!Wire.response}). *)
+val request : t -> Wire.request -> (Wire.response, Wire.error) result
+
+(** [request] but transport errors and server [Error] responses raise
+    [Failure] with a readable message. *)
+val request_exn : t -> Wire.request -> Wire.response
+
+(** Run [f] over a fresh connection, closing it afterwards. *)
+val with_connection : string -> (t -> 'a) -> 'a

@@ -1,0 +1,60 @@
+type 'a t =
+  { capacity : int;
+    q : 'a Queue.t;
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobs.create: capacity must be positive";
+  { capacity;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> Queue.length t.q)
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.q >= t.capacity then `Full
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let drain_where t p =
+  with_lock t (fun () ->
+      let keep = Queue.create () in
+      let taken = ref [] in
+      Queue.iter (fun x -> if p x then taken := x :: !taken else Queue.push x keep) t.q;
+      Queue.clear t.q;
+      Queue.transfer keep t.q;
+      List.rev !taken)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -1,0 +1,28 @@
+(** Bounded FIFO job queue with backpressure, feeding the service's
+    worker. Thread-safe; [push] never blocks (full queues reject —
+    that's the backpressure signal), [pop] blocks until a job or
+    close-and-drained. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** Non-blocking: [`Full] once [length = capacity], [`Closed] after
+    {!close}. *)
+val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+(** Blocks until a job is available; [None] once the queue is closed and
+    drained. *)
+val pop : 'a t -> 'a option
+
+(** Remove and return (in FIFO order) every queued job matching [p],
+    without blocking. Lets the worker coalesce compatible jobs. *)
+val drain_where : 'a t -> ('a -> bool) -> 'a list
+
+(** Stop accepting jobs; blocked [pop]s return once the backlog drains. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool

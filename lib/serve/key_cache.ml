@@ -1,0 +1,184 @@
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Cs = Api.Cs
+module Mc = Zkvc.Matmul_circuit
+module Mspec = Zkvc.Matmul_spec
+module Sha256 = Zkvc_hash.Sha256
+
+type entry =
+  { id : string;
+    backend : Api.backend;
+    strategy : Mc.strategy;
+    dims : Mspec.dims;
+    challenge : Fr.t option;
+    keys : Api.keys }
+
+type t =
+  { capacity : int;
+    dir : string option;
+    mutable entries : entry list; (* most recently used first *)
+    lock : Mutex.t }
+
+let default_capacity = 8
+
+let create ?(capacity = default_capacity) ?dir () =
+  if capacity < 1 then invalid_arg "Key_cache.create: capacity must be positive";
+  Option.iter (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755) dir;
+  { capacity; dir; entries = []; lock = Mutex.create () }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> List.length t.entries)
+
+let ids t = with_lock t (fun () -> List.map (fun e -> e.id) t.entries)
+
+(* The id digests everything the keys depend on. The constraint system is
+   folded term by term (wire index + canonical coefficient bytes), so any
+   coefficient difference — e.g. a different CRPC challenge — yields a
+   different id. *)
+let id_of backend strategy dims ~challenge (cs : Cs.t) =
+  let ctx = Sha256.init () in
+  let u32 n =
+    let b = Bytes.create 4 in
+    Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+    Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+    Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+    Bytes.set_uint8 b 3 (n land 0xff);
+    Sha256.update ctx b
+  in
+  Sha256.update_string ctx "zkvc-key-id-v1";
+  Sha256.update_string ctx
+    (match backend with Api.Backend_groth16 -> "g" | Api.Backend_spartan -> "s");
+  Sha256.update_string ctx
+    (match strategy with
+     | Mc.Vanilla -> "v"
+     | Mc.Vanilla_psq -> "vp"
+     | Mc.Crpc -> "c"
+     | Mc.Crpc_psq -> "cp");
+  u32 dims.Mspec.a;
+  u32 dims.Mspec.n;
+  u32 dims.Mspec.b;
+  (match challenge with
+   | None -> Sha256.update_string ctx "_"
+   | Some z -> Sha256.update ctx (Fr.to_bytes z));
+  u32 cs.Cs.num_inputs;
+  u32 cs.Cs.num_aux;
+  u32 (Array.length cs.Cs.constraints);
+  let lc l =
+    let terms = Cs.L.terms l in
+    u32 (List.length terms);
+    List.iter
+      (fun (v, c) ->
+        u32 v;
+        Sha256.update ctx (Fr.to_bytes c))
+      terms
+  in
+  Array.iter
+    (fun { Cs.a; b; c; label = _ } ->
+      lc a;
+      lc b;
+      lc c)
+    cs.Cs.constraints;
+  Bytes.to_string (Sha256.finalize ctx)
+
+let spill_path t id =
+  Option.map (fun d -> Filename.concat d (Wire.hex_of_id id ^ ".zkvk")) t.dir
+
+let write_file path bytes =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_bytes oc bytes;
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let spill t (e : entry) =
+  match spill_path t e.id with
+  | None -> ()
+  | Some path ->
+    if not (Sys.file_exists path) then
+      write_file path
+        (Wire.encode_key_file
+           { Wire.kf_backend = e.backend;
+             kf_strategy = e.strategy;
+             kf_dims = e.dims;
+             kf_challenge = e.challenge;
+             kf_key_id = e.id;
+             kf_keys = e.keys })
+
+let load_from_disk t id =
+  match spill_path t id with
+  | None -> None
+  | Some path ->
+    if not (Sys.file_exists path) then None
+    else (
+      match Wire.decode_key_file (read_file path) with
+      | Ok kf when kf.Wire.kf_key_id = id ->
+        Some
+          { id;
+            backend = kf.Wire.kf_backend;
+            strategy = kf.kf_strategy;
+            dims = kf.kf_dims;
+            challenge = kf.kf_challenge;
+            keys = kf.kf_keys }
+      | Ok _ | Error _ -> None
+      | exception Sys_error _ -> None)
+
+(* assumes the lock is held *)
+let insert_locked t e =
+  t.entries <- e :: List.filter (fun e' -> e'.id <> e.id) t.entries;
+  let rec trim n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | x :: rest -> x :: trim (n - 1) rest
+  in
+  t.entries <- trim t.capacity t.entries
+
+let promote_locked t id =
+  match List.partition (fun e -> e.id = id) t.entries with
+  | [ e ], rest ->
+    t.entries <- e :: rest;
+    Some e
+  | _ -> None
+
+let find_or_add t backend strategy dims ~challenge ~cs ~make =
+  let id = id_of backend strategy dims ~challenge cs in
+  let mem = with_lock t (fun () -> promote_locked t id) in
+  match mem with
+  | Some e -> (e, `Hit_mem)
+  | None -> (
+    match load_from_disk t id with
+    | Some e ->
+      with_lock t (fun () -> insert_locked t e);
+      (e, `Hit_disk)
+    | None ->
+      let keys = make () in
+      let e = { id; backend; strategy; dims; challenge; keys } in
+      spill t e;
+      with_lock t (fun () -> insert_locked t e);
+      (e, `Miss))
+
+let find_by_id t id =
+  match with_lock t (fun () -> promote_locked t id) with
+  | Some e -> Some e
+  | None -> (
+    match load_from_disk t id with
+    | Some e ->
+      with_lock t (fun () -> insert_locked t e);
+      Some e
+    | None -> None)
+
+let add t e =
+  spill t e;
+  with_lock t (fun () -> insert_locked t e)

@@ -1,0 +1,70 @@
+(** Circuit-key cache of the proof service.
+
+    Keys are cached under a 32-byte id that digests the backend, the
+    circuit descriptor (strategy, dims, Fiat–Shamir challenge if any) and
+    the full constraint system — CRPC circuits embed the challenge in
+    their coefficients, so two proves with different statements get
+    different ids and never share keys unsoundly.
+
+    The in-memory side is a small LRU (default {!default_capacity}
+    entries); when a spill directory is configured every generated key is
+    also written as a {!Wire.key_file} and evicted entries can be
+    reloaded from disk without re-running setup. *)
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+
+type entry =
+  { id : string;  (** 32 raw bytes *)
+    backend : Api.backend;
+    strategy : Zkvc.Matmul_circuit.strategy;
+    dims : Zkvc.Matmul_spec.dims;
+    challenge : Fr.t option;
+    keys : Api.keys }
+
+type t
+
+val default_capacity : int
+
+(** [create ?capacity ?dir ()] makes an empty cache. [dir] enables disk
+    spill (created if missing). *)
+val create : ?capacity:int -> ?dir:string -> unit -> t
+
+val capacity : t -> int
+
+(** Number of in-memory entries. *)
+val length : t -> int
+
+(** In-memory ids, most recently used first (for tests). *)
+val ids : t -> string list
+
+(** Deterministic cache id of a circuit/backend pair. *)
+val id_of :
+  Api.backend ->
+  Zkvc.Matmul_circuit.strategy ->
+  Zkvc.Matmul_spec.dims ->
+  challenge:Fr.t option ->
+  Api.Cs.t ->
+  string
+
+(** [find_or_add t backend strategy dims ~challenge ~cs ~make] returns
+    the cached entry for this circuit, loading it from disk or running
+    [make] (which must produce keys for [cs]) on a miss. The entry is
+    promoted to most-recently-used; an insertion past capacity evicts
+    the least recently used entry (still on disk if spill is on). *)
+val find_or_add :
+  t ->
+  Api.backend ->
+  Zkvc.Matmul_circuit.strategy ->
+  Zkvc.Matmul_spec.dims ->
+  challenge:Fr.t option ->
+  cs:Api.Cs.t ->
+  make:(unit -> Api.keys) ->
+  entry * [ `Hit_mem | `Hit_disk | `Miss ]
+
+(** Lookup by raw id (memory, then disk). Used by verify requests. *)
+val find_by_id : t -> string -> entry option
+
+(** Insert an externally produced entry (promotes + spills like a miss).
+    Used when a client uploads a key file. *)
+val add : t -> entry -> unit

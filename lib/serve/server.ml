@@ -1,0 +1,430 @@
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Cs = Api.Cs
+module Spec = Zkvc.Matmul_spec
+module Spec_fr = Zkvc.Matmul_spec.Make (Fr)
+module Span = Zkvc_obs.Span
+module Metrics = Zkvc_obs.Metrics
+module Sink = Zkvc_obs.Sink
+
+type config =
+  { socket_path : string;
+    queue_capacity : int;
+    cache_capacity : int;
+    cache_dir : string option;
+    jobs : int;
+    job_delay_s : float;
+    observe : bool }
+
+let default_config ~socket_path =
+  { socket_path;
+    queue_capacity = 16;
+    cache_capacity = Key_cache.default_capacity;
+    cache_dir = None;
+    jobs = 0;
+    job_delay_s = 0.;
+    observe = false }
+
+(* serve.* metrics mirror the atomic counters below; the atomics are
+   authoritative (Status works with the sink disabled). *)
+let m_requests = Metrics.counter "serve.requests"
+let m_cache_hit = Metrics.counter "serve.cache.hit"
+let m_cache_miss = Metrics.counter "serve.cache.miss"
+let m_rejected = Metrics.counter "serve.queue.rejected"
+let m_timeout = Metrics.counter "serve.deadline.exceeded"
+let m_batched = Metrics.counter "serve.batch.coalesced"
+
+type conn = { fd : Unix.file_descr; wlock : Mutex.t }
+
+type job = { req : Wire.request; conn : conn; deadline : float option }
+
+type t =
+  { cfg : config;
+    listen_fd : Unix.file_descr;
+    jobs_q : job Jobs.t;
+    cache : Key_cache.t;
+    started_at : float;
+    requests : int Atomic.t;
+    timeouts : int Atomic.t;
+    rejections : int Atomic.t;
+    batched : int Atomic.t;
+    cache_hits : int Atomic.t;
+    cache_misses : int Atomic.t;
+    stopping : bool Atomic.t;
+    mutable is_drained : bool;
+    drain_lock : Mutex.t;
+    drain_cond : Condition.t;
+    mutable worker : Thread.t option;
+    mutable acceptor : Thread.t option;
+    readers_lock : Mutex.t;
+    mutable readers : Thread.t list }
+
+let config t = t.cfg
+
+exception Expired
+
+let respond conn resp =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () ->
+      try Wire.write_frame conn.fd (Wire.Response resp)
+      with Unix.Unix_error _ | Sys_error _ -> (* peer gone *) ())
+
+let respond_error conn code message =
+  respond conn (Wire.Error { code; message })
+
+let respond_timeout t conn =
+  Atomic.incr t.timeouts;
+  Metrics.incr m_timeout;
+  respond_error conn Wire.Deadline_exceeded "deadline exceeded"
+
+let status t =
+  { Wire.uptime_s = Unix.gettimeofday () -. t.started_at;
+    requests = Atomic.get t.requests;
+    queue_depth = Jobs.length t.jobs_q;
+    queue_capacity = Jobs.capacity t.jobs_q;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    cache_entries = Key_cache.length t.cache;
+    timeouts = Atomic.get t.timeouts;
+    rejections = Atomic.get t.rejections;
+    batched = Atomic.get t.batched }
+
+(* ---------------- worker: request processing ---------------- *)
+
+let check_deadline deadline =
+  match deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Expired
+  | _ -> ()
+
+let matrices_of_input dims input =
+  match input with
+  | Wire.Seeded { seed; bound } ->
+    (* replicates the CLI's seeded instance exactly: rng -> X -> W, then
+       the same rng feeds keygen and prove (byte-identical proofs) *)
+    let rng = Random.State.make [| seed |] in
+    let x = Spec_fr.random_matrix rng ~rows:dims.Spec.a ~cols:dims.Spec.n ~bound in
+    let w = Spec_fr.random_matrix rng ~rows:dims.Spec.n ~cols:dims.Spec.b ~bound in
+    (rng, x, w)
+  | Wire.Explicit { seed; x; w } ->
+    let rows m = Array.length m and cols m = Array.length m.(0) in
+    if rows x <> dims.Spec.a || cols x <> dims.Spec.n
+       || rows w <> dims.Spec.n || cols w <> dims.Spec.b then
+      invalid_arg "matrix shape does not match dims";
+    (Random.State.make [| seed |], x, w)
+
+(* prepare + cached keygen, shared by Keygen and Prove *)
+let prepared_keys t backend strategy dims input ~deadline =
+  let rng, x, w = matrices_of_input dims input in
+  let prep = Span.with_span "serve.prepare" (fun () -> Api.prepare strategy ~x ~w dims) in
+  check_deadline deadline;
+  let entry, hit =
+    Key_cache.find_or_add t.cache backend strategy dims ~challenge:prep.Api.challenge
+      ~cs:prep.Api.cs
+      ~make:(fun () ->
+        Span.with_span "serve.keygen" (fun () -> Api.keygen ~rng backend prep.Api.cs))
+  in
+  (match hit with
+   | `Hit_mem | `Hit_disk ->
+     Atomic.incr t.cache_hits;
+     Metrics.incr m_cache_hit
+   | `Miss ->
+     Atomic.incr t.cache_misses;
+     Metrics.incr m_cache_miss);
+  check_deadline deadline;
+  (rng, prep, entry, hit <> `Miss)
+
+let public_inputs_of prep =
+  Array.to_list (Array.sub prep.Api.assignment 1 (Cs.num_inputs prep.Api.cs))
+
+let process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline =
+  let _rng, prep, entry, cache_hit =
+    prepared_keys t backend strategy dims (Wire.Seeded { seed; bound }) ~deadline
+  in
+  let key_bytes =
+    Wire.encode_key_file
+      { Wire.kf_backend = backend;
+        kf_strategy = strategy;
+        kf_dims = dims;
+        kf_challenge = prep.Api.challenge;
+        kf_key_id = entry.Key_cache.id;
+        kf_keys = entry.Key_cache.keys }
+  in
+  Wire.Keygen_ok { key_id = entry.Key_cache.id; cache_hit; key_bytes }
+
+let process_prove t ~backend ~strategy ~dims ~input ~deadline =
+  let rng, prep, entry, cache_hit = prepared_keys t backend strategy dims input ~deadline in
+  let t0 = Unix.gettimeofday () in
+  let proof =
+    Span.with_span "serve.prove" (fun () ->
+        Api.prove_with ~rng entry.Key_cache.keys prep.Api.assignment)
+  in
+  check_deadline deadline;
+  Wire.Prove_ok
+    { key_id = entry.Key_cache.id;
+      cache_hit;
+      challenge = prep.Api.challenge;
+      public_inputs = public_inputs_of prep;
+      proof;
+      prove_s = Unix.gettimeofday () -. t0 }
+
+let process_one t job =
+  let fail_bad msg = respond_error job.conn Wire.Bad_request msg in
+  try
+    check_deadline job.deadline;
+    match job.req with
+    | Wire.Keygen { backend; strategy; dims; seed; bound; deadline_ms = _ } ->
+      let resp =
+        Span.with_span "serve.request.keygen" (fun () ->
+            process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline:job.deadline)
+      in
+      respond job.conn resp
+    | Wire.Prove { backend; strategy; dims; input; deadline_ms = _ } ->
+      let resp =
+        Span.with_span "serve.request.prove" (fun () ->
+            process_prove t ~backend ~strategy ~dims ~input ~deadline:job.deadline)
+      in
+      respond job.conn resp
+    | Wire.Verify { key_id; public_inputs; proof; deadline_ms = _ } -> (
+      match Key_cache.find_by_id t.cache key_id with
+      | None -> respond_error job.conn Wire.Unknown_key "no key with this id (run keygen first)"
+      | Some entry ->
+        let ok =
+          Span.with_span "serve.request.verify" (fun () ->
+              match Api.verify_with entry.Key_cache.keys ~public_inputs proof with
+              | ok -> ok
+              | exception Invalid_argument _ -> false)
+        in
+        respond job.conn (Wire.Verify_ok ok))
+    | Wire.Batch_verify { key_id; items; deadline_ms = _ } -> (
+      match Key_cache.find_by_id t.cache key_id with
+      | None -> respond_error job.conn Wire.Unknown_key "no key with this id (run keygen first)"
+      | Some entry ->
+        let verdicts, fast =
+          Span.with_span "serve.request.batch_verify" (fun () ->
+              Batch.verify_each entry.Key_cache.keys items)
+        in
+        if fast then begin
+          ignore (Atomic.fetch_and_add t.batched (List.length items));
+          Metrics.add m_batched (List.length items)
+        end;
+        respond job.conn (Wire.Batch_ok verdicts))
+    | Wire.Status | Wire.Shutdown ->
+      (* handled on the reader threads; never queued *)
+      fail_bad "unexpected control request in job queue"
+  with
+  | Expired -> respond_timeout t job.conn
+  | Invalid_argument msg -> fail_bad msg
+  | e -> respond_error job.conn Wire.Internal (Printexc.to_string e)
+
+(* Coalesce queued single-proof verifies against the same key into one
+   batched check; each request still gets its own [Verify_ok]. *)
+let process_verify_group t jobs =
+  let live, expired =
+    List.partition
+      (fun j ->
+        match j.deadline with
+        | Some d when Unix.gettimeofday () > d -> false
+        | _ -> true)
+      jobs
+  in
+  List.iter (fun j -> respond_timeout t j.conn) expired;
+  match live with
+  | [] -> ()
+  | [ j ] -> process_one t j
+  | _ -> (
+    let key_id =
+      match (List.hd live).req with
+      | Wire.Verify { key_id; _ } -> key_id
+      | _ -> assert false
+    in
+    match Key_cache.find_by_id t.cache key_id with
+    | None ->
+      List.iter
+        (fun j -> respond_error j.conn Wire.Unknown_key "no key with this id (run keygen first)")
+        live
+    | Some entry ->
+      let items =
+        List.map
+          (fun j ->
+            match j.req with
+            | Wire.Verify { public_inputs; proof; _ } -> (public_inputs, proof)
+            | _ -> assert false)
+          live
+      in
+      let verdicts, _fast =
+        Span.with_span "serve.request.verify_coalesced" (fun () ->
+            Batch.verify_each entry.Key_cache.keys items)
+      in
+      ignore (Atomic.fetch_and_add t.batched (List.length live));
+      Metrics.add m_batched (List.length live);
+      List.iter2 (fun j ok -> respond j.conn (Wire.Verify_ok ok)) live verdicts)
+
+let worker_loop t =
+  let rec loop () =
+    match Jobs.pop t.jobs_q with
+    | None ->
+      Mutex.lock t.drain_lock;
+      t.is_drained <- true;
+      Condition.broadcast t.drain_cond;
+      Mutex.unlock t.drain_lock
+    | Some job ->
+      if t.cfg.job_delay_s > 0. then Thread.delay t.cfg.job_delay_s;
+      (match job.req with
+       | Wire.Verify { key_id; _ } ->
+         let rest =
+           Jobs.drain_where t.jobs_q (fun j ->
+               match j.req with
+               | Wire.Verify { key_id = k; _ } -> k = key_id
+               | _ -> false)
+         in
+         process_verify_group t (job :: rest)
+       | _ -> process_one t job);
+      loop ()
+  in
+  loop ()
+
+(* ---------------- reader threads ---------------- *)
+
+let deadline_of arrival deadline_ms =
+  if deadline_ms <= 0 then None else Some (arrival +. (float_of_int deadline_ms /. 1000.))
+
+let request_deadline_ms = function
+  | Wire.Keygen { deadline_ms; _ }
+  | Wire.Prove { deadline_ms; _ }
+  | Wire.Verify { deadline_ms; _ }
+  | Wire.Batch_verify { deadline_ms; _ } ->
+    deadline_ms
+  | Wire.Status | Wire.Shutdown -> 0
+
+let rec shutdown t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Jobs.close t.jobs_q;
+    (* wake a blocked [accept]: the acceptor rechecks the stop flag on
+       every returned connection *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path) with _ -> ());
+       Unix.close fd
+     with _ -> ())
+  end;
+  (* everyone who asks for shutdown blocks until drained *)
+  Mutex.lock t.drain_lock;
+  while not t.is_drained do
+    Condition.wait t.drain_cond t.drain_lock
+  done;
+  Mutex.unlock t.drain_lock
+
+and handle_request t conn req =
+  Atomic.incr t.requests;
+  Metrics.incr m_requests;
+  match req with
+  | Wire.Status -> respond conn (Wire.Status_ok (status t))
+  | Wire.Shutdown ->
+    shutdown t;
+    respond conn Wire.Shutdown_ok
+  | req -> (
+    let arrival = Unix.gettimeofday () in
+    let job = { req; conn; deadline = deadline_of arrival (request_deadline_ms req) } in
+    match Jobs.push t.jobs_q job with
+    | `Ok -> ()
+    | `Full ->
+      Atomic.incr t.rejections;
+      Metrics.incr m_rejected;
+      respond_error conn Wire.Queue_full "job queue is full, retry later"
+    | `Closed -> respond_error conn Wire.Shutting_down "server is shutting down")
+
+let reader_loop t conn =
+  let stop_now () = Atomic.get t.stopping && t.is_drained in
+  let rec loop () =
+    if not (stop_now ()) then
+      match Unix.select [ conn.fd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Wire.read_frame conn.fd with
+        | Error Wire.Eof -> ()
+        | Error e ->
+          (* framing is lost after a malformed frame: answer, then drop *)
+          respond_error conn Wire.Bad_request (Wire.error_to_string e)
+        | Ok (Wire.Response _) ->
+          respond_error conn Wire.Bad_request "unexpected response frame"
+        | Ok (Wire.Request req) ->
+          handle_request t conn req;
+          loop ())
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  in
+  (try loop () with _ -> ());
+  try Unix.close conn.fd with _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      if Atomic.get t.stopping then (try Unix.close fd with _ -> ())
+      else begin
+        let conn = { fd; wlock = Mutex.create () } in
+        let th = Thread.create (fun () -> reader_loop t conn) () in
+        Mutex.lock t.readers_lock;
+        t.readers <- th :: t.readers;
+        Mutex.unlock t.readers_lock;
+        loop ()
+      end
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  (try Unix.close t.listen_fd with _ -> ());
+  try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
+
+(* ---------------- lifecycle ---------------- *)
+
+let start cfg =
+  (* satellite fix: spans must run on a wall clock — [Sys.time] is
+     process CPU time and sums across the worker domains *)
+  Span.set_clock Unix.gettimeofday;
+  if cfg.observe then Sink.enable ();
+  if cfg.jobs > 0 then Zkvc_parallel.set_jobs cfg.jobs;
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  Unix.listen listen_fd 64;
+  let t =
+    { cfg;
+      listen_fd;
+      jobs_q = Jobs.create ~capacity:cfg.queue_capacity;
+      cache = Key_cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
+      started_at = Unix.gettimeofday ();
+      requests = Atomic.make 0;
+      timeouts = Atomic.make 0;
+      rejections = Atomic.make 0;
+      batched = Atomic.make 0;
+      cache_hits = Atomic.make 0;
+      cache_misses = Atomic.make 0;
+      stopping = Atomic.make false;
+      is_drained = false;
+      drain_lock = Mutex.create ();
+      drain_cond = Condition.create ();
+      worker = None;
+      acceptor = None;
+      readers_lock = Mutex.create ();
+      readers = [] }
+  in
+  t.worker <- Some (Thread.create (fun () -> worker_loop t) ());
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  Option.iter Thread.join t.acceptor;
+  Option.iter Thread.join t.worker;
+  let readers =
+    Mutex.lock t.readers_lock;
+    let r = t.readers in
+    Mutex.unlock t.readers_lock;
+    r
+  in
+  List.iter Thread.join readers

@@ -1,0 +1,49 @@
+(** The zkVC proof service: a Unix-domain-socket server that keeps
+    circuit keys warm across requests.
+
+    Threading model (systhreads, one OCaml domain): one accept thread,
+    one reader thread per connection, and exactly one worker thread that
+    owns the prover — [Zkvc_parallel]'s pool and [Zkvc_obs]'s span stack
+    are not safe for concurrent callers in a domain, so readers only
+    parse, enqueue and answer [Status], while all proving/verifying (and
+    all span recording) happens on the worker. Parallelism inside a job
+    still comes from the domain pool ([config.jobs]).
+
+    Backpressure: the job queue is bounded; a full queue rejects with
+    [Queue_full] instead of queueing unboundedly. Deadlines are checked
+    when a job is dequeued and between phases (prepare / keygen / prove),
+    answering [Deadline_exceeded]. Shutdown closes the queue, drains
+    in-flight jobs, answers the shutdown request, then stops accepting. *)
+
+type config =
+  { socket_path : string;
+    queue_capacity : int;
+    cache_capacity : int;
+    cache_dir : string option;  (** enables key-file disk spill *)
+    jobs : int;  (** domain-pool size for the worker; [0] = leave as-is *)
+    job_delay_s : float;
+        (** test hook: sleep this long before each job (deterministic
+            queue-full / deadline tests). Leave [0.] *)
+    observe : bool  (** enable the [Zkvc_obs] sink + serve.* metrics *) }
+
+val default_config : socket_path:string -> config
+
+type t
+
+val config : t -> config
+
+(** Bind, listen and spawn the accept + worker threads. Installs the
+    wall clock ([Unix.gettimeofday]) as the span clock before any span
+    opens. Raises [Unix.Unix_error] if the socket can't be bound. *)
+val start : config -> t
+
+(** Request a graceful stop: close the queue, wait for the worker to
+    drain, stop accepting. Idempotent; blocks until drained. *)
+val shutdown : t -> unit
+
+(** Block until the server has fully stopped (accept, worker and reader
+    threads joined). *)
+val wait : t -> unit
+
+(** Current status snapshot (same data a [Status] request returns). *)
+val status : t -> Wire.status

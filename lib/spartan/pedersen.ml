@@ -36,6 +36,12 @@ let create_key n =
   { generators = Array.init n (fun i -> hash_to_point (string_of_int i));
     blinder = hash_to_point "blinder" }
 
+(** Reassemble a key from raw points (deserialisation). The caller is
+    trusted about the generators' provenance — points parsed from a key
+    file are curve-validated but their discrete logs are unknowable only
+    if the file really came from {!create_key}. *)
+let of_raw ~generators ~blinder = { generators; blinder }
+
 let key_size key = Array.length key.generators
 
 let generators key = key.generators

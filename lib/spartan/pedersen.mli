@@ -13,6 +13,11 @@ type key
 val create_key : int -> key
 val key_size : key -> int
 
+(** Reassemble a key from raw points (deserialisation path). Binding and
+    hiding hold only if the points really came from {!create_key} — the
+    caller vouches for the file's provenance. *)
+val of_raw : generators:G1.t array -> blinder:G1.t -> key
+
 (** The vector generators H_0..H_{n-1} (read-only use). *)
 val generators : key -> G1.t array
 

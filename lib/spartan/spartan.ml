@@ -103,6 +103,150 @@ let proof_size_bytes p =
   + (3 * fr_bytes)
   + opening_bytes
 
+(* ---- wire encodings ----
+   Length-prefixed arrays over the tagged uncompressed point format and
+   the canonical 32-byte field encoding. Parsing validates every G1
+   point's curve equation and every scalar's canonicity, matching
+   Groth16's [proof_of_bytes_exn] discipline; raises [Invalid_argument]
+   on truncation, bad tags, oversized counts or trailing bytes. *)
+
+let w_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let w_fr buf x = Buffer.add_bytes buf (Fr.to_bytes x)
+let w_g1 buf p = Buffer.add_bytes buf (G1.to_bytes p)
+
+let w_g1_array buf a =
+  w_u32 buf (Array.length a);
+  Array.iter (w_g1 buf) a
+
+let w_fr_array buf a =
+  w_u32 buf (Array.length a);
+  Array.iter (w_fr buf) a
+
+let w_sumcheck buf (sc : Sc.proof) =
+  w_u32 buf (List.length sc);
+  List.iter (w_fr_array buf) sc
+
+type cursor = { cbuf : Bytes.t; mutable pos : int }
+
+let need what c n =
+  if c.pos + n > Bytes.length c.cbuf then
+    invalid_arg (Printf.sprintf "Spartan.%s: truncated input" what)
+
+let r_u8 what c =
+  need what c 1;
+  let n = Char.code (Bytes.get c.cbuf c.pos) in
+  c.pos <- c.pos + 1;
+  n
+
+let r_u32 what c =
+  need what c 4;
+  let b i = Char.code (Bytes.get c.cbuf (c.pos + i)) in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  n
+
+let r_fr what c =
+  need what c fr_bytes;
+  let x = Fr.of_bytes_exn (Bytes.sub c.cbuf c.pos fr_bytes) in
+  c.pos <- c.pos + fr_bytes;
+  x
+
+let r_g1 what c =
+  need what c G1.size_in_bytes;
+  let p = G1.of_bytes_exn (Bytes.sub c.cbuf c.pos G1.size_in_bytes) in
+  c.pos <- c.pos + G1.size_in_bytes;
+  p
+
+let r_array what c width read =
+  let n = r_u32 what c in
+  if n > (Bytes.length c.cbuf - c.pos) / width then
+    invalid_arg (Printf.sprintf "Spartan.%s: oversized array count" what);
+  Array.init n (fun _ -> read what c)
+
+let r_sumcheck what c =
+  let n = r_u32 what c in
+  if n > Bytes.length c.cbuf - c.pos then
+    invalid_arg (Printf.sprintf "Spartan.%s: oversized round count" what);
+  List.init n (fun _ -> r_array what c fr_bytes r_fr)
+
+let finished what c =
+  if c.pos <> Bytes.length c.cbuf then
+    invalid_arg (Printf.sprintf "Spartan.%s: trailing bytes" what)
+
+let proof_to_bytes p =
+  let buf = Buffer.create 4096 in
+  w_g1_array buf p.comm_rows;
+  w_sumcheck buf p.sc1;
+  w_fr buf p.va;
+  w_fr buf p.vb;
+  w_fr buf p.vc;
+  w_sumcheck buf p.sc2;
+  (match p.opening with
+   | Fold_opening { folded; fold_blind } ->
+     Buffer.add_char buf '\000';
+     w_fr_array buf folded;
+     w_fr buf fold_blind
+   | Ipa_opening { blind; w_eval; ipa } ->
+     Buffer.add_char buf '\001';
+     w_fr buf blind;
+     w_fr buf w_eval;
+     w_g1_array buf ipa.Ipa.ls;
+     w_g1_array buf ipa.Ipa.rs;
+     w_fr buf ipa.Ipa.a_final);
+  Buffer.to_bytes buf
+
+let proof_of_bytes_exn bytes =
+  let what = "proof_of_bytes_exn" in
+  let c = { cbuf = bytes; pos = 0 } in
+  let comm_rows = r_array what c G1.size_in_bytes r_g1 in
+  let sc1 = r_sumcheck what c in
+  let va = r_fr what c in
+  let vb = r_fr what c in
+  let vc = r_fr what c in
+  let sc2 = r_sumcheck what c in
+  let opening =
+    match r_u8 what c with
+    | 0 ->
+      let folded = r_array what c fr_bytes r_fr in
+      let fold_blind = r_fr what c in
+      Fold_opening { folded; fold_blind }
+    | 1 ->
+      let blind = r_fr what c in
+      let w_eval = r_fr what c in
+      let ls = r_array what c G1.size_in_bytes r_g1 in
+      let rs = r_array what c G1.size_in_bytes r_g1 in
+      let a_final = r_fr what c in
+      Ipa_opening { blind; w_eval; ipa = { Ipa.ls; rs; a_final } }
+    | t -> invalid_arg (Printf.sprintf "Spartan.%s: unknown opening tag %d" what t)
+  in
+  finished what c;
+  { comm_rows; sc1; va; vb; vc; sc2; opening }
+
+let key_to_bytes (k : key) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf (Char.chr k.wrows);
+  Buffer.add_char buf (Char.chr k.wcols);
+  w_g1_array buf (Pedersen.generators k.pedersen);
+  w_g1 buf (Pedersen.blinder k.pedersen);
+  Buffer.to_bytes buf
+
+let key_of_bytes_exn bytes =
+  let what = "key_of_bytes_exn" in
+  let c = { cbuf = bytes; pos = 0 } in
+  let wrows = r_u8 what c in
+  let wcols = r_u8 what c in
+  let generators = r_array what c G1.size_in_bytes r_g1 in
+  let blinder = r_g1 what c in
+  finished what c;
+  if Array.length generators <> 1 lsl wcols then
+    invalid_arg (Printf.sprintf "Spartan.%s: generator count does not match wcols" what);
+  { pedersen = Pedersen.of_raw ~generators ~blinder; wrows; wcols }
+
 (* Build the padded z vector: [1; inputs; 0...0 | aux; 0...0]. *)
 let build_z t assignment =
   let z = Array.make (2 * t.half) Fr.zero in

@@ -35,6 +35,23 @@ type proof
 
 val proof_size_bytes : proof -> int
 
+(** {2 Wire encodings}
+
+    Length-prefixed arrays over the tagged uncompressed G1 format and the
+    canonical 32-byte scalar encoding. Parsing validates every point's
+    curve equation and every scalar's canonicity (the discipline of
+    [Groth16.proof_of_bytes_exn]); raises [Invalid_argument] on
+    truncation, unknown tags, oversized counts or trailing bytes. *)
+
+val proof_to_bytes : proof -> Bytes.t
+val proof_of_bytes_exn : Bytes.t -> proof
+
+(** The commitment key as raw points — parsing trusts the file's
+    provenance for the generators' unknown discrete logs (see
+    {!Pedersen.of_raw}). *)
+val key_to_bytes : key -> Bytes.t
+val key_of_bytes_exn : Bytes.t -> key
+
 (** [opening_mode] selects the witness-opening flavour:
     [`Hyrax_fold] (default) reveals the √n-size combined row vector;
     [`Ipa] compresses it with a Bulletproofs-style inner-product argument

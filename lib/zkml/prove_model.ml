@@ -14,10 +14,13 @@ module Groth16 = Zkvc_groth16.Groth16
 module Spartan = Zkvc_spartan.Spartan
 module Models = Zkvc_nn.Models
 
+(* [Span.now] follows the installed span clock, so these measurements are
+   wall time whenever the binary installed one (CPU time misreports
+   multi-domain proving; see Zkvc_obs.Span.set_clock). *)
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Zkvc_obs.Span.now () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Zkvc_obs.Span.now () -. t0)
 
 (** Prove one op-circuit for real on the given backend; returns
     (constraints, prove seconds, verify seconds, proof bytes). *)

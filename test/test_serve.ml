@@ -1,0 +1,763 @@
+(* Proof-service tests: wire-codec round trips over every frame type,
+   malformed-input fuzzing (decoding is total: typed errors, never
+   exceptions, never over-reads), key-cache LRU + disk spill, batched
+   verification with corrupted members, the bounded job queue, and
+   end-to-end socket sessions including queue-full backpressure,
+   deadlines and verify coalescing. *)
+
+module Fr = Zkvc_field.Fr
+module Api = Zkvc.Api
+module Mc = Zkvc.Matmul_circuit
+module Mspec = Zkvc.Matmul_spec
+module Spec = Mspec.Make (Fr)
+module Spartan = Zkvc_spartan.Spartan
+module Wire = Zkvc_serve.Wire
+module Key_cache = Zkvc_serve.Key_cache
+module Jobs = Zkvc_serve.Jobs
+module Batch = Zkvc_serve.Batch
+module Server = Zkvc_serve.Server
+module Client = Zkvc_serve.Client
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny = Mspec.dims ~a:2 ~n:2 ~b:2
+
+let instance_of_seed seed =
+  let rng = Random.State.make [| seed |] in
+  let x = Spec.random_matrix rng ~rows:tiny.Mspec.a ~cols:tiny.Mspec.n ~bound:16 in
+  let w = Spec.random_matrix rng ~rows:tiny.Mspec.n ~cols:tiny.Mspec.b ~bound:16 in
+  (rng, x, w)
+
+(* one real statement + keys + proof per backend, shared by the suites *)
+let fixture backend strategy seed =
+  let rng, x, w = instance_of_seed seed in
+  let prep = Api.prepare strategy ~x ~w tiny in
+  let keys = Api.keygen ~rng backend prep.Api.cs in
+  let proof = Api.prove_with ~rng keys prep.Api.assignment in
+  let public_inputs =
+    Array.to_list (Array.sub prep.Api.assignment 1 (Api.Cs.num_inputs prep.Api.cs))
+  in
+  (prep, keys, public_inputs, proof)
+
+let groth16_fix = lazy (fixture Api.Backend_groth16 Mc.Vanilla 3)
+let spartan_fix = lazy (fixture Api.Backend_spartan Mc.Vanilla 3)
+let crpc_fix = lazy (fixture Api.Backend_spartan Mc.Crpc_psq 3)
+
+(* a Spartan proof with the IPA opening, to cover both opening codecs *)
+let spartan_ipa_proof =
+  lazy
+    (let rng, x, w = instance_of_seed 4 in
+     let prep = Api.prepare Mc.Vanilla ~x ~w tiny in
+     let inst = Spartan.preprocess prep.Api.cs in
+     let key = Spartan.setup inst in
+     Api.Spartan_proof (Spartan.prove ~opening_mode:`Ipa rng key inst prep.Api.assignment))
+
+let sample_proofs =
+  lazy
+    (let _, _, _, g = Lazy.force groth16_fix in
+     let _, _, _, s = Lazy.force spartan_fix in
+     [| g; s; Lazy.force spartan_ipa_proof |])
+
+(* ---------------- generators ---------------- *)
+
+let gen_fr =
+  QCheck.Gen.(
+    oneof
+      [ map Fr.of_int (int_bound 1_000_000);
+        map (fun seed -> Fr.random (Random.State.make [| seed; 99 |])) (int_bound 10_000) ])
+
+let gen_fr_list = QCheck.Gen.(list_size (int_bound 5) gen_fr)
+
+let gen_dims =
+  QCheck.Gen.(
+    map3 (fun a n b -> Mspec.dims ~a:(a + 1) ~n:(n + 1) ~b:(b + 1)) (int_bound 3)
+      (int_bound 3) (int_bound 3))
+
+let gen_matrix rows cols =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        let st = Random.State.make [| seed; 7 |] in
+        Array.init rows (fun _ -> Array.init cols (fun _ -> Fr.random st)))
+      (int_bound 10_000))
+
+let gen_backend = QCheck.Gen.oneofl [ Api.Backend_groth16; Api.Backend_spartan ]
+let gen_strategy = QCheck.Gen.oneofl Mc.all_strategies
+let gen_proof = QCheck.Gen.(map (fun i -> (Lazy.force sample_proofs).(i)) (int_bound 2))
+let gen_key_id = QCheck.Gen.(map (fun s -> Bytes.to_string (Zkvc_hash.Sha256.digest_string s)) string)
+let gen_deadline = QCheck.Gen.int_bound 10_000
+
+let gen_request =
+  let open QCheck.Gen in
+  let gen_input dims =
+    oneof
+      [ map2 (fun seed bound -> Wire.Seeded { seed; bound = bound + 1 }) int (int_bound 500);
+        (fun st ->
+          let x = gen_matrix dims.Mspec.a dims.Mspec.n st in
+          let w = gen_matrix dims.Mspec.n dims.Mspec.b st in
+          Wire.Explicit { seed = int st; x; w }) ]
+  in
+  oneof
+    [ (fun st ->
+        let backend = gen_backend st and strategy = gen_strategy st in
+        let dims = gen_dims st in
+        Wire.Keygen
+          { backend; strategy; dims; seed = int st; bound = 1 + int_bound 500 st;
+            deadline_ms = gen_deadline st });
+      (fun st ->
+        let backend = gen_backend st and strategy = gen_strategy st in
+        let dims = gen_dims st in
+        Wire.Prove
+          { backend; strategy; dims; input = gen_input dims st;
+            deadline_ms = gen_deadline st });
+      (fun st ->
+        Wire.Verify
+          { key_id = gen_key_id st; public_inputs = gen_fr_list st; proof = gen_proof st;
+            deadline_ms = gen_deadline st });
+      (fun st ->
+        let items =
+          list_size (int_bound 3) (pair gen_fr_list gen_proof) st
+        in
+        Wire.Batch_verify { key_id = gen_key_id st; items; deadline_ms = gen_deadline st });
+      return Wire.Status;
+      return Wire.Shutdown ]
+
+let gen_status =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        let st = Random.State.make [| seed; 13 |] in
+        let i () = Random.State.int st 1_000_000 in
+        { Wire.uptime_s = Random.State.float st 1.0e6;
+          requests = i ();
+          queue_depth = i ();
+          queue_capacity = i ();
+          cache_hits = i ();
+          cache_misses = i ();
+          cache_entries = i ();
+          timeouts = i ();
+          rejections = i ();
+          batched = i () })
+      int)
+
+let gen_error_code =
+  QCheck.Gen.oneofl
+    [ Wire.Queue_full; Wire.Deadline_exceeded; Wire.Bad_request; Wire.Unknown_key;
+      Wire.Shutting_down; Wire.Internal ]
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [ (fun st ->
+        Wire.Keygen_ok
+          { key_id = gen_key_id st; cache_hit = bool st;
+            key_bytes = Bytes.of_string (string_size (int_bound 64) st) });
+      (fun st ->
+        Wire.Prove_ok
+          { key_id = gen_key_id st;
+            cache_hit = bool st;
+            challenge = (if bool st then Some (gen_fr st) else None);
+            public_inputs = gen_fr_list st;
+            proof = gen_proof st;
+            prove_s = float_bound_inclusive 1.0e9 st });
+      map (fun b -> Wire.Verify_ok b) bool;
+      map (fun bs -> Wire.Batch_ok bs) (list_size (int_bound 6) bool);
+      map (fun s -> Wire.Status_ok s) gen_status;
+      return Wire.Shutdown_ok;
+      (fun st ->
+        Wire.Error { code = gen_error_code st; message = string_size (int_bound 80) st }) ]
+
+let gen_frame =
+  QCheck.Gen.(
+    oneof
+      [ map (fun r -> Wire.Request r) gen_request;
+        map (fun r -> Wire.Response r) gen_response ])
+
+let arb_frame = QCheck.make gen_frame
+
+(* frames are compared through their canonical encoding: the codec is
+   deterministic, so byte equality is frame equality *)
+let roundtrips f =
+  let b = Wire.encode_frame f in
+  match Wire.decode_frame b with
+  | Error e -> Alcotest.failf "decode failed: %s" (Wire.error_to_string e)
+  | Ok g -> Bytes.equal (Wire.encode_frame g) b
+
+(* ---------------- codec suites ---------------- *)
+
+let qtest ?(count = 30) name prop gen = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop gen)
+
+let codec_tests =
+  [ qtest "every frame type round-trips" arb_frame roundtrips;
+    Alcotest.test_case "fixed frames round-trip" `Quick (fun () ->
+        let _, _, io, proof = Lazy.force groth16_fix in
+        let frames =
+          [ Wire.Request Wire.Status;
+            Wire.Request Wire.Shutdown;
+            Wire.Request
+              (Wire.Verify
+                 { key_id = String.make 32 'k'; public_inputs = io; proof; deadline_ms = 0 });
+            Wire.Response Wire.Shutdown_ok;
+            Wire.Response (Wire.Verify_ok true);
+            Wire.Response
+              (Wire.Error { code = Wire.Queue_full; message = "job queue is full" }) ]
+        in
+        List.iter (fun f -> check_bool "roundtrip" true (roundtrips f)) frames);
+    Alcotest.test_case "status floats keep all 64 bits" `Quick (fun () ->
+        (* uptimes above 4.0 have float bit patterns past 2^62: a codec
+           that squeezes them through a 63-bit int corrupts the sign *)
+        List.iter
+          (fun u ->
+            let s =
+              { Wire.uptime_s = u; requests = 0; queue_depth = 0; queue_capacity = 0;
+                cache_hits = 0; cache_misses = 0; cache_entries = 0; timeouts = 0;
+                rejections = 0; batched = 0 }
+            in
+            match Wire.decode_frame (Wire.encode_frame (Wire.Response (Wire.Status_ok s))) with
+            | Ok (Wire.Response (Wire.Status_ok s')) ->
+              if s'.Wire.uptime_s <> u then
+                Alcotest.failf "uptime %.17g decoded as %.17g" u s'.Wire.uptime_s
+            | _ -> Alcotest.fail "decode failed")
+          [ 0.; 0.5; 3.9999; 4.3; 1.0e9; Float.max_float ]) ]
+
+(* ---------------- malformed input ---------------- *)
+
+let decode_never_raises b =
+  match Wire.decode_frame b with
+  | Ok _ | Error _ -> true
+  | exception e -> Alcotest.failf "decode raised %s" (Printexc.to_string e)
+
+let sample_frame () =
+  let _, _, io, proof = Lazy.force groth16_fix in
+  Wire.encode_frame
+    (Wire.Request
+       (Wire.Verify { key_id = String.make 32 'i'; public_inputs = io; proof; deadline_ms = 9 }))
+
+let malformed_tests =
+  [ Alcotest.test_case "every truncation is a typed error" `Quick (fun () ->
+        let b = sample_frame () in
+        for i = 0 to Bytes.length b - 1 do
+          match Wire.decode_frame (Bytes.sub b 0 i) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "prefix of %d bytes decoded" i
+          | exception e ->
+            Alcotest.failf "prefix of %d bytes raised %s" i (Printexc.to_string e)
+        done);
+    Alcotest.test_case "bad magic" `Quick (fun () ->
+        let b = sample_frame () in
+        Bytes.set b 0 'X';
+        match Wire.decode_frame b with
+        | Error Wire.Bad_magic -> ()
+        | _ -> Alcotest.fail "expected Bad_magic");
+    Alcotest.test_case "unknown version" `Quick (fun () ->
+        let b = sample_frame () in
+        Bytes.set b 4 '\042';
+        match Wire.decode_frame b with
+        | Error (Wire.Unsupported_version 42) -> ()
+        | _ -> Alcotest.fail "expected Unsupported_version 42");
+    Alcotest.test_case "unknown kind" `Quick (fun () ->
+        let b = sample_frame () in
+        Bytes.set b 5 '\055';
+        match Wire.decode_frame b with
+        | Error (Wire.Bad_tag { what = "frame kind"; tag = 55 }) -> ()
+        | _ -> Alcotest.fail "expected Bad_tag");
+    Alcotest.test_case "oversized length never allocates or over-reads" `Quick (fun () ->
+        (* header declares a payload far past the buffer and the bound *)
+        let b = Bytes.of_string "ZKVC\001\005\255\255\255\255" in
+        match Wire.decode_frame b with
+        | Error (Wire.Oversized _) -> ()
+        | _ -> Alcotest.fail "expected Oversized");
+    Alcotest.test_case "trailing bytes rejected" `Quick (fun () ->
+        let b = sample_frame () in
+        let b' = Bytes.cat b (Bytes.of_string "x") in
+        match Wire.decode_frame b' with
+        | Error (Wire.Malformed _) -> ()
+        | _ -> Alcotest.fail "expected Malformed trailing");
+    qtest ~count:200 "single-byte mutations never raise"
+      QCheck.(pair (make gen_frame) (pair small_nat small_nat))
+      (fun (f, (pos, v)) ->
+        let b = Wire.encode_frame f in
+        let pos = pos mod Bytes.length b in
+        Bytes.set b pos (Char.chr (v land 0xff));
+        decode_never_raises b);
+    qtest ~count:100 "random garbage never raises"
+      QCheck.(string_of_size (QCheck.Gen.int_bound 300))
+      (fun s -> decode_never_raises (Bytes.of_string s));
+    Alcotest.test_case "read_frame: clean close is Eof, mid-frame is Truncated" `Quick
+      (fun () ->
+        let check_stream bytes expect =
+          let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          let n = Bytes.length bytes in
+          if n > 0 then assert (Unix.write a bytes 0 n = n);
+          Unix.close a;
+          let r = Wire.read_frame b in
+          Unix.close b;
+          match (r, expect) with
+          | Error e, `Err e' when e = e' -> ()
+          | Ok _, `Ok -> ()
+          | _ -> Alcotest.fail "unexpected read_frame result"
+        in
+        check_stream Bytes.empty (`Err Wire.Eof);
+        let f = sample_frame () in
+        check_stream (Bytes.sub f 0 3) (`Err Wire.Truncated);
+        check_stream (Bytes.sub f 0 (Bytes.length f - 1)) (`Err Wire.Truncated);
+        check_stream f `Ok) ]
+
+(* ---------------- codec files ---------------- *)
+
+let file_tests =
+  [ Alcotest.test_case "proof file round-trips (incl. CRPC challenge)" `Quick (fun () ->
+        List.iter
+          (fun (backend, strategy, (lazy (prep, _, io, proof))) ->
+            let pf =
+              { Wire.pf_backend = backend;
+                pf_strategy = strategy;
+                pf_dims = tiny;
+                pf_challenge = prep.Api.challenge;
+                pf_key_id = String.make 32 'p';
+                pf_public_inputs = io;
+                pf_proof = proof }
+            in
+            let b = Wire.encode_proof_file pf in
+            match Wire.decode_proof_file b with
+            | Error e -> Alcotest.failf "decode: %s" (Wire.error_to_string e)
+            | Ok pf' -> check_bool "bytes" true (Bytes.equal (Wire.encode_proof_file pf') b))
+          [ (Api.Backend_groth16, Mc.Vanilla, groth16_fix);
+            (Api.Backend_spartan, Mc.Vanilla, spartan_fix);
+            (Api.Backend_spartan, Mc.Crpc_psq, crpc_fix) ]);
+    Alcotest.test_case "key file verifies a proof after reload" `Quick (fun () ->
+        List.iter
+          (fun (backend, strategy, (lazy (prep, keys, io, proof))) ->
+            let id = Key_cache.id_of backend strategy tiny ~challenge:prep.Api.challenge prep.Api.cs in
+            let b =
+              Wire.encode_key_file
+                { Wire.kf_backend = backend;
+                  kf_strategy = strategy;
+                  kf_dims = tiny;
+                  kf_challenge = prep.Api.challenge;
+                  kf_key_id = id;
+                  kf_keys = keys }
+            in
+            match Wire.decode_key_file b with
+            | Error e -> Alcotest.failf "decode: %s" (Wire.error_to_string e)
+            | Ok kf ->
+              check_bool "verifies with rebuilt keys" true
+                (Api.verify_with kf.Wire.kf_keys ~public_inputs:io proof))
+          [ (Api.Backend_groth16, Mc.Vanilla, groth16_fix);
+            (Api.Backend_spartan, Mc.Vanilla, spartan_fix);
+            (Api.Backend_spartan, Mc.Crpc_psq, crpc_fix) ]);
+    Alcotest.test_case "truncated files are typed errors" `Quick (fun () ->
+        let lazy (prep, keys, io, proof) = Lazy.force spartan_fix |> Lazy.from_val in
+        ignore io;
+        let kb =
+          Wire.encode_key_file
+            { Wire.kf_backend = Api.Backend_spartan;
+              kf_strategy = Mc.Vanilla;
+              kf_dims = tiny;
+              kf_challenge = prep.Api.challenge;
+              kf_key_id = String.make 32 'z';
+              kf_keys = keys }
+        in
+        let pb =
+          Wire.encode_proof_file
+            { Wire.pf_backend = Api.Backend_spartan;
+              pf_strategy = Mc.Vanilla;
+              pf_dims = tiny;
+              pf_challenge = None;
+              pf_key_id = String.make 32 'z';
+              pf_public_inputs = [];
+              pf_proof = proof }
+        in
+        let step = 7 in
+        let rec chop b i =
+          if i < Bytes.length b then begin
+            (match Wire.decode_key_file (Bytes.sub b 0 i) with
+             | Error _ -> ()
+             | Ok _ -> Alcotest.failf "key prefix %d decoded" i);
+            chop b (i + step)
+          end
+        in
+        chop kb 0;
+        let rec chop_p i =
+          if i < Bytes.length pb then begin
+            (match Wire.decode_proof_file (Bytes.sub pb 0 i) with
+             | Error _ -> ()
+             | Ok _ -> Alcotest.failf "proof prefix %d decoded" i);
+            chop_p (i + step)
+          end
+        in
+        chop_p 0) ]
+
+(* ---------------- key cache ---------------- *)
+
+let cache_temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "zkvc-cache-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let cs_of_dims d =
+  let rng = Random.State.make [| 11 |] in
+  let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:8 in
+  let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:8 in
+  Api.prepare Mc.Vanilla ~x ~w d
+
+let cache_tests =
+  [ Alcotest.test_case "id is stable and challenge-sensitive" `Quick (fun () ->
+        let lazy (prep, _, _, _) = crpc_fix in
+        let id c = Key_cache.id_of Api.Backend_spartan Mc.Crpc_psq tiny ~challenge:c prep.Api.cs in
+        check_bool "stable" true (id prep.Api.challenge = id prep.Api.challenge);
+        check_bool "challenge changes the id" false
+          (id prep.Api.challenge = id (Some (Fr.of_int 123456)));
+        check_int "id is 32 bytes" 32 (String.length (id prep.Api.challenge)));
+    Alcotest.test_case "LRU: hit, miss, eviction order" `Quick (fun () ->
+        let t = Key_cache.create ~capacity:2 () in
+        let dims_list =
+          [ Mspec.dims ~a:2 ~n:2 ~b:2; Mspec.dims ~a:2 ~n:2 ~b:3; Mspec.dims ~a:2 ~n:3 ~b:2 ]
+        in
+        let made = ref 0 in
+        let insert d =
+          let prep = cs_of_dims d in
+          Key_cache.find_or_add t Api.Backend_spartan Mc.Vanilla d
+            ~challenge:prep.Api.challenge ~cs:prep.Api.cs
+            ~make:(fun () ->
+              incr made;
+              Api.keygen Api.Backend_spartan prep.Api.cs)
+        in
+        let e1, h1 = insert (List.nth dims_list 0) in
+        let _e2, h2 = insert (List.nth dims_list 1) in
+        check_bool "first is a miss" true (h1 = `Miss && h2 = `Miss);
+        let _e1', h1' = insert (List.nth dims_list 0) in
+        check_bool "second ask is a memory hit" true (h1' = `Hit_mem);
+        check_int "no extra keygen on hit" 2 !made;
+        (* dims2 is now LRU; inserting dims3 evicts it *)
+        let _e3, _ = insert (List.nth dims_list 2) in
+        check_int "capacity bound" 2 (Key_cache.length t);
+        let _e2', h2' = insert (List.nth dims_list 1) in
+        check_bool "evicted entry is a miss without disk" true (h2' = `Miss);
+        check_int "rebuilt after eviction" 4 !made;
+        check_bool "most recent first" true
+          (List.hd (Key_cache.ids t) = (fst (insert (List.nth dims_list 1))).Key_cache.id);
+        ignore e1);
+    Alcotest.test_case "disk spill: evicted keys reload without keygen" `Quick (fun () ->
+        let dir = cache_temp_dir () in
+        let t = Key_cache.create ~capacity:1 ~dir () in
+        let made = ref 0 in
+        let insert d =
+          let prep = cs_of_dims d in
+          Key_cache.find_or_add t Api.Backend_spartan Mc.Vanilla d
+            ~challenge:prep.Api.challenge ~cs:prep.Api.cs
+            ~make:(fun () ->
+              incr made;
+              Api.keygen Api.Backend_spartan prep.Api.cs)
+        in
+        let d1 = Mspec.dims ~a:2 ~n:2 ~b:2 and d2 = Mspec.dims ~a:2 ~n:2 ~b:3 in
+        let e1, _ = insert d1 in
+        let _ = insert d2 in
+        (* d1 was evicted (capacity 1) but spilled to disk *)
+        let e1', h = insert d1 in
+        check_bool "disk hit" true (h = `Hit_disk);
+        check_int "no keygen on disk hit" 2 !made;
+        check_bool "same id" true (e1.Key_cache.id = e1'.Key_cache.id);
+        (* find_by_id also reaches the disk *)
+        let _ = insert d2 in
+        check_bool "find_by_id reloads from disk" true
+          (Key_cache.find_by_id t e1.Key_cache.id <> None));
+    Alcotest.test_case "find_by_id misses unknown ids" `Quick (fun () ->
+        let t = Key_cache.create ~capacity:2 () in
+        check_bool "unknown" true (Key_cache.find_by_id t (String.make 32 'q') = None)) ]
+
+(* ---------------- batch verification ---------------- *)
+
+let batch_fixture =
+  lazy
+    (let lazy (prep1, keys, io1, p1) = groth16_fix in
+     (* second honest statement over the same circuit shape (vanilla
+        structure only depends on dims), proved with the same keys *)
+     let rng2, x2, w2 = instance_of_seed 8 in
+     let prep2 = Api.prepare Mc.Vanilla ~x:x2 ~w:w2 tiny in
+     let p2 = Api.prove_with ~rng:rng2 keys prep2.Api.assignment in
+     let io2 =
+       Array.to_list (Array.sub prep2.Api.assignment 1 (Api.Cs.num_inputs prep2.Api.cs))
+     in
+     ignore prep1;
+     (keys, [| (io1, p1); (io2, p2) |]))
+
+let batch_tests =
+  [ Alcotest.test_case "honest groth16 batch takes the fast path" `Quick (fun () ->
+        let keys, honest = Lazy.force batch_fixture in
+        let items = [ honest.(0); honest.(1); honest.(0) ] in
+        let verdicts, fast = Batch.verify_each keys items in
+        check_bool "fast path" true fast;
+        check_bool "all true" true (List.for_all Fun.id verdicts));
+    qtest ~count:4 "a corrupted member is rejected, honest members pass"
+      QCheck.(pair (int_range 2 4) small_nat)
+      (fun (n, pos) ->
+        let keys, honest = Lazy.force batch_fixture in
+        let pos = pos mod n in
+        let items =
+          List.init n (fun i ->
+              if i = pos then
+                (* proof paired with the other statement's inputs *)
+                (fst honest.((i + 1) mod 2), snd honest.(i mod 2))
+              else honest.(i mod 2))
+        in
+        let verdicts, fast = Batch.verify_each keys items in
+        (not fast)
+        && List.for_all2 (fun i ok -> if i = pos then not ok else ok)
+             (List.init n Fun.id) verdicts);
+    Alcotest.test_case "spartan batches verify per item" `Quick (fun () ->
+        let lazy (_, keys, io, p) = spartan_fix in
+        let verdicts, fast = Batch.verify_each keys [ (io, p); (io, p) ] in
+        check_bool "no fast path" false fast;
+        check_bool "all true" true (List.for_all Fun.id verdicts)) ]
+
+(* ---------------- job queue ---------------- *)
+
+let jobs_tests =
+  [ Alcotest.test_case "FIFO, backpressure, close" `Quick (fun () ->
+        let q = Jobs.create ~capacity:2 in
+        check_bool "push 1" true (Jobs.push q 1 = `Ok);
+        check_bool "push 2" true (Jobs.push q 2 = `Ok);
+        check_bool "push 3 rejected" true (Jobs.push q 3 = `Full);
+        check_bool "pop 1" true (Jobs.pop q = Some 1);
+        check_bool "push 3 after pop" true (Jobs.push q 3 = `Ok);
+        Jobs.close q;
+        check_bool "push after close" true (Jobs.push q 4 = `Closed);
+        check_bool "drains in order" true (Jobs.pop q = Some 2 && Jobs.pop q = Some 3);
+        check_bool "empty after drain" true (Jobs.pop q = None));
+    Alcotest.test_case "drain_where keeps order of the rest" `Quick (fun () ->
+        let q = Jobs.create ~capacity:8 in
+        List.iter (fun i -> ignore (Jobs.push q i)) [ 1; 2; 3; 4; 5; 6 ];
+        let evens = Jobs.drain_where q (fun i -> i mod 2 = 0) in
+        check_bool "drained FIFO" true (evens = [ 2; 4; 6 ]);
+        check_int "rest length" 3 (Jobs.length q);
+        check_bool "rest FIFO" true
+          (Jobs.pop q = Some 1 && Jobs.pop q = Some 3 && Jobs.pop q = Some 5));
+    Alcotest.test_case "pop blocks until a push arrives" `Quick (fun () ->
+        let q = Jobs.create ~capacity:1 in
+        let got = ref None in
+        let th = Thread.create (fun () -> got := Jobs.pop q) () in
+        Thread.delay 0.05;
+        check_bool "still blocked" true (!got = None);
+        ignore (Jobs.push q 42);
+        Thread.join th;
+        check_bool "woke with the job" true (!got = Some 42)) ]
+
+(* ---------------- end-to-end socket sessions ---------------- *)
+
+let temp_socket name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "zkvc-%s-%d.sock" name (Unix.getpid ()))
+
+let with_server cfg f =
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown t;
+      Server.wait t)
+    (fun () -> f t)
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let e2e_tests =
+  [ Alcotest.test_case "prove/verify round trip, cache hit, byte-identity" `Slow (fun () ->
+        let socket = temp_socket "e2e" in
+        let cfg = Server.default_config ~socket_path:socket in
+        with_server cfg (fun srv ->
+            List.iter
+              (fun backend ->
+                Client.with_connection socket (fun c ->
+                    let prove () =
+                      Client.request_exn c
+                        (Wire.Prove
+                           { backend;
+                             strategy = Mc.Crpc_psq;
+                             dims = tiny;
+                             input = Wire.Seeded { seed = 5; bound = 256 };
+                             deadline_ms = 0 })
+                    in
+                    match (prove (), prove ()) with
+                    | ( Wire.Prove_ok
+                          { cache_hit = h1; proof = p1; key_id = id1;
+                            public_inputs = io1; _ },
+                        Wire.Prove_ok { cache_hit = h2; key_id; _ } ) ->
+                      check_bool "first prove misses" false h1;
+                      check_bool "second prove hits the key cache" true h2;
+                      check_bool "same key id" true (id1 = key_id);
+                      (* the cache-miss proof must equal the in-process one *)
+                      let rng = Random.State.make [| 5 |] in
+                      let x =
+                        Spec.random_matrix rng ~rows:tiny.Mspec.a ~cols:tiny.Mspec.n
+                          ~bound:256
+                      in
+                      let w =
+                        Spec.random_matrix rng ~rows:tiny.Mspec.n ~cols:tiny.Mspec.b
+                          ~bound:256
+                      in
+                      let local, _ = Api.run ~rng backend Mc.Crpc_psq ~x ~w tiny in
+                      let bytes p =
+                        match p with
+                        | Api.Groth16_proof g -> Zkvc_groth16.Groth16.proof_to_bytes g
+                        | Api.Spartan_proof s -> Spartan.proof_to_bytes s
+                      in
+                      check_bool "byte-identical to Api.run" true
+                        (Bytes.equal (bytes p1) (bytes local));
+                      (* server-side verify through the proof's key id *)
+                      (match
+                         Client.request_exn c
+                           (Wire.Verify
+                              { key_id; public_inputs = io1; proof = p1; deadline_ms = 0 })
+                       with
+                       | Wire.Verify_ok ok -> check_bool "server verifies" true ok
+                       | _ -> Alcotest.fail "expected Verify_ok")
+                    | _ -> Alcotest.fail "expected Prove_ok"))
+              [ Api.Backend_spartan; Api.Backend_groth16 ];
+            let s = Server.status srv in
+            check_int "two cache hits" 2 s.Wire.cache_hits;
+            check_int "two cache misses" 2 s.Wire.cache_misses));
+    Alcotest.test_case "full queue answers Queue_full, not a crash" `Slow (fun () ->
+        let socket = temp_socket "full" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with
+            Server.queue_capacity = 1;
+            job_delay_s = 0.4 }
+        in
+        with_server cfg (fun srv ->
+            let prove_req =
+              Wire.Request
+                (Wire.Prove
+                   { backend = Api.Backend_spartan;
+                     strategy = Mc.Vanilla;
+                     dims = tiny;
+                     input = Wire.Seeded { seed = 1; bound = 16 };
+                     deadline_ms = 0 })
+            in
+            let fd1 = raw_connect socket and fd2 = raw_connect socket in
+            let fd3 = raw_connect socket in
+            Wire.write_frame fd1 prove_req;
+            Thread.delay 0.15;
+            (* worker busy with #1 *)
+            Wire.write_frame fd2 prove_req;
+            Thread.delay 0.1;
+            (* queue now holds #2 = capacity *)
+            Wire.write_frame fd3 prove_req;
+            (match Wire.read_frame fd3 with
+             | Ok (Wire.Response (Wire.Error { code = Wire.Queue_full; _ })) -> ()
+             | _ -> Alcotest.fail "expected Queue_full");
+            (match (Wire.read_frame fd1, Wire.read_frame fd2) with
+             | Ok (Wire.Response (Wire.Prove_ok _)), Ok (Wire.Response (Wire.Prove_ok _)) ->
+               ()
+             | _ -> Alcotest.fail "queued proves should still succeed");
+            List.iter Unix.close [ fd1; fd2; fd3 ];
+            check_int "one rejection counted" 1 (Server.status srv).Wire.rejections));
+    Alcotest.test_case "deadline exceeded is a typed error" `Slow (fun () ->
+        let socket = temp_socket "deadline" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with Server.job_delay_s = 0.3 }
+        in
+        with_server cfg (fun srv ->
+            Client.with_connection socket (fun c ->
+                match
+                  Client.request c
+                    (Wire.Prove
+                       { backend = Api.Backend_spartan;
+                         strategy = Mc.Vanilla;
+                         dims = tiny;
+                         input = Wire.Seeded { seed = 1; bound = 16 };
+                         deadline_ms = 50 })
+                with
+                | Ok (Wire.Error { code = Wire.Deadline_exceeded; _ }) -> ()
+                | _ -> Alcotest.fail "expected Deadline_exceeded");
+            check_int "timeout counted" 1 (Server.status srv).Wire.timeouts));
+    Alcotest.test_case "queued verifies coalesce into one batch" `Slow (fun () ->
+        let socket = temp_socket "coalesce" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with Server.job_delay_s = 0.25 }
+        in
+        with_server cfg (fun srv ->
+            (* seed the cache and obtain a server-side proof *)
+            let key_id, io, proof =
+              Client.with_connection socket (fun c ->
+                  match
+                    Client.request_exn c
+                      (Wire.Prove
+                         { backend = Api.Backend_groth16;
+                           strategy = Mc.Vanilla;
+                           dims = tiny;
+                           input = Wire.Seeded { seed = 3; bound = 16 };
+                           deadline_ms = 0 })
+                  with
+                  | Wire.Prove_ok { key_id; public_inputs; proof; _ } ->
+                    (key_id, public_inputs, proof)
+                  | _ -> Alcotest.fail "expected Prove_ok")
+            in
+            let verify_req =
+              Wire.Request (Wire.Verify { key_id; public_inputs = io; proof; deadline_ms = 0 })
+            in
+            (* occupy the worker, then queue two verifies behind it *)
+            let fd_busy = raw_connect socket in
+            Wire.write_frame fd_busy
+              (Wire.Request
+                 (Wire.Prove
+                    { backend = Api.Backend_groth16;
+                      strategy = Mc.Vanilla;
+                      dims = tiny;
+                      input = Wire.Seeded { seed = 3; bound = 16 };
+                      deadline_ms = 0 }));
+            Thread.delay 0.1;
+            let fd_a = raw_connect socket and fd_b = raw_connect socket in
+            Wire.write_frame fd_a verify_req;
+            Wire.write_frame fd_b verify_req;
+            (match (Wire.read_frame fd_a, Wire.read_frame fd_b) with
+             | Ok (Wire.Response (Wire.Verify_ok true)), Ok (Wire.Response (Wire.Verify_ok true))
+               -> ()
+             | _ -> Alcotest.fail "coalesced verifies should both pass");
+            ignore (Wire.read_frame fd_busy);
+            List.iter Unix.close [ fd_busy; fd_a; fd_b ];
+            check_int "both counted as batched" 2 (Server.status srv).Wire.batched));
+    Alcotest.test_case "shutdown drains in-flight work" `Slow (fun () ->
+        let socket = temp_socket "drain" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with Server.job_delay_s = 0.2 }
+        in
+        let srv = Server.start cfg in
+        let fd = raw_connect socket in
+        Wire.write_frame fd
+          (Wire.Request
+             (Wire.Prove
+                { backend = Api.Backend_spartan;
+                  strategy = Mc.Vanilla;
+                  dims = tiny;
+                  input = Wire.Seeded { seed = 2; bound = 16 };
+                  deadline_ms = 0 }));
+        Thread.delay 0.05;
+        (* the job is in flight; shutdown must wait for its response *)
+        let sh = raw_connect socket in
+        Wire.write_frame sh (Wire.Request Wire.Shutdown);
+        (match Wire.read_frame fd with
+         | Ok (Wire.Response (Wire.Prove_ok _)) -> ()
+         | _ -> Alcotest.fail "in-flight prove should complete during drain");
+        (match Wire.read_frame sh with
+         | Ok (Wire.Response Wire.Shutdown_ok) -> ()
+         | _ -> Alcotest.fail "expected Shutdown_ok");
+        Unix.close fd;
+        Unix.close sh;
+        Server.wait srv;
+        check_bool "socket removed" false (Sys.file_exists socket)) ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("codec", codec_tests);
+      ("malformed", malformed_tests);
+      ("files", file_tests);
+      ("cache", cache_tests);
+      ("batch", batch_tests);
+      ("jobs", jobs_tests);
+      ("e2e", e2e_tests) ]

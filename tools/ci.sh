@@ -79,4 +79,79 @@ else
     dune exec tools/perf_diff.exe -- --skip-time "$BASELINE" "$BENCH_JSON"
 fi
 
+echo "== proof service smoke (socket e2e, both backends) =="
+SERVE_TMP=$(mktemp -d /tmp/zkvc-serve-ci.XXXXXX)
+SOCK="$SERVE_TMP/zkvc.sock"
+dune exec bin/zkvc_cli.exe -- serve --socket "$SOCK" --cache-dir "$SERVE_TMP/keys" \
+    --metrics > "$SERVE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -S "$SOCK" ]; then
+    echo "ci: proof service did not come up" >&2
+    cat "$SERVE_TMP/serve.log" >&2
+    exit 1
+fi
+
+for BACKEND in groth16 spartan; do
+    echo "-- $BACKEND --"
+    # first prove is a cache miss: its proof must be byte-identical to an
+    # in-process Api.run proof of the same seeded statement
+    dune exec bin/zkvc_cli.exe -- client prove --socket "$SOCK" --dims 4,4,8 \
+        --backend "$BACKEND" --seed 7 --out "$SERVE_TMP/$BACKEND.zkvp" \
+        | tee "$SERVE_TMP/$BACKEND-prove1.out"
+    grep -q "cache miss" "$SERVE_TMP/$BACKEND-prove1.out" || {
+        echo "ci: first prove should miss the key cache" >&2
+        exit 1
+    }
+    dune exec bin/zkvc_cli.exe -- prove --dims 4,4,8 --backend "$BACKEND" --seed 7 \
+        --out "$SERVE_TMP/$BACKEND-local.zkvp" > /dev/null
+    cmp "$SERVE_TMP/$BACKEND.zkvp" "$SERVE_TMP/$BACKEND-local.zkvp" || {
+        echo "ci: served proof differs from the in-process proof" >&2
+        exit 1
+    }
+    # keygen and a second prove for the same circuit must hit the cache
+    dune exec bin/zkvc_cli.exe -- client keygen --socket "$SOCK" --dims 4,4,8 \
+        --backend "$BACKEND" --seed 7 --out "$SERVE_TMP/$BACKEND.zkvk" \
+        | grep -q "cache hit" || { echo "ci: keygen should hit the cache" >&2; exit 1; }
+    dune exec bin/zkvc_cli.exe -- client prove --socket "$SOCK" --dims 4,4,8 \
+        --backend "$BACKEND" --seed 7 | grep -q "cache hit" || {
+        echo "ci: second prove should hit the key cache" >&2
+        exit 1
+    }
+    # verify the served proof both on the server and offline via key file
+    dune exec bin/zkvc_cli.exe -- client verify --socket "$SOCK" \
+        --proof "$SERVE_TMP/$BACKEND.zkvp" | grep -q "verified: true" || {
+        echo "ci: server-side verification failed" >&2
+        exit 1
+    }
+    dune exec bin/zkvc_cli.exe -- verify --key "$SERVE_TMP/$BACKEND.zkvk" \
+        --proof "$SERVE_TMP/$BACKEND.zkvp" | grep -q "verified: true" || {
+        echo "ci: offline verification via key file failed" >&2
+        exit 1
+    }
+done
+
+dune exec bin/zkvc_cli.exe -- client status --socket "$SOCK" | tee "$SERVE_TMP/status.out"
+grep -Eq "cache_hits=[1-9]" "$SERVE_TMP/status.out" || {
+    echo "ci: status should report cache hits" >&2
+    exit 1
+}
+
+dune exec bin/zkvc_cli.exe -- client shutdown --socket "$SOCK"
+wait "$SERVE_PID"
+if [ -S "$SOCK" ]; then
+    echo "ci: socket file left behind after shutdown" >&2
+    exit 1
+fi
+grep -q "serve.cache.hit" "$SERVE_TMP/serve.log" || {
+    echo "ci: serve.cache.hit metric missing from the serve log" >&2
+    cat "$SERVE_TMP/serve.log" >&2
+    exit 1
+}
+echo "ci: proof service smoke ok ($SERVE_TMP)"
+
 echo "ci: ok ($BENCH_JSON, $BENCH_JSON_PAR)"

@@ -1,6 +1,9 @@
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
 let connect path =
+  (* a server that dies mid-request must surface as EPIPE on write, not
+     kill the client process with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e ->

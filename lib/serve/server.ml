@@ -34,7 +34,18 @@ let m_rejected = Metrics.counter "serve.queue.rejected"
 let m_timeout = Metrics.counter "serve.deadline.exceeded"
 let m_batched = Metrics.counter "serve.batch.coalesced"
 
-type conn = { fd : Unix.file_descr; wlock : Mutex.t }
+(* [refs] counts the reader thread plus every queued job that still
+   references this connection; the fd is closed only on the last
+   release. Closing early would let a subsequent [accept] reuse the fd
+   number and a stale job's response would land in an unrelated
+   client's stream. *)
+type conn = { fd : Unix.file_descr; wlock : Mutex.t; refs : int Atomic.t }
+
+let conn_retain conn = Atomic.incr conn.refs
+
+let conn_release conn =
+  if Atomic.fetch_and_add conn.refs (-1) = 1 then
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 type job = { req : Wire.request; conn : conn; deadline : float option }
 
@@ -102,7 +113,10 @@ let matrices_of_input dims input =
   match input with
   | Wire.Seeded { seed; bound } ->
     (* replicates the CLI's seeded instance exactly: rng -> X -> W, then
-       the same rng feeds keygen and prove (byte-identical proofs) *)
+       the same rng feeds keygen and prove. On a key-cache miss the
+       proof is byte-identical to a local seeded CLI prove; on a hit the
+       setup's RNG draws are skipped, so the prover randomness — and the
+       proof bytes — differ (the proof itself stays valid). *)
     let rng = Random.State.make [| seed |] in
     let x = Spec_fr.random_matrix rng ~rows:dims.Spec.a ~cols:dims.Spec.n ~bound in
     let w = Spec_fr.random_matrix rng ~rows:dims.Spec.n ~cols:dims.Spec.b ~bound in
@@ -271,6 +285,18 @@ let worker_loop t =
       Mutex.unlock t.drain_lock
     | Some job ->
       if t.cfg.job_delay_s > 0. then Thread.delay t.cfg.job_delay_s;
+      (* the catch-all keeps the single worker alive: an unexpected
+         exception (e.g. on the coalesced-verify path) must answer
+         Internal and continue, not silently kill the only consumer *)
+      let guarded jobs f =
+        Fun.protect
+          ~finally:(fun () -> List.iter (fun j -> conn_release j.conn) jobs)
+          (fun () ->
+            try f ()
+            with e ->
+              let msg = Printexc.to_string e in
+              List.iter (fun j -> respond_error j.conn Wire.Internal msg) jobs)
+      in
       (match job.req with
        | Wire.Verify { key_id; _ } ->
          let rest =
@@ -279,8 +305,9 @@ let worker_loop t =
                | Wire.Verify { key_id = k; _ } -> k = key_id
                | _ -> false)
          in
-         process_verify_group t (job :: rest)
-       | _ -> process_one t job);
+         let group = job :: rest in
+         guarded group (fun () -> process_verify_group t group)
+       | _ -> guarded [ job ] (fun () -> process_one t job));
       loop ()
   in
   loop ()
@@ -327,13 +354,18 @@ and handle_request t conn req =
   | req -> (
     let arrival = Unix.gettimeofday () in
     let job = { req; conn; deadline = deadline_of arrival (request_deadline_ms req) } in
+    conn_retain conn;
+    (* the queued job owns this ref; the worker releases it after responding *)
     match Jobs.push t.jobs_q job with
     | `Ok -> ()
     | `Full ->
+      conn_release conn;
       Atomic.incr t.rejections;
       Metrics.incr m_rejected;
       respond_error conn Wire.Queue_full "job queue is full, retry later"
-    | `Closed -> respond_error conn Wire.Shutting_down "server is shutting down")
+    | `Closed ->
+      conn_release conn;
+      respond_error conn Wire.Shutting_down "server is shutting down")
 
 let reader_loop t conn =
   let stop_now () = Atomic.get t.stopping && t.is_drained in
@@ -356,7 +388,9 @@ let reader_loop t conn =
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
   in
   (try loop () with _ -> ());
-  try Unix.close conn.fd with _ -> ()
+  (* drop the reader's ref; queued jobs for this conn keep the fd alive
+     until the worker has answered them *)
+  conn_release conn
 
 let accept_loop t =
   let rec loop () =
@@ -364,7 +398,7 @@ let accept_loop t =
     | fd, _ ->
       if Atomic.get t.stopping then (try Unix.close fd with _ -> ())
       else begin
-        let conn = { fd; wlock = Mutex.create () } in
+        let conn = { fd; wlock = Mutex.create (); refs = Atomic.make 1 } in
         let th = Thread.create (fun () -> reader_loop t conn) () in
         Mutex.lock t.readers_lock;
         t.readers <- th :: t.readers;
@@ -381,6 +415,9 @@ let accept_loop t =
 (* ---------------- lifecycle ---------------- *)
 
 let start cfg =
+  (* writes to a peer that already disconnected must surface as EPIPE
+     (handled in [respond]) instead of a process-killing SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* satellite fix: spans must run on a wall clock — [Sys.time] is
      process CPU time and sums across the worker domains *)
   Span.set_clock Unix.gettimeofday;

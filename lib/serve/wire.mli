@@ -40,9 +40,11 @@ val error_to_string : error -> string
 val max_payload : int
 
 (** How a prove request supplies the statement: [Seeded] reproduces the
-    CLI's seeded-random instance (byte-identical to a local
-    [zkvc_cli prove --seed]); [Explicit] ships the matrices and uses
-    [seed] only for prover randomness. *)
+    CLI's seeded-random instance — on a key-cache miss the proof is
+    byte-identical to a local [zkvc_cli prove --seed]; on a cache hit
+    the setup's RNG draws are skipped, so the proof bytes differ from
+    the local run (the proof remains valid). [Explicit] ships the
+    matrices and uses [seed] only for prover randomness. *)
 type prove_input =
   | Seeded of { seed : int; bound : int }
   | Explicit of { seed : int; x : Fr.t array array; w : Fr.t array array }

@@ -240,6 +240,13 @@ let key_of_bytes_exn bytes =
   let c = { cbuf = bytes; pos = 0 } in
   let wrows = r_u8 what c in
   let wcols = r_u8 what c in
+  (* wrows/wcols are untrusted log-dims; bound them before any [1 lsl]
+     (OCaml lsl with shift >= 63 is unspecified, so wcols=64 could
+     otherwise sneak past the generator-count check below) *)
+  if wrows > 30 || wcols > 30 then
+    invalid_arg
+      (Printf.sprintf "Spartan.%s: witness grid log-dims out of range (wrows=%d wcols=%d)"
+         what wrows wcols);
   let generators = r_array what c G1.size_in_bytes r_g1 in
   let blinder = r_g1 what c in
   finished what c;

@@ -192,7 +192,7 @@ let prove_cmd =
       print_newline ();
       print_string (Obs.Metrics.to_string ())
     end;
-    0
+    if m.Api.verified then 0 else 1
   in
   let doc = "Prove a random matmul instance and verify it (prints timings)." in
   Cmd.v (Cmd.info "prove" ~doc)
@@ -380,7 +380,8 @@ let serve_cmd =
         cache_dir;
         jobs;
         job_delay_s = job_delay;
-        observe = trace <> None || metrics }
+        observe = trace <> None || metrics;
+        clock = None }
     in
     if cfg.Server.observe then begin
       Obs.Span.reset ();
@@ -579,6 +580,64 @@ let client_cmd =
     [ client_prove_cmd; client_keygen_cmd; client_verify_cmd; client_status_cmd;
       client_shutdown_cmd ]
 
+(* ---- adversary ---- *)
+
+let adversary_cmd =
+  let module Adv = Zkvc_adversary.Adversary in
+  let backend_opt_arg =
+    Arg.(value & opt (some backend_conv) None
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Restrict to one backend (default: both).")
+  in
+  let strategy_opt_arg =
+    Arg.(value & opt (some strategy_conv) None
+         & info [ "strategy" ] ~docv:"STRATEGY"
+             ~doc:"Restrict to one encoding strategy (default: all four).")
+  in
+  let dims_opt_arg =
+    Arg.(value & opt (some dims_conv) None
+         & info [ "dims" ] ~docv:"A,N,B"
+             ~doc:"Restrict to one dimension scale (default: the harness's \
+                   two built-in scales).")
+  in
+  let only_arg =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"SUBSTR"
+             ~doc:"Run only mutations whose name (family.mutation) contains \
+                   this substring — as printed in a failure's repro line.")
+  in
+  let run seed backend strategy dims only =
+    let opt_list v defaults = match v with Some v -> [ v ] | None -> defaults in
+    let backends = opt_list backend [ Api.Backend_groth16; Api.Backend_spartan ] in
+    let strategies = opt_list strategy Adv.default_strategies in
+    let dims = opt_list dims Adv.default_dims in
+    Printf.printf "adversary sweep: seed=%d\n%!" seed;
+    let reports, clean = Adv.sweep ?only ~backends ~strategies ~dims ~seed () in
+    let mutations =
+      List.fold_left (fun acc r -> acc + List.length r.Adv.cases) 0 reports
+    in
+    if clean then begin
+      Printf.printf "all clean: %d mutations across %d targets rejected (seed=%d)\n"
+        mutations (List.length reports) seed;
+      0
+    end
+    else begin
+      let failed =
+        List.fold_left (fun acc r -> acc + List.length (Adv.failures r)) 0 reports
+      in
+      Printf.eprintf "FORGERY: %d of %d mutations accepted or crashed (seed=%d)\n"
+        failed mutations seed;
+      1
+    end
+  in
+  let doc =
+    "Fault-injection sweep: mutate proofs, witnesses, challenges and wire \
+     bytes, and fail unless the verifier rejects every one."
+  in
+  Cmd.v (Cmd.info "adversary" ~doc)
+    Term.(const run $ seed_arg $ backend_opt_arg $ strategy_opt_arg $ dims_opt_arg
+          $ only_arg)
+
 let () =
   (* span timestamps must be wall time everywhere (Sys.time is per-process
      CPU time and sums across prover domains) *)
@@ -589,4 +648,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ count_cmd; prove_cmd; model_cmd; gkr_cmd; keygen_cmd; verify_cmd;
-            serve_cmd; client_cmd ]))
+            serve_cmd; client_cmd; adversary_cmd ]))

@@ -15,7 +15,10 @@ type timings = { setup_s : float; prove_s : float; verify_s : float }
 (** Everything the bench's cost ledger records per proved statement.
     [nonzero_a/b/c] are nonzero entries per QAP column family (= R1CS
     matrix); [nonzero_a] is the paper's "left wires". [witness] is the
-    private witness length ([num_aux]). [top_heap_words] is the GC's peak
+    private witness length ([num_aux]). [verified] is the outcome of the
+    verification pass — honest runs always produce [true]; the adversary
+    harness proves from corrupted witnesses and reads rejection here.
+    [top_heap_words] is the GC's peak
     heap at the end of the run and [major_collections] the number of major
     GC cycles the run triggered — both measurement noise, never compared
     exactly across runs. *)
@@ -30,6 +33,7 @@ type measurement =
     nonzero_c : int;
     witness : int;
     proof_bytes : int;
+    verified : bool;
     top_heap_words : int;
     major_collections : int;
     timings : timings }
@@ -98,8 +102,10 @@ val verify_with : keys -> public_inputs:Fr.t list -> proof -> bool
 val proof_size : proof -> int
 
 (** Prove and verify once; setup time is reported separately and — like
-    the paper — excluded from proving time. Raises [Failure] if the
-    produced proof does not verify. *)
+    the paper — excluded from proving time. Does not raise on a failed
+    verification: the outcome is returned in [measurement.verified] so
+    callers (bench, adversary harness) observe rejection as data. The
+    CLI turns [verified = false] into a non-zero exit code. *)
 val run :
   ?rng:Random.State.t ->
   backend ->

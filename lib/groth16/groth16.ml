@@ -329,3 +329,54 @@ let verify vk ~public_inputs proof =
     in
     Fq12.is_one check
   end
+
+(* Fault-injection sites for the adversary harness (lib/adversary): each
+   site is one way to corrupt exactly one component of a proof. The
+   perturbations are group-structured (add the generator / negate /
+   replace with the identity) so the mutated points stay on the curve and
+   in the right subgroup — the forgery must be caught by the pairing
+   check itself, not by point validation. *)
+module Mutate = struct
+  type site =
+    | A_bump
+    | A_neg
+    | A_identity
+    | B_bump
+    | B_neg
+    | B_identity
+    | C_bump
+    | C_neg
+    | C_identity
+    | Swap_a_c
+
+  let all =
+    [ A_bump; A_neg; A_identity;
+      B_bump; B_neg; B_identity;
+      C_bump; C_neg; C_identity;
+      Swap_a_c ]
+
+  let site_name = function
+    | A_bump -> "a+g"
+    | A_neg -> "a.neg"
+    | A_identity -> "a=0"
+    | B_bump -> "b+g"
+    | B_neg -> "b.neg"
+    | B_identity -> "b=0"
+    | C_bump -> "c+g"
+    | C_neg -> "c.neg"
+    | C_identity -> "c=0"
+    | Swap_a_c -> "swap(a,c)"
+
+  let apply site p =
+    match site with
+    | A_bump -> { p with a = G1.add p.a G1.generator }
+    | A_neg -> { p with a = G1.neg p.a }
+    | A_identity -> { p with a = G1.zero }
+    | B_bump -> { p with b = G2.add p.b G2.generator }
+    | B_neg -> { p with b = G2.neg p.b }
+    | B_identity -> { p with b = G2.zero }
+    | C_bump -> { p with c = G1.add p.c G1.generator }
+    | C_neg -> { p with c = G1.neg p.c }
+    | C_identity -> { p with c = G1.zero }
+    | Swap_a_c -> { p with a = p.c; c = p.a }
+end

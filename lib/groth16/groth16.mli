@@ -74,3 +74,31 @@ val proving_key_to_bytes : proving_key -> Bytes.t
 val proving_key_of_bytes_exn : Bytes.t -> proving_key
 val verifying_key_to_bytes : verifying_key -> Bytes.t
 val verifying_key_of_bytes_exn : Bytes.t -> verifying_key
+
+(** {2 Fault injection}
+
+    Single-component proof corruptions for the adversary harness
+    ({!Zkvc_adversary}): replace, negate or identity-out each of A, B, C,
+    or swap the two G1 points. Perturbations are group-structured so the
+    mutated points remain valid curve/subgroup elements — a sound
+    verifier must reject them in the pairing check, not in point
+    validation. Test-only; never part of a proving flow. *)
+module Mutate : sig
+  type site =
+    | A_bump  (** A := A + G1 generator *)
+    | A_neg
+    | A_identity
+    | B_bump
+    | B_neg
+    | B_identity
+    | C_bump
+    | C_neg
+    | C_identity
+    | Swap_a_c
+
+  val all : site list
+  val site_name : site -> string
+
+  (** Copy of the proof with exactly one component corrupted. *)
+  val apply : site -> proof -> proof
+end

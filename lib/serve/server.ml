@@ -14,7 +14,15 @@ type config =
     cache_dir : string option;
     jobs : int;
     job_delay_s : float;
-    observe : bool }
+    observe : bool;
+    clock : (unit -> float) option }
+
+(* Monotonic wall clock (CLOCK_MONOTONIC via bechamel's stub), in
+   seconds. Deadlines and uptime must never go through
+   [Unix.gettimeofday]: an NTP step would expire every queued job at
+   once — or keep deadlines from ever firing — and could make uptime
+   negative. *)
+let monotonic_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let default_config ~socket_path =
   { socket_path;
@@ -23,7 +31,8 @@ let default_config ~socket_path =
     cache_dir = None;
     jobs = 0;
     job_delay_s = 0.;
-    observe = false }
+    observe = false;
+    clock = None }
 
 (* serve.* metrics mirror the atomic counters below; the atomics are
    authoritative (Status works with the sink disabled). *)
@@ -91,7 +100,7 @@ let respond_timeout t conn =
   respond_error conn Wire.Deadline_exceeded "deadline exceeded"
 
 let status t =
-  { Wire.uptime_s = Unix.gettimeofday () -. t.started_at;
+  { Wire.uptime_s = Span.now () -. t.started_at;
     requests = Atomic.get t.requests;
     queue_depth = Jobs.length t.jobs_q;
     queue_capacity = Jobs.capacity t.jobs_q;
@@ -104,9 +113,11 @@ let status t =
 
 (* ---------------- worker: request processing ---------------- *)
 
+(* All deadline arithmetic reads the span clock installed by [start]
+   (monotonic by default, injectable for tests) — never the wall clock. *)
 let check_deadline deadline =
   match deadline with
-  | Some d when Unix.gettimeofday () > d -> raise Expired
+  | Some d when Span.now () > d -> raise Expired
   | _ -> ()
 
 let matrices_of_input dims input =
@@ -169,7 +180,7 @@ let process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline =
 
 let process_prove t ~backend ~strategy ~dims ~input ~deadline =
   let rng, prep, entry, cache_hit = prepared_keys t backend strategy dims input ~deadline in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Span.now () in
   let proof =
     Span.with_span "serve.prove" (fun () ->
         Api.prove_with ~rng entry.Key_cache.keys prep.Api.assignment)
@@ -181,7 +192,7 @@ let process_prove t ~backend ~strategy ~dims ~input ~deadline =
       challenge = prep.Api.challenge;
       public_inputs = public_inputs_of prep;
       proof;
-      prove_s = Unix.gettimeofday () -. t0 }
+      prove_s = Span.now () -. t0 }
 
 let process_one t job =
   let fail_bad msg = respond_error job.conn Wire.Bad_request msg in
@@ -239,7 +250,7 @@ let process_verify_group t jobs =
     List.partition
       (fun j ->
         match j.deadline with
-        | Some d when Unix.gettimeofday () > d -> false
+        | Some d when Span.now () > d -> false
         | _ -> true)
       jobs
   in
@@ -352,7 +363,7 @@ and handle_request t conn req =
     shutdown t;
     respond conn Wire.Shutdown_ok
   | req -> (
-    let arrival = Unix.gettimeofday () in
+    let arrival = Span.now () in
     let job = { req; conn; deadline = deadline_of arrival (request_deadline_ms req) } in
     conn_retain conn;
     (* the queued job owns this ref; the worker releases it after responding *)
@@ -418,9 +429,11 @@ let start cfg =
   (* writes to a peer that already disconnected must surface as EPIPE
      (handled in [respond]) instead of a process-killing SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (* satellite fix: spans must run on a wall clock — [Sys.time] is
-     process CPU time and sums across the worker domains *)
-  Span.set_clock Unix.gettimeofday;
+  (* Spans, deadlines and uptime all read [Span.now]. The default is a
+     monotonic clock — not [Unix.gettimeofday], which an NTP step can
+     move under us, and not [Sys.time], which is process CPU time and
+     sums across worker domains. Tests inject a simulated clock. *)
+  Span.set_clock (match cfg.clock with Some f -> f | None -> monotonic_now);
   if cfg.observe then Sink.enable ();
   if cfg.jobs > 0 then Zkvc_parallel.set_jobs cfg.jobs;
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
@@ -435,7 +448,7 @@ let start cfg =
       listen_fd;
       jobs_q = Jobs.create ~capacity:cfg.queue_capacity;
       cache = Key_cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
-      started_at = Unix.gettimeofday ();
+      started_at = Span.now ();
       requests = Atomic.make 0;
       timeouts = Atomic.make 0;
       rejections = Atomic.make 0;

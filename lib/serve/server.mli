@@ -24,7 +24,14 @@ type config =
     job_delay_s : float;
         (** test hook: sleep this long before each job (deterministic
             queue-full / deadline tests). Leave [0.] *)
-    observe : bool  (** enable the [Zkvc_obs] sink + serve.* metrics *) }
+    observe : bool;  (** enable the [Zkvc_obs] sink + serve.* metrics *)
+    clock : (unit -> float) option
+        (** clock installed as the span clock and used for every
+            deadline, uptime and duration reading. [None] (the default)
+            selects a monotonic clock ([CLOCK_MONOTONIC]); tests inject
+            a simulated clock here. Never [Unix.gettimeofday]: an NTP
+            step would expire every queued job, or keep deadlines from
+            ever firing. *) }
 
 val default_config : socket_path:string -> config
 
@@ -32,9 +39,10 @@ type t
 
 val config : t -> config
 
-(** Bind, listen and spawn the accept + worker threads. Installs the
-    wall clock ([Unix.gettimeofday]) as the span clock before any span
-    opens. Raises [Unix.Unix_error] if the socket can't be bound. *)
+(** Bind, listen and spawn the accept + worker threads. Installs
+    [config.clock] (monotonic by default) as the span clock before any
+    span opens or deadline is computed. Raises [Unix.Unix_error] if the
+    socket can't be bound. *)
 val start : config -> t
 
 (** Request a graceful stop: close the queue, wait for the worker to

@@ -476,3 +476,98 @@ let verify key t ~public_inputs proof =
         end
     end
   end
+
+(* Fault-injection sites for the adversary harness (lib/adversary). The
+   proof type is abstract in the interface, so the enumeration of
+   mutable components lives here rather than duplicating the layout
+   outside. Scalars are bumped by one, points by the generator: every
+   mutated proof still parses and every component is a valid field /
+   group element, so rejection must come from the protocol checks. *)
+module Mutate = struct
+  type site =
+    | Comm_row of int
+    | Sc1_round of int
+    | Claim_va
+    | Claim_vb
+    | Claim_vc
+    | Sc2_round of int
+    | Folded of int
+    | Fold_blind
+    | Ipa_blind
+    | Ipa_eval
+    | Ipa_l of int
+    | Ipa_r of int
+    | Ipa_a_final
+
+  let site_name = function
+    | Comm_row i -> Printf.sprintf "comm_row[%d]" i
+    | Sc1_round r -> Printf.sprintf "sc1.round[%d]" r
+    | Claim_va -> "claim.va"
+    | Claim_vb -> "claim.vb"
+    | Claim_vc -> "claim.vc"
+    | Sc2_round r -> Printf.sprintf "sc2.round[%d]" r
+    | Folded j -> Printf.sprintf "opening.folded[%d]" j
+    | Fold_blind -> "opening.fold_blind"
+    | Ipa_blind -> "opening.ipa_blind"
+    | Ipa_eval -> "opening.ipa_eval"
+    | Ipa_l i -> Printf.sprintf "opening.ipa.l[%d]" i
+    | Ipa_r i -> Printf.sprintf "opening.ipa.r[%d]" i
+    | Ipa_a_final -> "opening.ipa.a_final"
+
+  let sites p =
+    let comm = List.init (Array.length p.comm_rows) (fun i -> Comm_row i) in
+    let sc1 = List.init (List.length p.sc1) (fun r -> Sc1_round r) in
+    let sc2 = List.init (List.length p.sc2) (fun r -> Sc2_round r) in
+    let opening =
+      match p.opening with
+      | Fold_opening { folded; _ } ->
+        List.init (Array.length folded) (fun j -> Folded j) @ [ Fold_blind ]
+      | Ipa_opening { ipa; _ } ->
+        [ Ipa_blind; Ipa_eval ]
+        @ List.init (Array.length ipa.Ipa.ls) (fun i -> Ipa_l i)
+        @ List.init (Array.length ipa.Ipa.rs) (fun i -> Ipa_r i)
+        @ [ Ipa_a_final ]
+    in
+    comm @ sc1 @ [ Claim_va; Claim_vb; Claim_vc ] @ sc2 @ opening
+
+  let bump_fr x = Fr.add x Fr.one
+  let bump_g1 p = G1.add p G1.generator
+
+  let bump_at i f a = Array.mapi (fun j v -> if i = j then f v else v) a
+
+  (* perturb the first evaluation of round [r] *)
+  let bump_sc r sc =
+    List.mapi (fun i evals -> if i = r then bump_at 0 bump_fr evals else evals) sc
+
+  let apply site p =
+    match (site, p.opening) with
+    | Comm_row i, _ -> { p with comm_rows = bump_at i bump_g1 p.comm_rows }
+    | Sc1_round r, _ -> { p with sc1 = bump_sc r p.sc1 }
+    | Claim_va, _ -> { p with va = bump_fr p.va }
+    | Claim_vb, _ -> { p with vb = bump_fr p.vb }
+    | Claim_vc, _ -> { p with vc = bump_fr p.vc }
+    | Sc2_round r, _ -> { p with sc2 = bump_sc r p.sc2 }
+    | Folded j, Fold_opening o ->
+      { p with opening = Fold_opening { o with folded = bump_at j bump_fr o.folded } }
+    | Fold_blind, Fold_opening o ->
+      { p with opening = Fold_opening { o with fold_blind = bump_fr o.fold_blind } }
+    | Ipa_blind, Ipa_opening o ->
+      { p with opening = Ipa_opening { o with blind = bump_fr o.blind } }
+    | Ipa_eval, Ipa_opening o ->
+      { p with opening = Ipa_opening { o with w_eval = bump_fr o.w_eval } }
+    | Ipa_l i, Ipa_opening o ->
+      { p with
+        opening =
+          Ipa_opening { o with ipa = { o.ipa with Ipa.ls = bump_at i bump_g1 o.ipa.Ipa.ls } } }
+    | Ipa_r i, Ipa_opening o ->
+      { p with
+        opening =
+          Ipa_opening { o with ipa = { o.ipa with Ipa.rs = bump_at i bump_g1 o.ipa.Ipa.rs } } }
+    | Ipa_a_final, Ipa_opening o ->
+      { p with
+        opening =
+          Ipa_opening { o with ipa = { o.ipa with Ipa.a_final = bump_fr o.ipa.Ipa.a_final } } }
+    | (Folded _ | Fold_blind), Ipa_opening _
+    | (Ipa_blind | Ipa_eval | Ipa_l _ | Ipa_r _ | Ipa_a_final), Fold_opening _ ->
+      invalid_arg "Spartan.Mutate.apply: site does not match the proof's opening mode"
+end

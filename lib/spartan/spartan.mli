@@ -65,3 +65,24 @@ val prove :
   proof
 
 val verify : key -> instance -> public_inputs:Fr.t list -> proof -> bool
+
+(** {2 Fault injection}
+
+    The proof type is abstract, so the adversary harness
+    ({!Zkvc_adversary}) gets its mutation surface from here instead of
+    re-deriving the proof layout: {!Mutate.sites} enumerates every
+    corruptible component of a concrete proof (each row commitment, each
+    sumcheck-round polynomial, each claimed evaluation, each opening
+    element — Hyrax fold or IPA folding rounds), and {!Mutate.apply}
+    perturbs exactly one (scalar + 1, point + generator), keeping every
+    component a valid field/group element. Test-only. *)
+module Mutate : sig
+  type site
+
+  val sites : proof -> site list
+  val site_name : site -> string
+
+  (** Copy of the proof with exactly [site] perturbed. Raises
+      [Invalid_argument] if the site refers to the other opening mode. *)
+  val apply : site -> proof -> proof
+end

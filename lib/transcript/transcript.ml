@@ -3,17 +3,26 @@ module Bigint = Zkvc_num.Bigint
 
 type t = { mutable state : Bytes.t; mutable counter : int }
 
-(* state' = H(state || tag || label-length || label || payload) keeps the
-   encoding prefix-free, so distinct absorption sequences cannot collide. *)
-let mix state tag label payload =
+(* state' = H(state || tag || (len || "|" || part)* || payload): every
+   label part is length-prefixed, so the encoding is prefix-free and
+   distinct absorption sequences cannot collide. Multi-part labels keep
+   each component separately framed — ("r", 11) and ("r1", 1) hash
+   differently, and a user label ending in "/hi" cannot alias the
+   internal wide-challenge tag (a separate part). *)
+let mix_parts state tag parts payload =
   let ctx = Sha256.init () in
   Sha256.update ctx state;
   Sha256.update_string ctx tag;
-  Sha256.update_string ctx (string_of_int (String.length label));
-  Sha256.update_string ctx "|";
-  Sha256.update_string ctx label;
+  List.iter
+    (fun part ->
+      Sha256.update_string ctx (string_of_int (String.length part));
+      Sha256.update_string ctx "|";
+      Sha256.update_string ctx part)
+    parts;
   Sha256.update ctx payload;
   Sha256.finalize ctx
+
+let mix state tag label payload = mix_parts state tag [ label ] payload
 
 let create ~label =
   { state = mix (Bytes.make 32 '\000') "init" label Bytes.empty; counter = 0 }
@@ -26,11 +35,15 @@ let absorb_string t ~label s = absorb_bytes t ~label (Bytes.of_string s)
 
 let absorb_int t ~label n = absorb_string t ~label (string_of_int n)
 
-let challenge_bytes t ~label =
+let challenge_bytes_parts t parts =
   t.counter <- t.counter + 1;
-  let out = mix t.state "challenge" label (Bytes.of_string (string_of_int t.counter)) in
+  let out =
+    mix_parts t.state "challenge" parts (Bytes.of_string (string_of_int t.counter))
+  in
   t.state <- out;
   out
+
+let challenge_bytes t ~label = challenge_bytes_parts t [ label ]
 
 module Challenge (F : Zkvc_field.Field_intf.S) = struct
   let absorb t ~label x = absorb_bytes t ~label (F.to_bytes x)
@@ -43,11 +56,16 @@ module Challenge (F : Zkvc_field.Field_intf.S) = struct
     absorb_int t ~label:(label ^ "/len") (Array.length xs);
     Array.iter (fun x -> absorb t ~label x) xs
 
-  let challenge t ~label =
-    let b1 = challenge_bytes t ~label in
-    let b2 = challenge_bytes t ~label:(label ^ "/hi") in
+  (* 512 bits reduced mod F.modulus; the "hi" half travels as its own
+     length-prefixed part, never concatenated onto the caller's label *)
+  let challenge_parts t parts =
+    let b1 = challenge_bytes_parts t parts in
+    let b2 = challenge_bytes_parts t (parts @ [ "hi" ]) in
     let wide = Bytes.cat b1 b2 in
     F.of_bigint (Bigint.of_bytes_be wide)
 
-  let challenges t ~label n = List.init n (fun i -> challenge t ~label:(label ^ string_of_int i))
+  let challenge t ~label = challenge_parts t [ label ]
+
+  let challenges t ~label n =
+    List.init n (fun i -> challenge_parts t [ label; string_of_int i ])
 end

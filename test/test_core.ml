@@ -253,12 +253,14 @@ let api_tests =
         List.iter
           (fun strategy ->
             let _proof, m = Api.run Api.Backend_groth16 strategy ~x ~w d in
-            check_bool "verified inside run" true (m.Api.proof_bytes = 256))
+            check_bool "verified" true m.Api.verified;
+            check_bool "groth16 proof size" true (m.Api.proof_bytes = 256))
           Mcirc.all_strategies);
     Alcotest.test_case "spartan backend end-to-end (all strategies)" `Slow (fun () ->
         List.iter
           (fun strategy ->
             let _proof, m = Api.run Api.Backend_spartan strategy ~x ~w d in
+            check_bool "verified" true m.Api.verified;
             check_bool "nonzero proof" true (m.Api.proof_bytes > 0))
           Mcirc.all_strategies) ]
 

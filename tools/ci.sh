@@ -154,4 +154,26 @@ grep -q "serve.cache.hit" "$SERVE_TMP/serve.log" || {
 }
 echo "ci: proof service smoke ok ($SERVE_TMP)"
 
+echo "== adversary: bounded fault-injection sweep =="
+# Bounded deterministic sweep: both backends, the cheap and the full CRPC
+# encoding, one dimension scale. The seed is fixed and printed by the CLI
+# so any accepted forgery reproduces with the printed repro line; the
+# subcommand exits non-zero on any accepted forgery or verifier crash.
+# (The full grid — all four strategies at two scales — runs in
+# test/test_adversary.ml above.)
+ADVERSARY_SEED=${ADVERSARY_SEED:-2024}
+for BACKEND in groth16 spartan; do
+    dune exec bin/zkvc_cli.exe -- adversary --seed "$ADVERSARY_SEED" \
+        --backend "$BACKEND" --strategy vanilla --dims 2,2,2 || {
+        echo "ci: adversary sweep found an accepted forgery ($BACKEND/vanilla)" >&2
+        exit 1
+    }
+    dune exec bin/zkvc_cli.exe -- adversary --seed "$ADVERSARY_SEED" \
+        --backend "$BACKEND" --strategy crpc+psq --dims 2,2,2 || {
+        echo "ci: adversary sweep found an accepted forgery ($BACKEND/crpc+psq)" >&2
+        exit 1
+    }
+done
+echo "ci: adversary sweep clean (seed=$ADVERSARY_SEED)"
+
 echo "ci: ok ($BENCH_JSON, $BENCH_JSON_PAR)"

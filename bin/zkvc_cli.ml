@@ -372,7 +372,33 @@ let serve_cmd =
              ~doc:"Testing hook: sleep before each job to make queue-full and \
                    deadline behaviour deterministic.")
   in
-  let run socket queue cache cache_dir jobs trace metrics job_delay =
+  let metrics_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-file" ] ~docv:"PATH"
+             ~doc:"Write a Prometheus text-exposition snapshot of all metrics \
+                   here periodically (atomic rename; scrape with any file \
+                   collector or $(b,zkvc_cli top --file)). Implies metric \
+                   recording.")
+  in
+  let metrics_interval_arg =
+    Arg.(value & opt float 1.
+         & info [ "metrics-interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between $(b,--metrics-file) snapshots.")
+  in
+  let flight_arg =
+    Arg.(value & opt int 128
+         & info [ "flight" ] ~docv:"N"
+             ~doc:"Flight-recorder capacity: the last N completed or failed \
+                   requests, dumped by $(b,zkvc_cli client status --detail).")
+  in
+  let flight_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flight-file" ] ~docv:"PATH"
+             ~doc:"Dump the flight recorder (JSON lines) here when the worker \
+                   drains or crashes.")
+  in
+  let run socket queue cache cache_dir jobs trace metrics job_delay metrics_file
+      metrics_interval flight flight_file =
     let cfg =
       { Server.socket_path = socket;
         queue_capacity = queue;
@@ -380,8 +406,12 @@ let serve_cmd =
         cache_dir;
         jobs;
         job_delay_s = job_delay;
-        observe = trace <> None || metrics;
-        clock = None }
+        observe = trace <> None || metrics || metrics_file <> None;
+        clock = None;
+        metrics_file;
+        metrics_interval_s = metrics_interval;
+        flight_capacity = flight;
+        flight_file }
     in
     if cfg.Server.observe then begin
       Obs.Span.reset ();
@@ -411,7 +441,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ queue_arg $ cache_arg $ cache_dir_arg $ jobs_arg
-          $ trace_arg $ metrics_arg $ job_delay_arg)
+          $ trace_arg $ metrics_arg $ job_delay_arg $ metrics_file_arg
+          $ metrics_interval_arg $ flight_arg $ flight_file_arg)
 
 (* ---- client ---- *)
 
@@ -438,45 +469,71 @@ let client_prove_cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the returned proof as a proof file.")
   in
-  let run socket d strategy backend seed deadline_ms out =
-    Client.with_connection socket (fun c ->
-        match
-          Client.request c
-            (Wire.Prove
-               { backend;
-                 strategy;
-                 dims = d;
-                 input = Wire.Seeded { seed; bound = 256 };
-                 deadline_ms })
-        with
-        | Error e -> client_transport_fail e
-        | Ok (Wire.Error { code; message }) -> client_fail code message
-        | Ok (Wire.Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s })
-          ->
-          Printf.printf "proved in %.4fs (key %s, cache %s, proof %dB)\n" prove_s
-            (Wire.hex_of_id key_id)
-            (if cache_hit then "hit" else "miss")
-            (Api.proof_size proof);
-          (match out with
-           | Some file ->
-             write_file file
-               (Wire.encode_proof_file
-                  { Wire.pf_backend = backend;
-                    pf_strategy = strategy;
-                    pf_dims = d;
-                    pf_challenge = challenge;
-                    pf_key_id = key_id;
-                    pf_public_inputs = public_inputs;
-                    pf_proof = proof });
-             Printf.printf "proof file: %s\n" file
-           | None -> ());
-          0
-        | Ok _ -> unexpected_response ())
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record the request as a span tree — with the server's own \
+                   phase timings stitched in from the response — and write a \
+                   Chrome trace_event file: one trace shows the whole \
+                   cross-process request, joined by request id.")
+  in
+  let run socket d strategy backend seed deadline_ms out trace =
+    if trace <> None then begin
+      Obs.Span.reset ();
+      Obs.Sink.enable ()
+    end;
+    let status =
+      Client.with_connection socket (fun c ->
+          match
+            Client.request c
+              (Wire.Prove
+                 { backend;
+                   strategy;
+                   dims = d;
+                   input = Wire.Seeded { seed; bound = 256 };
+                   deadline_ms })
+          with
+          | Error e -> client_transport_fail e
+          | Ok (Wire.Error { code; message }) -> client_fail code message
+          | Ok (Wire.Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s })
+            ->
+            Printf.printf "proved in %.4fs (key %s, cache %s, proof %dB)\n" prove_s
+              (Wire.hex_of_id key_id)
+              (if cache_hit then "hit" else "miss")
+              (Api.proof_size proof);
+            (match Client.last_request_id c with
+             | Some id -> Printf.printf "request %s\n" (Wire.hex_of_id id)
+             | None -> ());
+            (match out with
+             | Some file ->
+               write_file file
+                 (Wire.encode_proof_file
+                    { Wire.pf_backend = backend;
+                      pf_strategy = strategy;
+                      pf_dims = d;
+                      pf_challenge = challenge;
+                      pf_key_id = key_id;
+                      pf_public_inputs = public_inputs;
+                      pf_proof = proof });
+               Printf.printf "proof file: %s\n" file
+             | None -> ());
+            0
+          | Ok _ -> unexpected_response ())
+    in
+    (match trace with
+     | Some file ->
+       Obs.Sink.disable ();
+       (try
+          Obs.Export.write_chrome_trace file (Obs.Span.roots ());
+          Printf.printf "trace: %s\n" file
+        with Sys_error msg -> Printf.eprintf "zkvc_cli: cannot write trace: %s\n" msg)
+     | None -> ());
+    status
   in
   let doc = "Prove a seeded matmul instance on the server." in
   Cmd.v (Cmd.info "prove" ~doc)
     Term.(const run $ socket_arg $ dims_arg $ strategy_arg $ backend_arg $ seed_arg
-          $ deadline_arg $ out_arg)
+          $ deadline_arg $ out_arg $ trace_arg)
 
 let client_keygen_cmd =
   let out_arg =
@@ -540,24 +597,44 @@ let client_verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const run $ socket_arg $ proof_arg $ deadline_arg)
 
+let print_status out (s : Wire.status) =
+  Printf.fprintf out
+    "uptime_s=%.1f requests=%d queue=%d/%d cache_hits=%d cache_misses=%d \
+     cache_entries=%d timeouts=%d rejections=%d batched=%d\n"
+    s.Wire.uptime_s s.Wire.requests s.Wire.queue_depth s.Wire.queue_capacity
+    s.Wire.cache_hits s.Wire.cache_misses s.Wire.cache_entries s.Wire.timeouts
+    s.Wire.rejections s.Wire.batched
+
 let client_status_cmd =
-  let run socket =
+  let detail_arg =
+    Arg.(value & flag
+         & info [ "detail" ]
+             ~doc:"Dump the server's flight recorder — one JSON object per \
+                   completed request, oldest first — to stdout (counters go \
+                   to stderr).")
+  in
+  let run socket detail =
     Client.with_connection socket (fun c ->
-        match Client.request c Wire.Status with
-        | Error e -> client_transport_fail e
-        | Ok (Wire.Error { code; message }) -> client_fail code message
-        | Ok (Wire.Status_ok s) ->
-          Printf.printf
-            "uptime_s=%.1f requests=%d queue=%d/%d cache_hits=%d cache_misses=%d \
-             cache_entries=%d timeouts=%d rejections=%d batched=%d\n"
-            s.Wire.uptime_s s.Wire.requests s.Wire.queue_depth s.Wire.queue_capacity
-            s.Wire.cache_hits s.Wire.cache_misses s.Wire.cache_entries s.Wire.timeouts
-            s.Wire.rejections s.Wire.batched;
-          0
-        | Ok _ -> unexpected_response ())
+        if detail then
+          match Client.request c Wire.Status_detail with
+          | Error e -> client_transport_fail e
+          | Ok (Wire.Error { code; message }) -> client_fail code message
+          | Ok (Wire.Status_detail_ok { status; flight_jsonl; _ }) ->
+            print_status stderr status;
+            print_string flight_jsonl;
+            0
+          | Ok _ -> unexpected_response ()
+        else
+          match Client.request c Wire.Status with
+          | Error e -> client_transport_fail e
+          | Ok (Wire.Error { code; message }) -> client_fail code message
+          | Ok (Wire.Status_ok s) ->
+            print_status stdout s;
+            0
+          | Ok _ -> unexpected_response ())
   in
   Cmd.v (Cmd.info "status" ~doc:"Print the server's status counters.")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ detail_arg)
 
 let client_shutdown_cmd =
   let run socket =
@@ -579,6 +656,90 @@ let client_cmd =
   Cmd.group (Cmd.info "client" ~doc)
     [ client_prove_cmd; client_keygen_cmd; client_verify_cmd; client_status_cmd;
       client_shutdown_cmd ]
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let watch_arg =
+    Arg.(value & opt (some float) None
+         & info [ "watch" ] ~docv:"SECS"
+             ~doc:"Refresh every $(docv) seconds until interrupted instead of \
+                   printing once.")
+  in
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"PATH"
+             ~doc:"Read a metrics snapshot file (written by $(b,serve \
+                   --metrics-file)) instead of querying a live server; the \
+                   text is validated against the exposition grammar.")
+  in
+  let render_file path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg ->
+      Printf.eprintf "zkvc_cli: %s\n" msg;
+      1
+    | text -> (
+      match Obs.Expose.parse text with
+      | Error msg ->
+        Printf.eprintf "zkvc_cli: invalid exposition text: %s\n" msg;
+        1
+      | Ok samples ->
+        List.iter
+          (fun { Obs.Expose.metric; labels; value } ->
+            let labels =
+              match labels with
+              | [] -> ""
+              | l ->
+                "{"
+                ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+                ^ "}"
+            in
+            Printf.printf "%s%s %s\n" metric labels (Obs.Expose.float_str value))
+          samples;
+        0)
+  in
+  let render_live socket =
+    Client.with_connection socket (fun c ->
+        match Client.request c Wire.Status_detail with
+        | Error e -> client_transport_fail e
+        | Ok (Wire.Error { code; message }) -> client_fail code message
+        | Ok (Wire.Status_detail_ok { status; metrics_text; _ }) ->
+          print_status stdout status;
+          print_string metrics_text;
+          0
+        | Ok _ -> unexpected_response ())
+  in
+  let run socket watch file =
+    match file with
+    | Some path -> render_file path
+    | None -> (
+      match watch with
+      | None -> render_live socket
+      | Some period ->
+        let period = Float.max 0.05 period in
+        let rec loop () =
+          (* clear screen + home, like top(1) *)
+          print_string "\027[2J\027[H";
+          let rc = render_live socket in
+          flush stdout;
+          if rc <> 0 then rc
+          else begin
+            Thread.delay period;
+            loop ()
+          end
+        in
+        loop ())
+  in
+  let doc =
+    "Render a server's metrics in Prometheus exposition format — from a live \
+     server ($(b,--watch) to refresh) or from a $(b,--metrics-file) snapshot."
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ socket_arg $ watch_arg $ file_arg)
 
 (* ---- adversary ---- *)
 
@@ -648,4 +809,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ count_cmd; prove_cmd; model_cmd; gkr_cmd; keygen_cmd; verify_cmd;
-            serve_cmd; client_cmd; adversary_cmd ]))
+            serve_cmd; client_cmd; top_cmd; adversary_cmd ]))

@@ -410,33 +410,93 @@ let wire_cases col fx =
               with Invalid_argument _ -> false
             then `Accept
             else `Reject));
+  let adv_trace =
+    Some
+      { Wire.tr_request_id = String.init 16 (fun i -> Char.chr (i * 7 land 0xff));
+        tr_origin = "adversary" }
+  in
+  let verify_request =
+    Wire.Request
+      ( adv_trace,
+        Wire.Verify
+          { key_id;
+            public_inputs = fx.public_inputs;
+            proof = fx.proof;
+            deadline_ms = 0 } )
+  in
+  (* shared classifier for verify-request frames at either wire version:
+     a flip must yield a typed decode error, a changed descriptor, a
+     [false] verdict, or leave the statement untouched — never an
+     accepted forgery. Flips in the v2 trace block only alter telemetry,
+     so they land in the unchanged-statement (benign) bucket. *)
+  let classify_verify_frame b =
+    let honest_proof = proof_bytes fx.proof in
+    match Wire.decode_frame b with
+    | Error _ -> `Err
+    | Ok (Wire.Request (_, Wire.Verify { key_id = kid; public_inputs; proof; _ })) ->
+      if kid <> key_id then `Desc
+      else begin
+        let statement_unchanged =
+          List.length public_inputs = List.length fx.public_inputs
+          && List.for_all2 Fr.equal public_inputs fx.public_inputs
+          && Bytes.equal (proof_bytes proof) honest_proof
+        in
+        match Api.verify_with fx.keys ~public_inputs proof with
+        | true -> if statement_unchanged then `Benign else `Accept
+        | false -> `Reject
+        | exception Invalid_argument _ -> `Err
+      end
+    | Ok _ -> `Desc
+  in
   emit col "wire" "frame-bitflip" (fun () ->
-      let frame =
-        Wire.Request
-          (Wire.Verify
-             { key_id;
-               public_inputs = fx.public_inputs;
-               proof = fx.proof;
-               deadline_ms = 0 })
-      in
-      let bytes = Wire.encode_frame frame in
-      let honest_proof = proof_bytes fx.proof in
-      flip_sweep ~rng:(stream fx.t 10) ~flips:48 bytes (fun b ->
+      let bytes = Wire.encode_frame verify_request in
+      flip_sweep ~rng:(stream fx.t 10) ~flips:48 bytes classify_verify_frame);
+  emit col "wire" "frame-bitflip-v1" (fun () ->
+      (* the legacy encoding must fail just as closed; in particular no
+         single-bit flip of either version byte reaches the other
+         accepted version *)
+      let bytes = Wire.encode_frame ~version:1 verify_request in
+      flip_sweep ~rng:(stream fx.t 11) ~flips:48 bytes classify_verify_frame);
+  emit col "wire" "status-detail-request-bitflip" (fun () ->
+      let bytes = Wire.encode_frame (Wire.Request (adv_trace, Wire.Status_detail)) in
+      flip_sweep ~rng:(stream fx.t 12) ~flips:32 bytes (fun b ->
           match Wire.decode_frame b with
           | Error _ -> `Err
-          | Ok (Wire.Request (Wire.Verify { key_id = kid; public_inputs; proof; _ })) ->
-            if kid <> key_id then `Desc
-            else begin
-              let statement_unchanged =
-                List.length public_inputs = List.length fx.public_inputs
-                && List.for_all2 Fr.equal public_inputs fx.public_inputs
-                && Bytes.equal (proof_bytes proof) honest_proof
-              in
-              match Api.verify_with fx.keys ~public_inputs proof with
-              | true -> if statement_unchanged then `Benign else `Accept
-              | false -> `Reject
-              | exception Invalid_argument _ -> `Err
-            end
+          | Ok (Wire.Request (_, Wire.Status_detail)) -> `Benign
+          | Ok _ -> `Desc));
+  emit col "wire" "status-detail-response-bitflip" (fun () ->
+      let stat =
+        { Wire.uptime_s = 12.5;
+          requests = 9;
+          queue_depth = 1;
+          queue_capacity = 16;
+          cache_hits = 3;
+          cache_misses = 2;
+          cache_entries = 2;
+          timeouts = 0;
+          rejections = 1;
+          batched = 4 }
+      in
+      let timing =
+        Some
+          { Wire.tm_request_id = String.init 16 (fun i -> Char.chr (i * 11 land 0xff));
+            tm_queue_wait_s = 0.001;
+            tm_exec_s = 0.25;
+            tm_phases = [ ("serve.prepare", 0., 0.01); ("serve.prove", 0.01, 0.2) ] }
+      in
+      let resp =
+        Wire.Response
+          ( timing,
+            Wire.Status_detail_ok
+              { status = stat;
+                metrics_text = "# TYPE zkvc_serve_requests_total counter\nzkvc_serve_requests_total 9\n";
+                flight_jsonl = "{\"request_id\":\"00\",\"kind\":\"prove\",\"outcome\":\"ok\"}\n" } )
+      in
+      let bytes = Wire.encode_frame resp in
+      flip_sweep ~rng:(stream fx.t 13) ~flips:32 bytes (fun b ->
+          match Wire.decode_frame b with
+          | Error _ -> `Err
+          | Ok (Wire.Response (_, Wire.Status_detail_ok _)) -> `Benign
           | Ok _ -> `Desc))
 
 (* ---- driver ---- *)

@@ -30,11 +30,13 @@
       the harness asserts the Fiat–Shamir challenge {e authentication}
       ([derive_challenge] recomputation) catches them, which is exactly
       the reduction step CRPC soundness stands on;
-    - [wire] — bit-flipped proof files, key files and request frames
-      pushed through the {!Zkvc_serve.Wire} codecs: every flip must end
-      in a typed decode error, a descriptor/key-id mismatch or a [false]
-      verdict — never [true] on a changed statement, never an
-      exception. *)
+    - [wire] — bit-flipped proof files, key files and request/response
+      frames (at both wire versions, including v2 trace/timing blocks
+      and the [Status_detail] operation) pushed through the
+      {!Zkvc_serve.Wire} codecs: every flip must end in a typed decode
+      error, a descriptor/key-id mismatch, a [false] verdict or an
+      unchanged statement — never [true] on a changed statement, never
+      an exception. *)
 
 module Api = Zkvc.Api
 

@@ -40,13 +40,19 @@ let time_origin spans =
 
 let span_record ~origin depth path s =
   Json.Obj
-    [ ("name", Json.String (Span.name s));
-      ("path", Json.String path);
-      ("depth", Json.Int depth);
-      ("start_us", Json.Float ((Span.start_s s -. origin) *. 1e6));
-      ("dur_us", Json.Float (Span.duration_s s *. 1e6));
-      ("minor_words", Json.Float (Span.minor_words s));
-      ("major_words", Json.Float (Span.major_words s)) ]
+    ([ ("name", Json.String (Span.name s));
+       ("path", Json.String path);
+       ("depth", Json.Int depth);
+       ("tid", Json.Int (Span.domain_id s));
+       ("start_us", Json.Float ((Span.start_s s -. origin) *. 1e6));
+       ("dur_us", Json.Float (Span.duration_s s *. 1e6));
+       ("minor_words", Json.Float (Span.minor_words s));
+       ("major_words", Json.Float (Span.major_words s)) ]
+    @
+    match Span.args s with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ])
 
 let to_jsonl spans =
   let origin = time_origin spans in
@@ -62,7 +68,11 @@ let to_jsonl spans =
 (* Chrome trace_event format                                            *)
 
 (* "X" (complete) events carry both ts and dur, so nesting is recovered
-   by the viewer from interval containment on one pid/tid track. *)
+   by the viewer from interval containment per pid/tid track. The tid is
+   the span's recording domain — spans from concurrent domains (and
+   externally stitched server spans, see [Span.add_external]) get their
+   own row instead of interleaving on one. Span attributes (request ids)
+   travel in [args] next to the GC deltas. *)
 let chrome_event ~origin s =
   Json.Obj
     [ ("name", Json.String (Span.name s));
@@ -71,11 +81,12 @@ let chrome_event ~origin s =
       ("ts", Json.Float ((Span.start_s s -. origin) *. 1e6));
       ("dur", Json.Float (Span.duration_s s *. 1e6));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int (Span.domain_id s));
       ( "args",
         Json.Obj
-          [ ("minor_words", Json.Float (Span.minor_words s));
-            ("major_words", Json.Float (Span.major_words s)) ] ) ]
+          (List.map (fun (k, v) -> (k, Json.String v)) (Span.args s)
+          @ [ ("minor_words", Json.Float (Span.minor_words s));
+              ("major_words", Json.Float (Span.major_words s)) ]) ) ]
 
 let to_chrome_trace spans =
   let origin = time_origin spans in

@@ -1,0 +1,198 @@
+(* Prometheus text exposition over the Metrics registry.
+
+   Counters render as `<name>_total`, gauges as-is, histograms as
+   summaries: quantile-labelled sample lines (0.5 / 0.9 / 0.99 over the
+   retained reservoir) plus exact `_sum` and `_count`. Metric names are
+   sanitised into the prometheus alphabet and prefixed with the
+   namespace, so `serve.queue.wait_s` becomes
+   `zkvc_serve_queue_wait_s`. [parse] accepts the subset this renderer
+   emits (plus arbitrary label sets), enough for `zkvc_cli top` and the
+   ci round-trip check to validate snapshots without a real scraper. *)
+
+let default_namespace = "zkvc"
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let sanitize ~namespace name =
+  let b = Buffer.create (String.length name + String.length namespace + 1) in
+  if namespace <> "" then begin
+    Buffer.add_string b namespace;
+    Buffer.add_char b '_'
+  end;
+  String.iter (fun c -> Buffer.add_char b (if is_name_char c then c else '_')) name;
+  let s = Buffer.contents b in
+  (* a leading digit is not a valid metric-name start *)
+  if s <> "" && s.[0] >= '0' && s.[0] <= '9' then "_" ^ s else s
+
+(* %.17g round-trips any float; prometheus accepts the usual spellings
+   of the specials. *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let quantiles = [ 0.5; 0.9; 0.99 ]
+
+let render ?(namespace = default_namespace) () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun c ->
+      let n = sanitize ~namespace (c.Metrics.c_name ^ "_total") in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n (Metrics.counter_value c)))
+    (Metrics.all_counters ());
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize ~namespace name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (float_str v)))
+    (Metrics.all_gauges ());
+  List.iter
+    (fun h ->
+      let n = sanitize ~namespace (Metrics.hist_name h) in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun q ->
+          match Metrics.percentile h (q *. 100.) with
+          | Some v ->
+            Buffer.add_string b
+              (Printf.sprintf "%s{quantile=\"%g\"} %s\n" n q (float_str v))
+          | None -> ())
+        quantiles;
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (float_str (Metrics.hist_sum h)));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Metrics.hist_count h)))
+    (Metrics.all_histograms ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parser                                                              *)
+
+type sample = { metric : string; labels : (string * string) list; value : float }
+
+let is_blank line =
+  let n = String.length line in
+  let rec go i = i >= n || ((line.[i] = ' ' || line.[i] = '\t') && go (i + 1)) in
+  go 0
+
+(* `name{k="v",...} value` — labels are optional; values are anything
+   [float_of_string] takes plus the prometheus spellings of infinity. *)
+let parse_value s =
+  match String.lowercase_ascii s with
+  | "+inf" | "inf" -> Some Float.infinity
+  | "-inf" -> Some Float.neg_infinity
+  | "nan" -> Some Float.nan
+  | _ -> float_of_string_opt s
+
+let parse_labels ~lineno s =
+  (* s is the inside of the braces *)
+  let err fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt in
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let rec pairs i acc =
+    if i >= n then Ok (List.rev acc)
+    else begin
+      (* label name *)
+      let j = ref i in
+      while !j < n && is_name_char s.[!j] do incr j done;
+      if !j = i then err "empty label name"
+      else if !j >= n || s.[!j] <> '=' then err "expected '=' after label name"
+      else begin
+        let name = String.sub s i (!j - i) in
+        let k = !j + 1 in
+        if k >= n || s.[k] <> '"' then err "expected '\"' opening label value"
+        else begin
+          Buffer.clear buf;
+          let rec value i =
+            if i >= n then err "unterminated label value"
+            else
+              match s.[i] with
+              | '"' -> Ok (i + 1)
+              | '\\' when i + 1 < n ->
+                (match s.[i + 1] with
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | c -> Buffer.add_char buf c);
+                value (i + 2)
+              | c ->
+                Buffer.add_char buf c;
+                value (i + 1)
+          in
+          match value (k + 1) with
+          | Error _ as e -> e
+          | Ok after ->
+            let acc = (name, Buffer.contents buf) :: acc in
+            if after >= n then Ok (List.rev acc)
+            else if s.[after] = ',' then pairs (after + 1) acc
+            else err "expected ',' between labels"
+        end
+      end
+    end
+  in
+  pairs 0 []
+
+let parse_line ~lineno line =
+  let err fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then err "expected metric name"
+  else begin
+    let metric = String.sub line 0 !i in
+    let labels_res =
+      if !i < n && line.[!i] = '{' then begin
+        match String.index_from_opt line !i '}' with
+        | None -> err "unterminated label set"
+        | Some close ->
+          let inner = String.sub line (!i + 1) (close - !i - 1) in
+          i := close + 1;
+          parse_labels ~lineno inner
+      end
+      else Ok []
+    in
+    match labels_res with
+    | Error _ as e -> e
+    | Ok labels ->
+      if !i >= n || line.[!i] <> ' ' then err "expected ' ' before value"
+      else begin
+        let rest = String.trim (String.sub line !i (n - !i)) in
+        (* a trailing timestamp (second field) is legal exposition; we
+           only require the value *)
+        let value_str =
+          match String.index_opt rest ' ' with
+          | Some sp -> String.sub rest 0 sp
+          | None -> rest
+        in
+        match parse_value value_str with
+        | Some value -> Ok { metric; labels; value }
+        | None -> err "bad sample value %S" value_str
+      end
+  end
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if is_blank line || (String.length line > 0 && line.[0] = '#') then
+        go (lineno + 1) acc rest
+      else begin
+        match parse_line ~lineno line with
+        | Ok s -> go (lineno + 1) (s :: acc) rest
+        | Error _ as e -> e
+      end
+  in
+  go 1 [] lines
+
+(* ------------------------------------------------------------------ *)
+
+(* Write-then-rename so a scraper reading [path] never sees a torn
+   snapshot. The tmp file sits in the same directory, so the rename
+   stays within one filesystem. *)
+let write_snapshot ~path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text);
+  Sys.rename tmp path

@@ -1,0 +1,33 @@
+(** Prometheus text-format exposition over the {!Metrics} registry.
+
+    {!render} serialises every registered instrument: counters as
+    [<ns>_<name>_total], set gauges as gauges, histograms as summaries
+    with [quantile]-labelled samples (0.5 / 0.9 / 0.99 over the retained
+    reservoir) plus exact [_sum] and [_count]. Names are sanitised to
+    [[a-zA-Z0-9_]] and prefixed with the namespace (default ["zkvc"]),
+    so ["serve.queue.wait_s"] exposes as [zkvc_serve_queue_wait_s].
+
+    {!parse} validates and decodes the subset of the exposition format
+    this renderer emits (comments, blank lines, optional label sets,
+    optional trailing timestamp) — used by [zkvc_cli top] and the ci
+    round-trip check. *)
+
+val default_namespace : string
+
+val render : ?namespace:string -> unit -> string
+
+(** A float as the exposition format spells it: round-trippable
+    [%.17g], with [NaN] / [+Inf] / [-Inf] for the specials. *)
+val float_str : float -> string
+
+(** One sample line: metric name, label pairs in order, value. *)
+type sample = { metric : string; labels : (string * string) list; value : float }
+
+(** [parse text] decodes exposition text into samples, or [Error msg]
+    naming the first offending line. *)
+val parse : string -> (sample list, string) result
+
+(** [write_snapshot ~path text] writes [text] to [path] atomically
+    (write to [path ^ ".tmp"], then rename) so concurrent readers never
+    observe a partial snapshot. *)
+val write_snapshot : path:string -> string -> unit

@@ -1,0 +1,43 @@
+(* Fixed-size flight recorder: a lock-free ring of the last [capacity]
+   records. Writers claim a slot with one [Atomic.fetch_and_add] and then
+   store the boxed record; readers snapshot by walking the ring oldest to
+   newest. A reader racing a writer can observe the slot either before or
+   after the overwrite — both are complete records, so the worst case is
+   a snapshot that is one record stale, which is fine for a diagnostics
+   ring. Slots hold ['a option] so an unwritten slot is distinguishable
+   without a sentinel value. *)
+
+type 'a t =
+  { slots : 'a option array;
+    cursor : int Atomic.t (* total records ever written *) }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  { slots = Array.make capacity None; cursor = Atomic.make 0 }
+
+let capacity t = Array.length t.slots
+
+let record t x =
+  let i = Atomic.fetch_and_add t.cursor 1 in
+  t.slots.(i mod Array.length t.slots) <- Some x
+
+(* Total records ever written (monotone, may exceed [capacity]). *)
+let total t = Atomic.get t.cursor
+
+let length t = Stdlib.min (total t) (Array.length t.slots)
+
+(* Retained records, oldest first. Reads the cursor once; concurrent
+   writes may have replaced the oldest slots by the time they are read,
+   in which case the newer record appears in the "old" position — still a
+   valid record, just newer than its neighbours. *)
+let snapshot t =
+  let cap = Array.length t.slots in
+  let n = Atomic.get t.cursor in
+  let first = if n <= cap then 0 else n - cap in
+  let acc = ref [] in
+  for i = n - 1 downto first do
+    match t.slots.(i mod cap) with
+    | Some x -> acc := x :: !acc
+    | None -> () (* writer claimed the slot but has not stored yet *)
+  done;
+  !acc

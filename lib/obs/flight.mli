@@ -1,0 +1,27 @@
+(** Fixed-size flight recorder: a lock-free ring retaining the last
+    [capacity] records pushed. Built for "what were the last N requests
+    doing" diagnostics: writers pay one atomic fetch-and-add plus a store,
+    and a reader's {!snapshot} may be at most one record stale under a
+    concurrent writer (every observed record is complete — there are no
+    torn reads, records are boxed). *)
+
+type 'a t
+
+(** [create ~capacity] makes an empty ring. @raise Invalid_argument when
+    [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Append, overwriting the oldest record once the ring is full. *)
+val record : 'a t -> 'a -> unit
+
+(** Records currently retained: [min (total t) (capacity t)]. *)
+val length : 'a t -> int
+
+(** Total records ever written (monotone; exceeds [capacity] once the
+    ring has wrapped). *)
+val total : 'a t -> int
+
+(** Retained records, oldest first. *)
+val snapshot : 'a t -> 'a list

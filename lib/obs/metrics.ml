@@ -160,6 +160,26 @@ let sorted_bindings tbl name_of =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
   |> List.sort (fun a b -> compare (name_of a) (name_of b))
 
+(* Registry enumeration for exposition renderers (Expose). Iteration
+   holds [write_mutex] so a concurrent [intern] can't resize the table
+   under the fold; instrument reads afterwards are the usual atomic /
+   mutex-guarded accessors. *)
+let locked_bindings tbl name_of =
+  Mutex.lock write_mutex;
+  let l = Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] in
+  Mutex.unlock write_mutex;
+  List.sort (fun a b -> compare (name_of a) (name_of b)) l
+
+let all_counters () = locked_bindings counters (fun c -> c.c_name)
+
+let all_gauges () =
+  locked_bindings gauges (fun g -> g.g_name)
+  |> List.filter_map (fun g -> if g.g_set then Some (g.g_name, g.g_value) else None)
+
+let all_histograms () = locked_bindings histograms (fun h -> h.h_name)
+
+let hist_name h = h.h_name
+
 let float_or_zero = function Some v -> v | None -> 0.
 
 let hist_stats h =

@@ -59,6 +59,21 @@ val percentile : histogram -> float -> float option
 (** Zero all registered instruments (registrations themselves persist). *)
 val reset : unit -> unit
 
+(** {2 Registry enumeration}
+
+    For exposition renderers ({!Expose}): every registered instrument,
+    name-sorted. Enumeration locks out concurrent interning; reading the
+    returned instruments uses the ordinary accessors. *)
+
+val all_counters : unit -> counter list
+
+(** Gauges that have been [set] at least once, as [(name, value)]. *)
+val all_gauges : unit -> (string * float) list
+
+val all_histograms : unit -> histogram list
+
+val hist_name : histogram -> string
+
 (** JSON object [{counters; gauges; histograms}] of everything non-empty. *)
 val snapshot : unit -> Json.t
 

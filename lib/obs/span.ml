@@ -13,6 +13,8 @@
 type t =
   { name : string;
     seq : int; (* creation order, stable tie-break for exporters *)
+    domain : int; (* recording domain (or synthetic track for externals) *)
+    args : (string * string) list; (* free-form attributes, e.g. request_id *)
     start_s : float;
     mutable stop_s : float;
     start_minor : float;
@@ -52,12 +54,14 @@ let reset () =
   st.last <- None;
   Atomic.set seq_counter 0
 
-let open_span name =
+let open_span ?(args = []) name =
   let q = Gc.quick_stat () in
   let st = state () in
   let s =
     { name;
       seq = Atomic.fetch_and_add seq_counter 1 + 1;
+      domain = (Domain.self () :> int);
+      args;
       start_s = now ();
       stop_s = Float.nan;
       start_minor = q.Gc.minor_words;
@@ -93,10 +97,10 @@ let close_span s =
    | [] -> st.rev_roots <- s :: st.rev_roots);
   st.last <- Some s
 
-let with_span name f =
+let with_span ?args name f =
   if not !Sink.enabled then f ()
   else begin
-    let s = open_span name in
+    let s = open_span ?args name in
     match f () with
     | r ->
       close_span s;
@@ -106,10 +110,39 @@ let with_span name f =
       raise e
   end
 
+(* A completed span observed elsewhere (typically phase timings returned
+   by a remote server), grafted under the innermost open span — or as a
+   root — with caller-supplied absolute times in this clock's domain.
+   [domain] is the synthetic track exporters use as the Chrome [tid], so
+   remote spans land on their own row. *)
+let add_external ~name ~start_s ~dur_s ?(args = []) ?domain () =
+  if !Sink.enabled then begin
+    let s =
+      { name;
+        seq = Atomic.fetch_and_add seq_counter 1 + 1;
+        domain = (match domain with Some d -> d | None -> (Domain.self () :> int));
+        args;
+        start_s;
+        stop_s = start_s +. dur_s;
+        start_minor = 0.;
+        start_major = 0.;
+        start_promoted = 0.;
+        minor_words = 0.;
+        major_words = 0.;
+        rev_children = [] }
+    in
+    let st = state () in
+    match st.stack with
+    | parent :: _ -> parent.rev_children <- s :: parent.rev_children
+    | [] -> st.rev_roots <- s :: st.rev_roots
+  end
+
 (* ------------------------------------------------------------------ *)
 (* read side                                                           *)
 
 let name s = s.name
+let args s = s.args
+let domain_id s = s.domain
 let duration_s s = s.stop_s -. s.start_s
 let start_s s = s.start_s
 let minor_words s = s.minor_words

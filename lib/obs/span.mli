@@ -16,8 +16,24 @@ type t
 (** [with_span name f] runs [f], recording a span named [name] nested
     under the innermost open span (or as a new root) when the sink is
     enabled; otherwise it is a direct call of [f]. Exceptions close the
-    span and propagate. *)
-val with_span : string -> (unit -> 'a) -> 'a
+    span and propagate. [args] attaches free-form string attributes
+    (e.g. [("request_id", hex)]) that exporters carry through. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Graft an already-completed span observed elsewhere (e.g. server-side
+    phase timings stitched into a client trace) under the innermost open
+    span, or as a root. [start_s]/[dur_s] are absolute readings in this
+    process's span clock; [domain] overrides the Chrome-trace track id so
+    remote spans render on their own row (defaults to the calling
+    domain). No-op while the sink is disabled. *)
+val add_external :
+  name:string ->
+  start_s:float ->
+  dur_s:float ->
+  ?args:(string * string) list ->
+  ?domain:int ->
+  unit ->
+  unit
 
 (** Whether spans are currently being recorded (the sink is enabled). *)
 val recording : unit -> bool
@@ -38,6 +54,13 @@ val now : unit -> float
 (** {2 Read side} *)
 
 val name : t -> string
+
+(** Attributes given at open (or to {!add_external}); [[]] when none. *)
+val args : t -> (string * string) list
+
+(** Domain the span was recorded on (or the synthetic track passed to
+    {!add_external}); exporters use it as a stable per-domain [tid]. *)
+val domain_id : t -> int
 
 (** Seconds between open and close. *)
 val duration_s : t -> float

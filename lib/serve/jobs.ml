@@ -1,6 +1,16 @@
+module Metrics = Zkvc_obs.Metrics
+module Span = Zkvc_obs.Span
+
+(* Queue telemetry: depth gauge maintained at every transition, wait
+   histogram observed when a job leaves the queue. Timestamps use the
+   span clock so they agree with span data; both instruments are no-ops
+   while the obs sink is disabled. *)
+let m_depth = Metrics.gauge "serve.queue.depth"
+let m_wait = Metrics.histogram "serve.queue.wait_s"
+
 type 'a t =
   { capacity : int;
-    q : 'a Queue.t;
+    q : (float * 'a) Queue.t; (* (admit timestamp, item) *)
     lock : Mutex.t;
     nonempty : Condition.t;
     mutable closed : bool }
@@ -19,6 +29,11 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* call with t.lock held *)
+let note_depth t = Metrics.set m_depth (float_of_int (Queue.length t.q))
+
+let note_wait admit_s = Metrics.observe m_wait (Span.now () -. admit_s)
+
 let length t = with_lock t (fun () -> Queue.length t.q)
 
 let push t x =
@@ -26,7 +41,8 @@ let push t x =
       if t.closed then `Closed
       else if Queue.length t.q >= t.capacity then `Full
       else begin
-        Queue.push x t.q;
+        Queue.push (Span.now (), x) t.q;
+        note_depth t;
         Condition.signal t.nonempty;
         `Ok
       end)
@@ -34,7 +50,12 @@ let push t x =
 let pop t =
   with_lock t (fun () ->
       let rec wait () =
-        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        if not (Queue.is_empty t.q) then begin
+          let admit_s, x = Queue.pop t.q in
+          note_depth t;
+          note_wait admit_s;
+          Some x
+        end
         else if t.closed then None
         else begin
           Condition.wait t.nonempty t.lock;
@@ -47,9 +68,17 @@ let drain_where t p =
   with_lock t (fun () ->
       let keep = Queue.create () in
       let taken = ref [] in
-      Queue.iter (fun x -> if p x then taken := x :: !taken else Queue.push x keep) t.q;
+      Queue.iter
+        (fun ((admit_s, x) as entry) ->
+          if p x then begin
+            note_wait admit_s;
+            taken := x :: !taken
+          end
+          else Queue.push entry keep)
+        t.q;
       Queue.clear t.q;
       Queue.transfer keep t.q;
+      note_depth t;
       List.rev !taken)
 
 let close t =

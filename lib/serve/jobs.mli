@@ -1,7 +1,12 @@
 (** Bounded FIFO job queue with backpressure, feeding the service's
     worker. Thread-safe; [push] never blocks (full queues reject —
     that's the backpressure signal), [pop] blocks until a job or
-    close-and-drained. *)
+    close-and-drained.
+
+    While the obs sink is enabled, the queue maintains a
+    [serve.queue.depth] gauge (updated on every push/pop/drain) and a
+    [serve.queue.wait_s] histogram observing each job's time in the
+    queue as it leaves via {!pop} or {!drain_where}. *)
 
 type 'a t
 

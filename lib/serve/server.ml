@@ -6,6 +6,9 @@ module Spec_fr = Zkvc.Matmul_spec.Make (Fr)
 module Span = Zkvc_obs.Span
 module Metrics = Zkvc_obs.Metrics
 module Sink = Zkvc_obs.Sink
+module Expose = Zkvc_obs.Expose
+module Flight = Zkvc_obs.Flight
+module Json = Zkvc_obs.Json
 
 type config =
   { socket_path : string;
@@ -15,7 +18,11 @@ type config =
     jobs : int;
     job_delay_s : float;
     observe : bool;
-    clock : (unit -> float) option }
+    clock : (unit -> float) option;
+    metrics_file : string option;
+    metrics_interval_s : float;
+    flight_capacity : int;
+    flight_file : string option }
 
 (* Monotonic wall clock (CLOCK_MONOTONIC via bechamel's stub), in
    seconds. Deadlines and uptime must never go through
@@ -32,7 +39,11 @@ let default_config ~socket_path =
     jobs = 0;
     job_delay_s = 0.;
     observe = false;
-    clock = None }
+    clock = None;
+    metrics_file = None;
+    metrics_interval_s = 1.;
+    flight_capacity = 128;
+    flight_file = None }
 
 (* serve.* metrics mirror the atomic counters below; the atomics are
    authoritative (Status works with the sink disabled). *)
@@ -56,13 +67,46 @@ let conn_release conn =
   if Atomic.fetch_and_add conn.refs (-1) = 1 then
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-type job = { req : Wire.request; conn : conn; deadline : float option }
+type job =
+  { req : Wire.request;
+    conn : conn;
+    deadline : float option;
+    trace : Wire.trace option;
+    wire_version : int; (* respond in the version the request arrived in *)
+    admit_s : float;
+    depth_at_admit : int;
+    payload_bytes : int }
+
+(* One completed (or failed) request, as retained by the flight
+   recorder. Everything is pre-rendered to strings/numbers so dumping
+   is allocation-light and deterministic. *)
+type flight_record =
+  { fr_request_id : string; (* hex, or "-" when the request carried no trace *)
+    fr_kind : string;
+    fr_cache : string; (* "hit" | "miss" | "-" *)
+    fr_depth_at_admit : int;
+    fr_wait_s : float;
+    fr_exec_s : float;
+    fr_bytes : int;
+    fr_outcome : string (* "ok" | wire error code *) }
+
+let flight_record_to_json r =
+  Json.Obj
+    [ ("request_id", Json.String r.fr_request_id);
+      ("kind", Json.String r.fr_kind);
+      ("cache", Json.String r.fr_cache);
+      ("depth_at_admit", Json.Int r.fr_depth_at_admit);
+      ("wait_s", Json.Float r.fr_wait_s);
+      ("exec_s", Json.Float r.fr_exec_s);
+      ("bytes", Json.Int r.fr_bytes);
+      ("outcome", Json.String r.fr_outcome) ]
 
 type t =
   { cfg : config;
     listen_fd : Unix.file_descr;
     jobs_q : job Jobs.t;
     cache : Key_cache.t;
+    flight : flight_record Flight.t;
     started_at : float;
     requests : int Atomic.t;
     timeouts : int Atomic.t;
@@ -76,6 +120,7 @@ type t =
     drain_cond : Condition.t;
     mutable worker : Thread.t option;
     mutable acceptor : Thread.t option;
+    mutable snapshotter : Thread.t option;
     readers_lock : Mutex.t;
     mutable readers : Thread.t list }
 
@@ -83,21 +128,16 @@ let config t = t.cfg
 
 exception Expired
 
-let respond conn resp =
+let respond ?version ?timing conn resp =
   Mutex.lock conn.wlock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.wlock)
     (fun () ->
-      try Wire.write_frame conn.fd (Wire.Response resp)
+      try Wire.write_frame ?version conn.fd (Wire.Response (timing, resp))
       with Unix.Unix_error _ | Sys_error _ -> (* peer gone *) ())
 
-let respond_error conn code message =
-  respond conn (Wire.Error { code; message })
-
-let respond_timeout t conn =
-  Atomic.incr t.timeouts;
-  Metrics.incr m_timeout;
-  respond_error conn Wire.Deadline_exceeded "deadline exceeded"
+let respond_error ?version conn code message =
+  respond ?version conn (Wire.Error { code; message })
 
 let status t =
   { Wire.uptime_s = Span.now () -. t.started_at;
@@ -110,6 +150,59 @@ let status t =
     timeouts = Atomic.get t.timeouts;
     rejections = Atomic.get t.rejections;
     batched = Atomic.get t.batched }
+
+(* ---------------- flight recorder / telemetry ---------------- *)
+
+let flight_jsonl t =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Json.to_string (flight_record_to_json r));
+      Buffer.add_char b '\n')
+    (Flight.snapshot t.flight);
+  Buffer.contents b
+
+let write_metrics_snapshot t =
+  match t.cfg.metrics_file with
+  | None -> ()
+  | Some path -> (
+    try Expose.write_snapshot ~path (Expose.render ())
+    with Sys_error _ -> ())
+
+let flush_flight t =
+  match t.cfg.flight_file with
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (flight_jsonl t))
+    with Sys_error _ -> ())
+
+let request_kind = function
+  | Wire.Keygen _ -> "keygen"
+  | Wire.Prove _ -> "prove"
+  | Wire.Verify _ -> "verify"
+  | Wire.Batch_verify _ -> "batch_verify"
+  | Wire.Status -> "status"
+  | Wire.Status_detail -> "status_detail"
+  | Wire.Shutdown -> "shutdown"
+
+let request_id_hex = function
+  | Some { Wire.tr_request_id; _ } -> Wire.hex_of_id tr_request_id
+  | None -> "-"
+
+let zero_request_id = String.make Wire.request_id_bytes '\000'
+
+let cache_outcome_of = function
+  | Wire.Keygen_ok { cache_hit; _ } | Wire.Prove_ok { cache_hit; _ } ->
+    if cache_hit then "hit" else "miss"
+  | _ -> "-"
+
+let outcome_of = function
+  | Wire.Error { code; _ } -> Wire.error_code_to_string code
+  | _ -> "ok"
 
 (* ---------------- worker: request processing ---------------- *)
 
@@ -194,106 +287,187 @@ let process_prove t ~backend ~strategy ~dims ~input ~deadline =
       proof;
       prove_s = Span.now () -. t0 }
 
-let process_one t job =
-  let fail_bad msg = respond_error job.conn Wire.Bad_request msg in
+let unknown_key_error =
+  Wire.Error { code = Wire.Unknown_key; message = "no key with this id (run keygen first)" }
+
+(* Run one job's body and return the response (never raises; never
+   writes to the socket). [args] tag every [serve.request.*] span with
+   the request id so exported traces can be joined across processes. *)
+let execute t job ~args =
   try
     check_deadline job.deadline;
     match job.req with
     | Wire.Keygen { backend; strategy; dims; seed; bound; deadline_ms = _ } ->
-      let resp =
-        Span.with_span "serve.request.keygen" (fun () ->
-            process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline:job.deadline)
-      in
-      respond job.conn resp
+      Span.with_span ~args "serve.request.keygen" (fun () ->
+          process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline:job.deadline)
     | Wire.Prove { backend; strategy; dims; input; deadline_ms = _ } ->
-      let resp =
-        Span.with_span "serve.request.prove" (fun () ->
-            process_prove t ~backend ~strategy ~dims ~input ~deadline:job.deadline)
-      in
-      respond job.conn resp
+      Span.with_span ~args "serve.request.prove" (fun () ->
+          process_prove t ~backend ~strategy ~dims ~input ~deadline:job.deadline)
     | Wire.Verify { key_id; public_inputs; proof; deadline_ms = _ } -> (
       match Key_cache.find_by_id t.cache key_id with
-      | None -> respond_error job.conn Wire.Unknown_key "no key with this id (run keygen first)"
+      | None -> unknown_key_error
       | Some entry ->
         let ok =
-          Span.with_span "serve.request.verify" (fun () ->
+          Span.with_span ~args "serve.request.verify" (fun () ->
               match Api.verify_with entry.Key_cache.keys ~public_inputs proof with
               | ok -> ok
               | exception Invalid_argument _ -> false)
         in
-        respond job.conn (Wire.Verify_ok ok))
+        Wire.Verify_ok ok)
     | Wire.Batch_verify { key_id; items; deadline_ms = _ } -> (
       match Key_cache.find_by_id t.cache key_id with
-      | None -> respond_error job.conn Wire.Unknown_key "no key with this id (run keygen first)"
+      | None -> unknown_key_error
       | Some entry ->
         let verdicts, fast =
-          Span.with_span "serve.request.batch_verify" (fun () ->
+          Span.with_span ~args "serve.request.batch_verify" (fun () ->
               Batch.verify_each entry.Key_cache.keys items)
         in
         if fast then begin
           ignore (Atomic.fetch_and_add t.batched (List.length items));
           Metrics.add m_batched (List.length items)
         end;
-        respond job.conn (Wire.Batch_ok verdicts))
-    | Wire.Status | Wire.Shutdown ->
+        Wire.Batch_ok verdicts)
+    | Wire.Status | Wire.Status_detail | Wire.Shutdown ->
       (* handled on the reader threads; never queued *)
-      fail_bad "unexpected control request in job queue"
+      Wire.Error { code = Wire.Bad_request; message = "unexpected control request in job queue" }
   with
-  | Expired -> respond_timeout t job.conn
-  | Invalid_argument msg -> fail_bad msg
-  | e -> respond_error job.conn Wire.Internal (Printexc.to_string e)
+  | Expired ->
+    Atomic.incr t.timeouts;
+    Metrics.incr m_timeout;
+    Wire.Error { code = Wire.Deadline_exceeded; message = "deadline exceeded" }
+  | Invalid_argument msg -> Wire.Error { code = Wire.Bad_request; message = msg }
+  | e -> Wire.Error { code = Wire.Internal; message = Printexc.to_string e }
+
+(* The just-completed request span and its named sub-phases, as wire
+   timing phases: (name, offset from execution start, duration),
+   pre-order — the [serve.request.*] root itself comes first, so the
+   timing block names the request kind — truncated to the wire bound. *)
+let phases_of_span root =
+  let origin = Span.start_s root in
+  let rec go acc s =
+    let acc = (Span.name s, Span.start_s s -. origin, Span.duration_s s) :: acc in
+    List.fold_left go acc (Span.children s)
+  in
+  let all = List.rev (go [] root) in
+  List.filteri (fun i _ -> i < 256) all
+
+(* Send [resp] with a v2 timing block (at the job's own wire version —
+   v1 clients get the plain v1 frame) and push a flight record. *)
+let finish t job ~wait_s ~exec_s ~phases resp =
+  let timing =
+    Some
+      { Wire.tm_request_id =
+          (match job.trace with
+           | Some tr -> tr.Wire.tr_request_id
+           | None -> zero_request_id);
+        tm_queue_wait_s = wait_s;
+        tm_exec_s = exec_s;
+        tm_phases = phases }
+  in
+  respond ~version:job.wire_version ?timing job.conn resp;
+  Flight.record t.flight
+    { fr_request_id = request_id_hex job.trace;
+      fr_kind = request_kind job.req;
+      fr_cache = cache_outcome_of resp;
+      fr_depth_at_admit = job.depth_at_admit;
+      fr_wait_s = wait_s;
+      fr_exec_s = exec_s;
+      fr_bytes = job.payload_bytes;
+      fr_outcome = outcome_of resp }
+
+(* Run a job end to end: span-wrapped execution, timing extraction,
+   versioned response, flight record. *)
+let run_job t job =
+  let wait_s = Span.now () -. job.admit_s in
+  let args =
+    match job.trace with
+    | Some tr -> [ ("request_id", Wire.hex_of_id tr.Wire.tr_request_id) ]
+    | None -> []
+  in
+  let before = Span.last_completed () in
+  let t0 = Span.now () in
+  let resp = execute t job ~args in
+  let exec_s = Span.now () -. t0 in
+  (* the span [execute] just closed, if it opened one (error paths that
+     fail before any span leave [last_completed] stale — detect by
+     physical identity) *)
+  let root =
+    match Span.last_completed () with
+    | Some s when (match before with Some b -> not (s == b) | None -> true) -> Some s
+    | _ -> None
+  in
+  let phases = match root with Some s -> phases_of_span s | None -> [] in
+  finish t job ~wait_s ~exec_s ~phases resp
 
 (* Coalesce queued single-proof verifies against the same key into one
-   batched check; each request still gets its own [Verify_ok]. *)
+   batched check; each request still gets its own [Verify_ok], timing
+   block (group execution time, per-job queue wait) and flight record. *)
 let process_verify_group t jobs =
+  let now = Span.now () in
   let live, expired =
     List.partition
       (fun j ->
         match j.deadline with
-        | Some d when Span.now () > d -> false
+        | Some d when now > d -> false
         | _ -> true)
       jobs
   in
-  List.iter (fun j -> respond_timeout t j.conn) expired;
+  List.iter
+    (fun j ->
+      Atomic.incr t.timeouts;
+      Metrics.incr m_timeout;
+      finish t j ~wait_s:(now -. j.admit_s) ~exec_s:0. ~phases:[]
+        (Wire.Error { code = Wire.Deadline_exceeded; message = "deadline exceeded" }))
+    expired;
   match live with
   | [] -> ()
-  | [ j ] -> process_one t j
+  | [ j ] -> run_job t j
   | _ -> (
     let key_id =
       match (List.hd live).req with
       | Wire.Verify { key_id; _ } -> key_id
       | _ -> assert false
     in
+    let waits = List.map (fun j -> now -. j.admit_s) live in
+    let answer_all exec_s phases resps =
+      List.iter2
+        (fun (j, wait_s) resp -> finish t j ~wait_s ~exec_s ~phases resp)
+        (List.combine live waits) resps
+    in
     match Key_cache.find_by_id t.cache key_id with
-    | None ->
-      List.iter
-        (fun j -> respond_error j.conn Wire.Unknown_key "no key with this id (run keygen first)")
-        live
+    | None -> answer_all 0. [] (List.map (fun _ -> unknown_key_error) live)
     | Some entry ->
-      let items =
-        List.map
-          (fun j ->
-            match j.req with
-            | Wire.Verify { public_inputs; proof; _ } -> (public_inputs, proof)
-            | _ -> assert false)
-          live
+      let args =
+        [ ("coalesced", string_of_int (List.length live));
+          ("request_ids", String.concat "," (List.map (fun j -> request_id_hex j.trace) live)) ]
       in
-      let verdicts, _fast =
-        Span.with_span "serve.request.verify_coalesced" (fun () ->
-            Batch.verify_each entry.Key_cache.keys items)
+      let before = Span.last_completed () in
+      let t0 = Span.now () in
+      let verdicts =
+        Span.with_span ~args "serve.request.verify_coalesced" (fun () ->
+            fst (Batch.verify_each entry.Key_cache.keys
+                   (List.map
+                      (fun j ->
+                        match j.req with
+                        | Wire.Verify { public_inputs; proof; _ } -> (public_inputs, proof)
+                        | _ -> assert false)
+                      live)))
       in
+      let exec_s = Span.now () -. t0 in
       ignore (Atomic.fetch_and_add t.batched (List.length live));
       Metrics.add m_batched (List.length live);
-      List.iter2 (fun j ok -> respond j.conn (Wire.Verify_ok ok)) live verdicts)
+      let root =
+        match Span.last_completed () with
+        | Some s when (match before with Some b -> not (s == b) | None -> true) -> Some s
+        | _ -> None
+      in
+      let phases = match root with Some s -> phases_of_span s | None -> [] in
+      answer_all exec_s phases (List.map (fun ok -> Wire.Verify_ok ok) verdicts))
 
-let worker_loop t =
+let worker_body t =
   let rec loop () =
     match Jobs.pop t.jobs_q with
-    | None ->
-      Mutex.lock t.drain_lock;
-      t.is_drained <- true;
-      Condition.broadcast t.drain_cond;
-      Mutex.unlock t.drain_lock
+    | None -> ()
     | Some job ->
       if t.cfg.job_delay_s > 0. then Thread.delay t.cfg.job_delay_s;
       (* the catch-all keeps the single worker alive: an unexpected
@@ -306,7 +480,9 @@ let worker_loop t =
             try f ()
             with e ->
               let msg = Printexc.to_string e in
-              List.iter (fun j -> respond_error j.conn Wire.Internal msg) jobs)
+              List.iter
+                (fun j -> respond_error ~version:j.wire_version j.conn Wire.Internal msg)
+                jobs)
       in
       (match job.req with
        | Wire.Verify { key_id; _ } ->
@@ -318,8 +494,35 @@ let worker_loop t =
          in
          let group = job :: rest in
          guarded group (fun () -> process_verify_group t group)
-       | _ -> guarded [ job ] (fun () -> process_one t job));
+       | _ -> guarded [ job ] (fun () -> run_job t job));
       loop ()
+  in
+  loop ()
+
+(* The finally block runs on normal drain AND when the worker dies on
+   an unexpected exception: the flight ring and a final metrics
+   snapshot always reach disk, and shutdown waiters are released. *)
+let worker_loop t =
+  Fun.protect
+    ~finally:(fun () ->
+      flush_flight t;
+      write_metrics_snapshot t;
+      Mutex.lock t.drain_lock;
+      t.is_drained <- true;
+      Condition.broadcast t.drain_cond;
+      Mutex.unlock t.drain_lock)
+    (fun () -> worker_body t)
+
+(* Periodic atomic-rename metrics snapshots while the server runs; the
+   final post-drain snapshot is written by the worker's finally. *)
+let snapshot_loop t interval_s =
+  let interval_s = if interval_s > 0. then interval_s else 1. in
+  let rec loop () =
+    if not t.is_drained then begin
+      Thread.delay interval_s;
+      write_metrics_snapshot t;
+      loop ()
+    end
   in
   loop ()
 
@@ -334,7 +537,7 @@ let request_deadline_ms = function
   | Wire.Verify { deadline_ms; _ }
   | Wire.Batch_verify { deadline_ms; _ } ->
     deadline_ms
-  | Wire.Status | Wire.Shutdown -> 0
+  | Wire.Status | Wire.Status_detail | Wire.Shutdown -> 0
 
 let rec shutdown t =
   if not (Atomic.exchange t.stopping true) then begin
@@ -354,17 +557,34 @@ let rec shutdown t =
   done;
   Mutex.unlock t.drain_lock
 
-and handle_request t conn req =
+and handle_request t conn ~version ~trace ~payload_bytes req =
   Atomic.incr t.requests;
   Metrics.incr m_requests;
   match req with
-  | Wire.Status -> respond conn (Wire.Status_ok (status t))
+  | Wire.Status -> respond ~version conn (Wire.Status_ok (status t))
+  | Wire.Status_detail ->
+    (* served on the reader thread (no proving): metrics registry and
+       flight ring are both safe to read concurrently with the worker *)
+    respond ~version conn
+      (Wire.Status_detail_ok
+         { status = status t;
+           metrics_text = Expose.render ();
+           flight_jsonl = flight_jsonl t })
   | Wire.Shutdown ->
     shutdown t;
-    respond conn Wire.Shutdown_ok
+    respond ~version conn Wire.Shutdown_ok
   | req -> (
     let arrival = Span.now () in
-    let job = { req; conn; deadline = deadline_of arrival (request_deadline_ms req) } in
+    let job =
+      { req;
+        conn;
+        deadline = deadline_of arrival (request_deadline_ms req);
+        trace;
+        wire_version = version;
+        admit_s = arrival;
+        depth_at_admit = Jobs.length t.jobs_q;
+        payload_bytes }
+    in
     conn_retain conn;
     (* the queued job owns this ref; the worker releases it after responding *)
     match Jobs.push t.jobs_q job with
@@ -373,10 +593,10 @@ and handle_request t conn req =
       conn_release conn;
       Atomic.incr t.rejections;
       Metrics.incr m_rejected;
-      respond_error conn Wire.Queue_full "job queue is full, retry later"
+      respond_error ~version conn Wire.Queue_full "job queue is full, retry later"
     | `Closed ->
       conn_release conn;
-      respond_error conn Wire.Shutting_down "server is shutting down")
+      respond_error ~version conn Wire.Shutting_down "server is shutting down")
 
 let reader_loop t conn =
   let stop_now () = Atomic.get t.stopping && t.is_drained in
@@ -385,15 +605,16 @@ let reader_loop t conn =
       match Unix.select [ conn.fd ] [] [] 0.25 with
       | [], _, _ -> loop ()
       | _ -> (
-        match Wire.read_frame conn.fd with
+        match Wire.read_frame' conn.fd with
         | Error Wire.Eof -> ()
         | Error e ->
           (* framing is lost after a malformed frame: answer, then drop *)
           respond_error conn Wire.Bad_request (Wire.error_to_string e)
-        | Ok (Wire.Response _) ->
+        | Ok (Wire.Response _, _) ->
           respond_error conn Wire.Bad_request "unexpected response frame"
-        | Ok (Wire.Request req) ->
-          handle_request t conn req;
+        | Ok (Wire.Request (trace, req), meta) ->
+          handle_request t conn ~version:meta.Wire.frame_version ~trace
+            ~payload_bytes:meta.Wire.payload_bytes req;
           loop ())
       | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
@@ -434,7 +655,9 @@ let start cfg =
      move under us, and not [Sys.time], which is process CPU time and
      sums across worker domains. Tests inject a simulated clock. *)
   Span.set_clock (match cfg.clock with Some f -> f | None -> monotonic_now);
-  if cfg.observe then Sink.enable ();
+  (* metrics exposition is pointless with the sink off, so a metrics
+     file implies observation *)
+  if cfg.observe || cfg.metrics_file <> None then Sink.enable ();
   if cfg.jobs > 0 then Zkvc_parallel.set_jobs cfg.jobs;
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -448,6 +671,7 @@ let start cfg =
       listen_fd;
       jobs_q = Jobs.create ~capacity:cfg.queue_capacity;
       cache = Key_cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
+      flight = Flight.create ~capacity:(Stdlib.max 1 cfg.flight_capacity);
       started_at = Span.now ();
       requests = Atomic.make 0;
       timeouts = Atomic.make 0;
@@ -461,16 +685,22 @@ let start cfg =
       drain_cond = Condition.create ();
       worker = None;
       acceptor = None;
+      snapshotter = None;
       readers_lock = Mutex.create ();
       readers = [] }
   in
   t.worker <- Some (Thread.create (fun () -> worker_loop t) ());
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  if cfg.metrics_file <> None then begin
+    write_metrics_snapshot t;
+    t.snapshotter <- Some (Thread.create (fun () -> snapshot_loop t cfg.metrics_interval_s) ())
+  end;
   t
 
 let wait t =
   Option.iter Thread.join t.acceptor;
   Option.iter Thread.join t.worker;
+  Option.iter Thread.join t.snapshotter;
   let readers =
     Mutex.lock t.readers_lock;
     let r = t.readers in

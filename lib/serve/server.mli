@@ -25,13 +25,25 @@ type config =
         (** test hook: sleep this long before each job (deterministic
             queue-full / deadline tests). Leave [0.] *)
     observe : bool;  (** enable the [Zkvc_obs] sink + serve.* metrics *)
-    clock : (unit -> float) option
+    clock : (unit -> float) option;
         (** clock installed as the span clock and used for every
             deadline, uptime and duration reading. [None] (the default)
             selects a monotonic clock ([CLOCK_MONOTONIC]); tests inject
             a simulated clock here. Never [Unix.gettimeofday]: an NTP
             step would expire every queued job, or keep deadlines from
-            ever firing. *) }
+            ever firing. *)
+    metrics_file : string option;
+        (** write a Prometheus-exposition snapshot ([Zkvc_obs.Expose])
+            here every [metrics_interval_s], atomically (tmp +
+            rename), plus a final snapshot at drain. Implies the obs
+            sink. *)
+    metrics_interval_s : float;  (** snapshot period; default 1s *)
+    flight_capacity : int;
+        (** flight-recorder ring size (last N completed/failed jobs);
+            default 128 *)
+    flight_file : string option
+        (** dump the flight ring (JSONL) here when the worker drains or
+            dies — same bytes [Status_detail] returns *) }
 
 val default_config : socket_path:string -> config
 
@@ -55,3 +67,8 @@ val wait : t -> unit
 
 (** Current status snapshot (same data a [Status] request returns). *)
 val status : t -> Wire.status
+
+(** The flight-recorder contents, one JSON object per line, oldest
+    first — exactly the bytes [Status_detail] returns and the
+    [flight_file] flush writes. *)
+val flight_jsonl : t -> string

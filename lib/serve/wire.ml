@@ -35,11 +35,18 @@ exception Fail of error
 let fail e = raise (Fail e)
 
 let magic = "ZKVC"
-let version = 1
+let version = 2
+let min_version = 1
 let max_payload = 1 lsl 26 (* 64 MiB *)
 let header_bytes = 10
 let key_id_bytes = 32
+let request_id_bytes = 16
 let fr_bytes = 32
+
+(* wire sanity bounds on the v2 trace/timing blocks *)
+let max_origin_bytes = 256
+let max_phases = 256
+let max_phase_name_bytes = 128
 
 (* service sanity bound on matrix dimensions coming off the wire *)
 let max_dim = 1 lsl 16
@@ -48,6 +55,16 @@ let max_matrix_cells = 1 lsl 22
 type prove_input =
   | Seeded of { seed : int; bound : int }
   | Explicit of { seed : int; x : Fr.t array array; w : Fr.t array array }
+
+(* v2 trace context: a client-chosen request id carried on requests and
+   echoed back inside the response timing block. *)
+type trace = { tr_request_id : string; tr_origin : string }
+
+type timing =
+  { tm_request_id : string;
+    tm_queue_wait_s : float;
+    tm_exec_s : float;
+    tm_phases : (string * float * float) list }
 
 type request =
   | Keygen of
@@ -73,6 +90,7 @@ type request =
         items : (Fr.t list * Api.proof) list;
         deadline_ms : int }
   | Status
+  | Status_detail
   | Shutdown
 
 type status =
@@ -115,10 +133,16 @@ type response =
   | Verify_ok of bool
   | Batch_ok of bool list
   | Status_ok of status
+  | Status_detail_ok of
+      { status : status; metrics_text : string; flight_jsonl : string }
   | Shutdown_ok
   | Error of { code : error_code; message : string }
 
-type frame = Request of request | Response of response
+type frame =
+  | Request of trace option * request
+  | Response of timing option * response
+
+type meta = { frame_version : int; payload_bytes : int }
 
 (* ---------------- encoding primitives ---------------- *)
 
@@ -309,32 +333,110 @@ let r_proof c =
 
 let finished c what = if remaining c <> 0 then fail (Malformed ("trailing bytes in " ^ what))
 
+(* ---------------- trace / timing blocks (v2) ---------------- *)
+
+let w_trace buf = function
+  | None -> w_u8 buf 0
+  | Some { tr_request_id; tr_origin } ->
+    if String.length tr_request_id <> request_id_bytes then
+      invalid_arg "Wire: trace request id must be 16 bytes";
+    if String.length tr_origin > max_origin_bytes then
+      invalid_arg "Wire: trace origin too long";
+    w_u8 buf 1;
+    Buffer.add_string buf tr_request_id;
+    w_lp_string buf tr_origin
+
+let r_trace c =
+  if r_bool c then begin
+    let tr_request_id = Bytes.to_string (r_fixed c request_id_bytes) in
+    let tr_origin = r_lp_string c in
+    if String.length tr_origin > max_origin_bytes then
+      fail (Malformed "trace origin too long");
+    Some { tr_request_id; tr_origin }
+  end
+  else None
+
+let w_timing buf = function
+  | None -> w_u8 buf 0
+  | Some { tm_request_id; tm_queue_wait_s; tm_exec_s; tm_phases } ->
+    if String.length tm_request_id <> request_id_bytes then
+      invalid_arg "Wire: timing request id must be 16 bytes";
+    if List.length tm_phases > max_phases then
+      invalid_arg "Wire: too many timing phases";
+    w_u8 buf 1;
+    Buffer.add_string buf tm_request_id;
+    w_f64 buf tm_queue_wait_s;
+    w_f64 buf tm_exec_s;
+    w_u32 buf (List.length tm_phases);
+    List.iter
+      (fun (name, off_s, dur_s) ->
+        if String.length name > max_phase_name_bytes then
+          invalid_arg "Wire: timing phase name too long";
+        w_lp_string buf name;
+        w_f64 buf off_s;
+        w_f64 buf dur_s)
+      tm_phases
+
+let r_timing c =
+  if r_bool c then begin
+    let tm_request_id = Bytes.to_string (r_fixed c request_id_bytes) in
+    let tm_queue_wait_s = r_f64 c in
+    let tm_exec_s = r_f64 c in
+    let n = r_u32 c in
+    if n > max_phases then fail (Malformed "too many timing phases");
+    let tm_phases =
+      List.init n (fun _ ->
+          let name = r_lp_string c in
+          if String.length name > max_phase_name_bytes then
+            fail (Malformed "timing phase name too long");
+          let off_s = r_f64 c in
+          let dur_s = r_f64 c in
+          (name, off_s, dur_s))
+    in
+    Some { tm_request_id; tm_queue_wait_s; tm_exec_s; tm_phases }
+  end
+  else None
+
 (* ---------------- payloads ---------------- *)
 
 let kind_of_frame = function
-  | Request (Keygen _) -> 0x01
-  | Request (Prove _) -> 0x02
-  | Request (Verify _) -> 0x03
-  | Request (Batch_verify _) -> 0x04
-  | Request Status -> 0x05
-  | Request Shutdown -> 0x06
-  | Response (Keygen_ok _) -> 0x81
-  | Response (Prove_ok _) -> 0x82
-  | Response (Verify_ok _) -> 0x83
-  | Response (Batch_ok _) -> 0x84
-  | Response (Status_ok _) -> 0x85
-  | Response Shutdown_ok -> 0x86
-  | Response (Error _) -> 0xff
+  | Request (_, Keygen _) -> 0x01
+  | Request (_, Prove _) -> 0x02
+  | Request (_, Verify _) -> 0x03
+  | Request (_, Batch_verify _) -> 0x04
+  | Request (_, Status) -> 0x05
+  | Request (_, Shutdown) -> 0x06
+  | Request (_, Status_detail) -> 0x07
+  | Response (_, Keygen_ok _) -> 0x81
+  | Response (_, Prove_ok _) -> 0x82
+  | Response (_, Verify_ok _) -> 0x83
+  | Response (_, Batch_ok _) -> 0x84
+  | Response (_, Status_ok _) -> 0x85
+  | Response (_, Shutdown_ok) -> 0x86
+  | Response (_, Status_detail_ok _) -> 0x87
+  | Response (_, Error _) -> 0xff
 
-let encode_payload buf = function
-  | Request (Keygen { backend; strategy; dims; seed; bound; deadline_ms }) ->
+let w_status buf s =
+  w_f64 buf s.uptime_s;
+  w_i64 buf s.requests;
+  w_u32 buf s.queue_depth;
+  w_u32 buf s.queue_capacity;
+  w_i64 buf s.cache_hits;
+  w_i64 buf s.cache_misses;
+  w_u32 buf s.cache_entries;
+  w_i64 buf s.timeouts;
+  w_i64 buf s.rejections;
+  w_i64 buf s.batched
+
+let encode_request buf = function
+  | Keygen { backend; strategy; dims; seed; bound; deadline_ms } ->
     w_backend buf backend;
     w_strategy buf strategy;
     w_dims buf dims;
     w_i64 buf seed;
     w_u32 buf bound;
     w_u32 buf deadline_ms
-  | Request (Prove { backend; strategy; dims; input; deadline_ms }) ->
+  | Prove { backend; strategy; dims; input; deadline_ms } ->
     w_backend buf backend;
     w_strategy buf strategy;
     w_dims buf dims;
@@ -349,12 +451,12 @@ let encode_payload buf = function
        w_i64 buf seed;
        w_matrix buf x;
        w_matrix buf w)
-  | Request (Verify { key_id; public_inputs; proof; deadline_ms }) ->
+  | Verify { key_id; public_inputs; proof; deadline_ms } ->
     w_key_id buf key_id;
     w_u32 buf deadline_ms;
     w_fr_list buf public_inputs;
     w_proof buf proof
-  | Request (Batch_verify { key_id; items; deadline_ms }) ->
+  | Batch_verify { key_id; items; deadline_ms } ->
     w_key_id buf key_id;
     w_u32 buf deadline_ms;
     w_u32 buf (List.length items);
@@ -363,35 +465,31 @@ let encode_payload buf = function
         w_fr_list buf io;
         w_proof buf proof)
       items
-  | Request Status | Request Shutdown -> ()
-  | Response (Keygen_ok { key_id; cache_hit; key_bytes }) ->
+  | Status | Status_detail | Shutdown -> ()
+
+let encode_response buf = function
+  | Keygen_ok { key_id; cache_hit; key_bytes } ->
     w_key_id buf key_id;
     w_bool buf cache_hit;
     w_lp_bytes buf key_bytes
-  | Response (Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s }) ->
+  | Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s } ->
     w_key_id buf key_id;
     w_bool buf cache_hit;
     w_fr_opt buf challenge;
     w_fr_list buf public_inputs;
     w_proof buf proof;
     w_f64 buf prove_s
-  | Response (Verify_ok ok) -> w_bool buf ok
-  | Response (Batch_ok oks) ->
+  | Verify_ok ok -> w_bool buf ok
+  | Batch_ok oks ->
     w_u32 buf (List.length oks);
     List.iter (w_bool buf) oks
-  | Response (Status_ok s) ->
-    w_f64 buf s.uptime_s;
-    w_i64 buf s.requests;
-    w_u32 buf s.queue_depth;
-    w_u32 buf s.queue_capacity;
-    w_i64 buf s.cache_hits;
-    w_i64 buf s.cache_misses;
-    w_u32 buf s.cache_entries;
-    w_i64 buf s.timeouts;
-    w_i64 buf s.rejections;
-    w_i64 buf s.batched
-  | Response Shutdown_ok -> ()
-  | Response (Error { code; message }) ->
+  | Status_ok s -> w_status buf s
+  | Status_detail_ok { status; metrics_text; flight_jsonl } ->
+    w_status buf status;
+    w_lp_string buf metrics_text;
+    w_lp_string buf flight_jsonl
+  | Shutdown_ok -> ()
+  | Error { code; message } ->
     w_u8 buf
       (match code with
        | Queue_full -> 0
@@ -402,7 +500,36 @@ let encode_payload buf = function
        | Internal -> 5);
     w_lp_string buf message
 
-let decode_payload kind c =
+(* The v2 payload prefixes the v1 body with an optional trace block
+   (requests) or timing block (responses); v1 frames carry neither. *)
+let encode_payload ~version buf = function
+  | Request (trace, req) ->
+    if version >= 2 then w_trace buf trace;
+    encode_request buf req
+  | Response (timing, resp) ->
+    if version >= 2 then w_timing buf timing;
+    encode_response buf resp
+
+let r_status c =
+  let uptime_s = r_f64 c in
+  let requests = r_i64 c in
+  let queue_depth = r_u32 c in
+  let queue_capacity = r_u32 c in
+  let cache_hits = r_i64 c in
+  let cache_misses = r_i64 c in
+  let cache_entries = r_u32 c in
+  let timeouts = r_i64 c in
+  let rejections = r_i64 c in
+  let batched = r_i64 c in
+  { uptime_s; requests; queue_depth; queue_capacity; cache_hits;
+    cache_misses; cache_entries; timeouts; rejections; batched }
+
+let decode_payload ~version kind c =
+  (* the v2 trace/timing prefix comes before the kind-specific body *)
+  let trace = if kind < 0x80 && version >= 2 then r_trace c else None in
+  let timing = if kind >= 0x80 && version >= 2 then r_timing c else None in
+  let request r = Request (trace, r) in
+  let response r = Response (timing, r) in
   let frame =
     match kind with
     | 0x01 ->
@@ -412,7 +539,7 @@ let decode_payload kind c =
       let seed = r_i64 c in
       let bound = r_u32 c in
       let deadline_ms = r_u32 c in
-      Request (Keygen { backend; strategy; dims; seed; bound; deadline_ms })
+      request (Keygen { backend; strategy; dims; seed; bound; deadline_ms })
     | 0x02 ->
       let backend = r_backend c in
       let strategy = r_strategy c in
@@ -431,13 +558,13 @@ let decode_payload kind c =
           Explicit { seed; x; w }
         | tag -> fail (Bad_tag { what = "prove input"; tag })
       in
-      Request (Prove { backend; strategy; dims; input; deadline_ms })
+      request (Prove { backend; strategy; dims; input; deadline_ms })
     | 0x03 ->
       let key_id = r_key_id c in
       let deadline_ms = r_u32 c in
       let public_inputs = r_fr_list c in
       let proof = r_proof c in
-      Request (Verify { key_id; public_inputs; proof; deadline_ms })
+      request (Verify { key_id; public_inputs; proof; deadline_ms })
     | 0x04 ->
       let key_id = r_key_id c in
       let deadline_ms = r_u32 c in
@@ -449,14 +576,15 @@ let decode_payload kind c =
             let proof = r_proof c in
             (io, proof))
       in
-      Request (Batch_verify { key_id; items; deadline_ms })
-    | 0x05 -> Request Status
-    | 0x06 -> Request Shutdown
+      request (Batch_verify { key_id; items; deadline_ms })
+    | 0x05 -> request Status
+    | 0x06 -> request Shutdown
+    | 0x07 when version >= 2 -> request Status_detail
     | 0x81 ->
       let key_id = r_key_id c in
       let cache_hit = r_bool c in
       let key_bytes = r_lp_bytes c in
-      Response (Keygen_ok { key_id; cache_hit; key_bytes })
+      response (Keygen_ok { key_id; cache_hit; key_bytes })
     | 0x82 ->
       let key_id = r_key_id c in
       let cache_hit = r_bool c in
@@ -464,28 +592,19 @@ let decode_payload kind c =
       let public_inputs = r_fr_list c in
       let proof = r_proof c in
       let prove_s = r_f64 c in
-      Response (Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s })
-    | 0x83 -> Response (Verify_ok (r_bool c))
+      response (Prove_ok { key_id; cache_hit; challenge; public_inputs; proof; prove_s })
+    | 0x83 -> response (Verify_ok (r_bool c))
     | 0x84 ->
       let n = r_u32 c in
       if n > remaining c then fail Truncated;
-      Response (Batch_ok (List.init n (fun _ -> r_bool c)))
-    | 0x85 ->
-      let uptime_s = r_f64 c in
-      let requests = r_i64 c in
-      let queue_depth = r_u32 c in
-      let queue_capacity = r_u32 c in
-      let cache_hits = r_i64 c in
-      let cache_misses = r_i64 c in
-      let cache_entries = r_u32 c in
-      let timeouts = r_i64 c in
-      let rejections = r_i64 c in
-      let batched = r_i64 c in
-      Response
-        (Status_ok
-           { uptime_s; requests; queue_depth; queue_capacity; cache_hits;
-             cache_misses; cache_entries; timeouts; rejections; batched })
-    | 0x86 -> Response Shutdown_ok
+      response (Batch_ok (List.init n (fun _ -> r_bool c)))
+    | 0x85 -> response (Status_ok (r_status c))
+    | 0x86 -> response Shutdown_ok
+    | 0x87 when version >= 2 ->
+      let status = r_status c in
+      let metrics_text = r_lp_string c in
+      let flight_jsonl = r_lp_string c in
+      response (Status_detail_ok { status; metrics_text; flight_jsonl })
     | 0xff ->
       let code =
         match r_u8 c with
@@ -498,7 +617,7 @@ let decode_payload kind c =
         | tag -> fail (Bad_tag { what = "error code"; tag })
       in
       let message = r_lp_string c in
-      Response (Error { code; message })
+      response (Error { code; message })
     | tag -> fail (Bad_tag { what = "frame kind"; tag })
   in
   finished c "frame payload";
@@ -506,9 +625,15 @@ let decode_payload kind c =
 
 (* ---------------- frames ---------------- *)
 
-let encode_frame frame =
+let encode_frame ?(version = version) frame =
+  if version < min_version || version > 2 then
+    invalid_arg "Wire.encode_frame: unsupported version";
+  (match (version, frame) with
+   | 1, (Request (_, Status_detail) | Response (_, Status_detail_ok _)) ->
+     invalid_arg "Wire.encode_frame: Status_detail requires wire version 2"
+   | _ -> ());
   let payload = Buffer.create 256 in
-  encode_payload payload frame;
+  encode_payload ~version payload frame;
   let n = Buffer.length payload in
   if n > max_payload then invalid_arg "Wire.encode_frame: payload exceeds max_payload";
   let buf = Buffer.create (header_bytes + n) in
@@ -525,20 +650,22 @@ let check_header c =
   c.pos <- c.pos + 4;
   if m <> magic then fail Bad_magic;
   let v = r_u8 c in
-  if v <> version then fail (Unsupported_version v);
+  if v < min_version || v > version then fail (Unsupported_version v);
   let kind = r_u8 c in
   let len = r_u32 c in
   if len > max_payload then fail (Oversized len);
-  (kind, len)
+  (v, kind, len)
 
-let decode_frame bytes =
+let decode_frame' bytes =
   try
     let c = cursor_of_bytes bytes in
-    let kind, len = check_header c in
+    let v, kind, len = check_header c in
     if remaining c < len then fail Truncated;
     if remaining c > len then fail (Malformed "trailing bytes after frame");
-    Ok (decode_payload kind c)
+    Ok (decode_payload ~version:v kind c, { frame_version = v; payload_bytes = len })
   with Fail e -> Error e
+
+let decode_frame bytes = Result.map fst (decode_frame' bytes)
 
 (* ---------------- blocking IO ---------------- *)
 
@@ -551,8 +678,8 @@ let rec write_all fd b pos len =
     write_all fd b (pos + n) (len - n)
   end
 
-let write_frame fd frame =
-  let b = encode_frame frame in
+let write_frame ?version fd frame =
+  let b = encode_frame ?version frame in
   write_all fd b 0 (Bytes.length b)
 
 (* [Error Eof] only when the peer closes before the first byte of a
@@ -569,17 +696,22 @@ let read_exact fd n ~at_start : (Bytes.t, error) result =
   in
   go 0
 
-let read_frame fd : (frame, error) result =
+let read_frame' fd : (frame * meta, error) result =
   match read_exact fd header_bytes ~at_start:true with
   | Error e -> Error e
   | Ok header ->
     (try
        let c = cursor_of_bytes header in
-       let kind, len = check_header c in
+       let v, kind, len = check_header c in
        match read_exact fd len ~at_start:false with
        | Error e -> Error e
-       | Ok payload -> Ok (decode_payload kind (cursor_of_bytes payload))
+       | Ok payload ->
+         Ok
+           ( decode_payload ~version:v kind (cursor_of_bytes payload),
+             { frame_version = v; payload_bytes = len } )
      with Fail e -> Error e)
+
+let read_frame fd : (frame, error) result = Result.map fst (read_frame' fd)
 
 (* ---------------- codec files ---------------- *)
 
@@ -615,7 +747,7 @@ let decode_proof_file bytes =
     c.pos <- c.pos + 4;
     if m <> proof_file_magic then fail Bad_magic;
     let v = r_u8 c in
-    if v <> version then fail (Unsupported_version v);
+    if v < min_version || v > version then fail (Unsupported_version v);
     let pf_backend = r_backend c in
     let pf_strategy = r_strategy c in
     let pf_dims = r_dims c in
@@ -665,7 +797,7 @@ let decode_key_file bytes =
     c.pos <- c.pos + 4;
     if m <> key_file_magic then fail Bad_magic;
     let v = r_u8 c in
-    if v <> version then fail (Unsupported_version v);
+    if v < min_version || v > version then fail (Unsupported_version v);
     let kf_backend = r_backend c in
     let kf_strategy = r_strategy c in
     let kf_dims = r_dims c in

@@ -5,11 +5,19 @@
     {v
     offset  size  field
     0       4     magic "ZKVC"
-    4       1     version (currently 1)
-    5       1     kind (request 0x01..0x06, response 0x81..0x86, 0xff error)
+    4       1     version (1 or 2; current encoders default to 2)
+    5       1     kind (request 0x01..0x07, response 0x81..0x87, 0xff error)
     6       4     payload length, big-endian (at most {!max_payload})
     10      n     payload
     v}
+
+    Version 2 prefixes every request payload with an optional {!trace}
+    block (16-byte request id + origin string) and every response
+    payload with an optional {!timing} block (request-id echo, queue
+    wait, execution time, named phase offsets), enabling cross-process
+    trace stitching. Version 1 frames carry neither and remain fully
+    decodable; encoders take [?version] to speak to v1 peers. The
+    [Status_detail] operation exists only at version 2.
 
     Integers are big-endian; scalars are the canonical 32-byte Fr
     encoding; curve points use the libraries' tagged uncompressed
@@ -39,6 +47,14 @@ val error_to_string : error -> string
     length field can never trigger an over-read or a huge allocation. *)
 val max_payload : int
 
+(** Current (highest) and lowest wire versions this build speaks. *)
+val version : int
+
+val min_version : int
+
+(** Size of a {!trace} request id, in raw bytes (16). *)
+val request_id_bytes : int
+
 (** How a prove request supplies the statement: [Seeded] reproduces the
     CLI's seeded-random instance — on a key-cache miss the proof is
     byte-identical to a local [zkvc_cli prove --seed]; on a cache hit
@@ -48,6 +64,23 @@ val max_payload : int
 type prove_input =
   | Seeded of { seed : int; bound : int }
   | Explicit of { seed : int; x : Fr.t array array; w : Fr.t array array }
+
+(** Client trace context attached to v2 requests: [tr_request_id] is 16
+    raw bytes chosen by the client (unique per request), [tr_origin] a
+    short free-form label of the requesting process (at most 256
+    bytes). *)
+type trace = { tr_request_id : string; tr_origin : string }
+
+(** Server-side timings attached to v2 responses. [tm_request_id]
+    echoes the request's trace id (all zeros when the request carried
+    none); [tm_phases] are [(name, offset_s, duration_s)] with offsets
+    relative to the start of execution (after [tm_queue_wait_s] of
+    queueing). At most 256 phases, names at most 128 bytes. *)
+type timing =
+  { tm_request_id : string;
+    tm_queue_wait_s : float;
+    tm_exec_s : float;
+    tm_phases : (string * float * float) list }
 
 (** [deadline_ms = 0] means no deadline; otherwise the server aborts the
     job (between phases, or before it starts) once that many
@@ -76,6 +109,9 @@ type request =
         items : (Fr.t list * Api.proof) list;
         deadline_ms : int }
   | Status
+  | Status_detail
+      (** Status plus a metrics-exposition snapshot and the flight
+          recorder dump; v2 only. *)
   | Shutdown
 
 type status =
@@ -114,24 +150,45 @@ type response =
   | Verify_ok of bool
   | Batch_ok of bool list
   | Status_ok of status
+  | Status_detail_ok of
+      { status : status;
+        metrics_text : string;  (** Prometheus exposition ({!Zkvc_obs.Expose}) *)
+        flight_jsonl : string  (** flight-recorder dump, one JSON object per line *) }
   | Shutdown_ok
   | Error of { code : error_code; message : string }
 
-type frame = Request of request | Response of response
+(** Frames pair the operation with its (v2-only) trace / timing block;
+    both are [None] on v1 frames and may be [None] on v2 frames. *)
+type frame =
+  | Request of trace option * request
+  | Response of timing option * response
+
+(** What the decoder saw on the wire: the frame's version byte and its
+    payload length. Servers use [frame_version] to reply in the version
+    the request arrived in. *)
+type meta = { frame_version : int; payload_bytes : int }
 
 (** Whole-buffer codec: [decode_frame] requires exactly one well-formed
-    frame (trailing bytes are an error). *)
-val encode_frame : frame -> Bytes.t
+    frame (trailing bytes are an error). [encode_frame ~version:1] drops
+    the trace/timing block and raises [Invalid_argument] on
+    [Status_detail] frames, which v1 cannot express; the default version
+    is 2. *)
+val encode_frame : ?version:int -> frame -> Bytes.t
 
 val decode_frame : Bytes.t -> (frame, error) result
+
+val decode_frame' : Bytes.t -> (frame * meta, error) result
 
 (** Blocking frame IO over a file descriptor. [read_frame] returns
     [Error Eof] on a clean close at a frame boundary, [Error Truncated]
     on a mid-frame close. [write_frame] raises [Unix.Unix_error] on IO
-    failure. *)
-val write_frame : Unix.file_descr -> frame -> unit
+    failure; [?version] as in {!encode_frame}. *)
+val write_frame : ?version:int -> Unix.file_descr -> frame -> unit
 
 val read_frame : Unix.file_descr -> (frame, error) result
+
+(** [read_frame] plus the wire {!meta} of the decoded frame. *)
+val read_frame' : Unix.file_descr -> (frame * meta, error) result
 
 (** {2 Codec files}
 

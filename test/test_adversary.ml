@@ -116,12 +116,13 @@ let clock_tests =
               (fun () ->
                 Wire.write_frame fd
                   (Wire.Request
-                     (Wire.Prove
-                        { backend = Api.Backend_spartan;
-                          strategy = Mc.Vanilla;
-                          dims = tiny;
-                          input = Wire.Seeded { seed = 1; bound = 16 };
-                          deadline_ms = 1000 }));
+                     ( None,
+                       Wire.Prove
+                         { backend = Api.Backend_spartan;
+                           strategy = Mc.Vanilla;
+                           dims = tiny;
+                           input = Wire.Seeded { seed = 1; bound = 16 };
+                           deadline_ms = 1000 } ));
                 (* Give the reader thread real time to stamp the job's
                    arrival at [!now] (stepping first would push the
                    deadline past the step too), then jump the clock 10
@@ -130,13 +131,13 @@ let clock_tests =
                 Thread.delay 0.25;
                 now := !now +. 10.;
                 match Wire.read_frame fd with
-                | Ok (Wire.Response (Wire.Error { code = Wire.Deadline_exceeded; _ }))
+                | Ok (Wire.Response (_, Wire.Error { code = Wire.Deadline_exceeded; _ }))
                   ->
                   ()
                 | Ok f ->
                   Alcotest.failf "expected Deadline_exceeded, got %s"
                     (match f with
-                     | Wire.Response (Wire.Prove_ok _) -> "Prove_ok"
+                     | Wire.Response (_, Wire.Prove_ok _) -> "Prove_ok"
                      | _ -> "another frame")
                 | Error e -> Alcotest.failf "transport: %s" (Wire.error_to_string e))));
     Alcotest.test_case "steady simulated clock does not expire deadlines" `Slow
@@ -353,7 +354,7 @@ let e2e_tests =
                   let frame =
                     Wire.encode_frame
                       (Wire.Request
-                         (Wire.Verify { key_id; public_inputs; proof; deadline_ms = 0 }))
+                         (None, Wire.Verify { key_id; public_inputs; proof; deadline_ms = 0 }))
                   in
                   let flipped = Bytes.copy frame in
                   let pos = Bytes.length flipped - 9 in
@@ -367,9 +368,9 @@ let e2e_tests =
                       let n = Unix.write fd flipped 0 (Bytes.length flipped) in
                       check_bool "frame written" true (n = Bytes.length flipped);
                       match Wire.read_frame fd with
-                      | Ok (Wire.Response (Wire.Verify_ok ok)) ->
+                      | Ok (Wire.Response (_, Wire.Verify_ok ok)) ->
                         check_bool "flipped frame never verifies true" false ok
-                      | Ok (Wire.Response (Wire.Error _)) -> ()
+                      | Ok (Wire.Response (_, Wire.Error _)) -> ()
                       | Ok _ -> Alcotest.fail "unexpected response frame"
                       | Error e ->
                         Alcotest.failf "transport: %s" (Wire.error_to_string e))

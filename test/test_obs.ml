@@ -7,6 +7,8 @@ module Span = Zkvc_obs.Span
 module Metrics = Zkvc_obs.Metrics
 module Json = Zkvc_obs.Json
 module Export = Zkvc_obs.Export
+module Flight = Zkvc_obs.Flight
+module Expose = Zkvc_obs.Expose
 
 module Fr = Zkvc_field.Fr
 module Api = Zkvc.Api
@@ -250,6 +252,190 @@ let test_chrome_trace_valid () =
         | Error e -> Alcotest.failf "jsonl line failed to parse: %s" e)
       lines
 
+let test_span_args_and_external () =
+  fresh ();
+  Obs.Sink.enable ();
+  Span.with_span ~args:[ ("request_id", "abcd") ] "client.request" (fun () ->
+      (* a completed remote span grafted under the open one *)
+      Span.add_external ~name:"server.exec" ~start_s:(Span.now ()) ~dur_s:0.5
+        ~args:[ ("request_id", "abcd") ]
+        ~domain:1000 ());
+  (* with no span open, an external lands as its own root *)
+  Span.add_external ~name:"orphan" ~start_s:(Span.now ()) ~dur_s:0.1 ();
+  Obs.Sink.disable ();
+  let roots = Span.roots () in
+  check_int "two roots" 2 (List.length roots);
+  let req = Option.get (Span.find_root "client.request") in
+  check_bool "args kept" true (List.assoc_opt "request_id" (Span.args req) = Some "abcd");
+  (match Span.children req with
+   | [ ext ] ->
+     check_string "external nested under the open span" "server.exec" (Span.name ext);
+     check_int "external keeps its synthetic track" 1000 (Span.domain_id ext);
+     check_bool "external duration honoured" true
+       (Float.abs (Span.duration_s ext -. 0.5) < 1e-9)
+   | l -> Alcotest.failf "expected one child, got %d" (List.length l));
+  check_bool "orphan external is a root" true (Span.find_root "orphan" <> None);
+  (* disabled sink: add_external is a no-op *)
+  Span.reset ();
+  Span.add_external ~name:"ghost" ~start_s:0. ~dur_s:1. ();
+  check_int "no-op while disabled" 0 (List.length (Span.roots ()))
+
+let test_chrome_trace_tid_and_args () =
+  fresh ();
+  Obs.Sink.enable ();
+  Span.with_span ~args:[ ("request_id", "beef") ] "serve.request.prove" (fun () -> ());
+  Span.add_external ~name:"server.exec" ~start_s:(Span.now ()) ~dur_s:0.25 ~domain:1000 ();
+  Obs.Sink.disable ();
+  let text = Json.to_string (Export.to_chrome_trace (Span.roots ())) in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "chrome trace is not valid JSON: %s" e
+  | Ok parsed ->
+    let events =
+      match Option.bind (Json.member "traceEvents" parsed) Json.to_list_opt with
+      | Some l -> l
+      | None -> []
+    in
+    let find name =
+      match
+        List.find_opt (fun ev -> Json.member "name" ev = Some (Json.String name)) events
+      with
+      | Some ev -> ev
+      | None -> Alcotest.failf "no %s event" name
+    in
+    let prove = find "serve.request.prove" in
+    check_bool "tid is the recording domain" true
+      (Json.member "tid" prove = Some (Json.Int (Domain.self () :> int)));
+    let arg_of ev k =
+      Option.bind (Json.member "args" ev) (fun a -> Json.member k a)
+    in
+    check_bool "request id exported as an arg" true
+      (arg_of prove "request_id" = Some (Json.String "beef"));
+    let ext = find "server.exec" in
+    check_bool "external keeps its synthetic tid" true
+      (Json.member "tid" ext = Some (Json.Int 1000))
+
+(* ------------------------------------------------------------------ *)
+(* flight ring                                                          *)
+
+let test_flight_ring () =
+  (match Flight.create ~capacity:0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "capacity 0 must be rejected");
+  let t = Flight.create ~capacity:4 in
+  check_int "empty length" 0 (Flight.length t);
+  check_bool "empty snapshot" true (Flight.snapshot t = []);
+  Flight.record t 1;
+  Flight.record t 2;
+  check_int "partial fill length" 2 (Flight.length t);
+  check_bool "partial snapshot oldest first" true (Flight.snapshot t = [ 1; 2 ]);
+  for i = 3 to 10 do
+    Flight.record t i
+  done;
+  check_int "total counts every record" 10 (Flight.total t);
+  check_int "length saturates at capacity" 4 (Flight.length t);
+  check_bool "ring keeps the last capacity, oldest first" true
+    (Flight.snapshot t = [ 7; 8; 9; 10 ]);
+  check_int "capacity accessor" 4 (Flight.capacity t)
+
+let test_flight_ring_concurrent () =
+  (* records from racing domains never crash the ring and never exceed
+     its bounds; every surviving slot is a real record *)
+  let t = Flight.create ~capacity:8 in
+  let per_domain = 5_000 and ndomains = 4 in
+  let worker d = for i = 1 to per_domain do Flight.record t ((d * per_domain) + i) done in
+  let ds = List.init (ndomains - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
+  worker 0;
+  List.iter Domain.join ds;
+  check_int "total exact under contention" (ndomains * per_domain) (Flight.total t);
+  let snap = Flight.snapshot t in
+  check_bool "snapshot bounded" true (List.length snap <= 8);
+  check_bool "all slots hold real records" true
+    (List.for_all (fun v -> v >= 1 && v <= ndomains * per_domain) snap)
+
+(* ------------------------------------------------------------------ *)
+(* prometheus exposition                                                *)
+
+let test_expose_render_parse () =
+  fresh ();
+  Obs.Sink.enable ();
+  let c = Metrics.counter "serve.requests" in
+  Metrics.add c 7;
+  Metrics.set (Metrics.gauge "serve.queue.depth") 3.;
+  let h = Metrics.histogram "serve.queue.wait_s" in
+  List.iter (Metrics.observe h) [ 0.1; 0.2; 0.3; 0.4 ];
+  Obs.Sink.disable ();
+  let text = Expose.render () in
+  match Expose.parse text with
+  | Error e -> Alcotest.failf "rendered text does not parse: %s" e
+  | Ok samples ->
+    let value ?quantile metric =
+      List.find_map
+        (fun s ->
+          if
+            s.Expose.metric = metric
+            && List.assoc_opt "quantile" s.Expose.labels = quantile
+          then Some s.Expose.value
+          else None)
+        samples
+    in
+    check_bool "counter exposed with _total" true
+      (value "zkvc_serve_requests_total" = Some 7.);
+    check_bool "gauge exposed" true (value "zkvc_serve_queue_depth" = Some 3.);
+    check_bool "summary count" true (value "zkvc_serve_queue_wait_s_count" = Some 4.);
+    check_bool "summary sum" true
+      (match value "zkvc_serve_queue_wait_s_sum" with
+       | Some v -> Float.abs (v -. 1.0) < 1e-9
+       | None -> false);
+    check_bool "median quantile exposed" true
+      (match value ~quantile:"0.5" "zkvc_serve_queue_wait_s" with
+       | Some v -> v >= 0.1 && v <= 0.4
+       | None -> false)
+
+let expose_qcheck =
+  (* whatever instruments exist, render output always re-parses and
+     every float survives the text round trip exactly *)
+  QCheck.Test.make ~count:30 ~name:"render/parse round-trips"
+    QCheck.(
+      small_list
+        (pair (pair small_nat bool)
+           (small_list (make Gen.(float_bound_inclusive 1000.)))))
+    (fun specs ->
+      Obs.Sink.disable ();
+      Span.reset ();
+      Metrics.reset ();
+      Obs.Sink.enable ();
+      List.iteri
+        (fun i ((n, as_gauge), obs) ->
+          let name = Printf.sprintf "q.test-%d.%d!" i n in
+          if as_gauge then Metrics.set (Metrics.gauge name) (float_of_int n)
+          else begin
+            let h = Metrics.histogram name in
+            List.iter (Metrics.observe h) obs
+          end)
+        specs;
+      Obs.Sink.disable ();
+      match Expose.parse (Expose.render ()) with
+      | Ok _ -> true
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+let test_expose_parse_rejects () =
+  List.iter
+    (fun bad ->
+      match Expose.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [ "metric"; (* no value *)
+      "metric notanumber\n";
+      "{\"oops\"} 1\n"; (* no metric name *)
+      "metric{unclosed=\"x\" 1\n" ];
+  (* valid corner cases *)
+  List.iter
+    (fun good ->
+      match Expose.parse good with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rejected %S: %s" good e)
+    [ ""; "# just a comment\n"; "m 1\n"; "m{a=\"b\",c=\"d\\\"e\"} 2.5 1699999999\n" ]
+
 (* ------------------------------------------------------------------ *)
 (* Api.run measurement consistency (both backends)                      *)
 
@@ -316,7 +502,18 @@ let () =
     [ ( "span",
         [ Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
           Alcotest.test_case "exception closes span" `Quick test_span_exception_closes;
-          Alcotest.test_case "disabled fast path" `Quick test_disabled_fast_path ] );
+          Alcotest.test_case "disabled fast path" `Quick test_disabled_fast_path;
+          Alcotest.test_case "args and external grafting" `Quick
+            test_span_args_and_external ] );
+      ( "flight",
+        [ Alcotest.test_case "ring overwrite semantics" `Quick test_flight_ring;
+          Alcotest.test_case "concurrent records stay bounded" `Quick
+            test_flight_ring_concurrent ] );
+      ( "expose",
+        [ Alcotest.test_case "render and re-parse" `Quick test_expose_render_parse;
+          QCheck_alcotest.to_alcotest expose_qcheck;
+          Alcotest.test_case "parser rejects malformed lines" `Quick
+            test_expose_parse_rejects ] );
       ( "metrics",
         [ Alcotest.test_case "sink gating" `Quick test_metrics_gated_by_sink;
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
@@ -328,7 +525,9 @@ let () =
             test_counters_atomic_across_domains ] );
       ( "export",
         [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
-          Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid ] );
+          Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid;
+          Alcotest.test_case "chrome trace tid and args" `Quick
+            test_chrome_trace_tid_and_args ] );
       ( "api",
         [ Alcotest.test_case "groth16 timings from spans" `Quick test_api_groth16_consistency;
           Alcotest.test_case "spartan timings from spans" `Quick test_api_spartan_consistency;

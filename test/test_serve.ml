@@ -17,9 +17,17 @@ module Jobs = Zkvc_serve.Jobs
 module Batch = Zkvc_serve.Batch
 module Server = Zkvc_serve.Server
 module Client = Zkvc_serve.Client
+module Span = Zkvc_obs.Span
+module Sink = Zkvc_obs.Sink
+module Expose = Zkvc_obs.Expose
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
 
 let tiny = Mspec.dims ~a:2 ~n:2 ~b:2
 
@@ -121,6 +129,7 @@ let gen_request =
         in
         Wire.Batch_verify { key_id = gen_key_id st; items; deadline_ms = gen_deadline st });
       return Wire.Status;
+      return Wire.Status_detail;
       return Wire.Shutdown ]
 
 let gen_status =
@@ -164,15 +173,51 @@ let gen_response =
       map (fun b -> Wire.Verify_ok b) bool;
       map (fun bs -> Wire.Batch_ok bs) (list_size (int_bound 6) bool);
       map (fun s -> Wire.Status_ok s) gen_status;
+      (fun st ->
+        Wire.Status_detail_ok
+          { status = gen_status st;
+            metrics_text = string_size (int_bound 120) st;
+            flight_jsonl = string_size (int_bound 120) st });
       return Wire.Shutdown_ok;
       (fun st ->
         Wire.Error { code = gen_error_code st; message = string_size (int_bound 80) st }) ]
 
+let gen_request_id =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        String.sub
+          (Bytes.to_string (Zkvc_hash.Sha256.digest_string (string_of_int seed)))
+          0 Wire.request_id_bytes)
+      int)
+
+let gen_trace =
+  QCheck.Gen.(
+    map2
+      (fun id origin -> { Wire.tr_request_id = id; tr_origin = origin })
+      gen_request_id
+      (string_size (int_bound 40)))
+
+let gen_timing =
+  let open QCheck.Gen in
+  fun st ->
+    let phase _ =
+      ( string_size (int_bound 24) st,
+        float_bound_inclusive 10.0 st,
+        float_bound_inclusive 10.0 st )
+    in
+    { Wire.tm_request_id = gen_request_id st;
+      tm_queue_wait_s = float_bound_inclusive 5.0 st;
+      tm_exec_s = float_bound_inclusive 5.0 st;
+      tm_phases = List.init (int_bound 4 st) phase }
+
+let gen_opt g = QCheck.Gen.(oneof [ return None; map Option.some g ])
+
 let gen_frame =
   QCheck.Gen.(
     oneof
-      [ map (fun r -> Wire.Request r) gen_request;
-        map (fun r -> Wire.Response r) gen_response ])
+      [ map2 (fun tr r -> Wire.Request (tr, r)) (gen_opt gen_trace) gen_request;
+        map2 (fun tm r -> Wire.Response (tm, r)) (gen_opt gen_timing) gen_response ])
 
 let arb_frame = QCheck.make gen_frame
 
@@ -188,22 +233,81 @@ let roundtrips f =
 
 let qtest ?(count = 30) name prop gen = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop gen)
 
+(* the frame as a v1 peer would see it: telemetry blocks dropped; [None]
+   for the two v2-only operations that cannot be spoken at v1 at all *)
+let downgrade = function
+  | Wire.Request (_, Wire.Status_detail) | Wire.Response (_, Wire.Status_detail_ok _) ->
+    None
+  | Wire.Request (_, r) -> Some (Wire.Request (None, r))
+  | Wire.Response (_, r) -> Some (Wire.Response (None, r))
+
 let codec_tests =
   [ qtest "every frame type round-trips" arb_frame roundtrips;
+    qtest "v1 encoding drops telemetry and still round-trips" arb_frame (fun f ->
+        match downgrade f with
+        | None -> true (* v2-only ops: covered by the Invalid_argument case below *)
+        | Some f1 -> (
+          let b = Wire.encode_frame ~version:1 f in
+          match Wire.decode_frame b with
+          | Error e -> Alcotest.failf "v1 decode failed: %s" (Wire.error_to_string e)
+          | Ok g ->
+            Bytes.equal (Wire.encode_frame g) (Wire.encode_frame f1)
+            && Bytes.equal (Wire.encode_frame ~version:1 g) b));
     Alcotest.test_case "fixed frames round-trip" `Quick (fun () ->
         let _, _, io, proof = Lazy.force groth16_fix in
+        let trace =
+          Some { Wire.tr_request_id = String.make Wire.request_id_bytes 'r';
+                 tr_origin = "pid:42" }
+        in
+        let timing =
+          Some
+            { Wire.tm_request_id = String.make Wire.request_id_bytes 'r';
+              tm_queue_wait_s = 0.25;
+              tm_exec_s = 1.5;
+              tm_phases = [ ("serve.request.prove", 0.0, 1.4); ("keygen", 0.1, 0.9) ] }
+        in
         let frames =
-          [ Wire.Request Wire.Status;
-            Wire.Request Wire.Shutdown;
+          [ Wire.Request (None, Wire.Status);
+            Wire.Request (trace, Wire.Status);
+            Wire.Request (trace, Wire.Status_detail);
+            Wire.Request (None, Wire.Shutdown);
             Wire.Request
-              (Wire.Verify
-                 { key_id = String.make 32 'k'; public_inputs = io; proof; deadline_ms = 0 });
-            Wire.Response Wire.Shutdown_ok;
-            Wire.Response (Wire.Verify_ok true);
+              ( trace,
+                Wire.Verify
+                  { key_id = String.make 32 'k'; public_inputs = io; proof;
+                    deadline_ms = 0 } );
+            Wire.Response (None, Wire.Shutdown_ok);
+            Wire.Response (timing, Wire.Verify_ok true);
             Wire.Response
-              (Wire.Error { code = Wire.Queue_full; message = "job queue is full" }) ]
+              ( timing,
+                Wire.Status_detail_ok
+                  { status =
+                      { Wire.uptime_s = 1.0; requests = 3; queue_depth = 0;
+                        queue_capacity = 64; cache_hits = 1; cache_misses = 2;
+                        cache_entries = 2; timeouts = 0; rejections = 0; batched = 0 };
+                    metrics_text = "# TYPE zkvc_serve_requests counter\n";
+                    flight_jsonl = "{\"kind\":\"prove\"}\n" } );
+            Wire.Response
+              (None, Wire.Error { code = Wire.Queue_full; message = "job queue is full" }) ]
         in
         List.iter (fun f -> check_bool "roundtrip" true (roundtrips f)) frames);
+    Alcotest.test_case "Status_detail frames cannot encode at v1" `Quick (fun () ->
+        let must_raise f =
+          match Wire.encode_frame ~version:1 f with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        must_raise (Wire.Request (None, Wire.Status_detail));
+        must_raise
+          (Wire.Response
+             ( None,
+               Wire.Status_detail_ok
+                 { status =
+                     { Wire.uptime_s = 0.; requests = 0; queue_depth = 0;
+                       queue_capacity = 0; cache_hits = 0; cache_misses = 0;
+                       cache_entries = 0; timeouts = 0; rejections = 0; batched = 0 };
+                   metrics_text = "";
+                   flight_jsonl = "" } )));
     Alcotest.test_case "status floats keep all 64 bits" `Quick (fun () ->
         (* uptimes above 4.0 have float bit patterns past 2^62: a codec
            that squeezes them through a 63-bit int corrupts the sign *)
@@ -214,8 +318,10 @@ let codec_tests =
                 cache_hits = 0; cache_misses = 0; cache_entries = 0; timeouts = 0;
                 rejections = 0; batched = 0 }
             in
-            match Wire.decode_frame (Wire.encode_frame (Wire.Response (Wire.Status_ok s))) with
-            | Ok (Wire.Response (Wire.Status_ok s')) ->
+            match
+              Wire.decode_frame (Wire.encode_frame (Wire.Response (None, Wire.Status_ok s)))
+            with
+            | Ok (Wire.Response (None, Wire.Status_ok s')) ->
               if s'.Wire.uptime_s <> u then
                 Alcotest.failf "uptime %.17g decoded as %.17g" u s'.Wire.uptime_s
             | _ -> Alcotest.fail "decode failed")
@@ -232,7 +338,9 @@ let sample_frame () =
   let _, _, io, proof = Lazy.force groth16_fix in
   Wire.encode_frame
     (Wire.Request
-       (Wire.Verify { key_id = String.make 32 'i'; public_inputs = io; proof; deadline_ms = 9 }))
+       ( None,
+         Wire.Verify
+           { key_id = String.make 32 'i'; public_inputs = io; proof; deadline_ms = 9 } ))
 
 let malformed_tests =
   [ Alcotest.test_case "every truncation is a typed error" `Quick (fun () ->
@@ -632,12 +740,13 @@ let e2e_tests =
         with_server cfg (fun srv ->
             let prove_req =
               Wire.Request
-                (Wire.Prove
-                   { backend = Api.Backend_spartan;
-                     strategy = Mc.Vanilla;
-                     dims = tiny;
-                     input = Wire.Seeded { seed = 1; bound = 16 };
-                     deadline_ms = 0 })
+                ( None,
+                  Wire.Prove
+                    { backend = Api.Backend_spartan;
+                      strategy = Mc.Vanilla;
+                      dims = tiny;
+                      input = Wire.Seeded { seed = 1; bound = 16 };
+                      deadline_ms = 0 } )
             in
             let fd1 = raw_connect socket and fd2 = raw_connect socket in
             let fd3 = raw_connect socket in
@@ -649,10 +758,11 @@ let e2e_tests =
             (* queue now holds #2 = capacity *)
             Wire.write_frame fd3 prove_req;
             (match Wire.read_frame fd3 with
-             | Ok (Wire.Response (Wire.Error { code = Wire.Queue_full; _ })) -> ()
+             | Ok (Wire.Response (_, Wire.Error { code = Wire.Queue_full; _ })) -> ()
              | _ -> Alcotest.fail "expected Queue_full");
             (match (Wire.read_frame fd1, Wire.read_frame fd2) with
-             | Ok (Wire.Response (Wire.Prove_ok _)), Ok (Wire.Response (Wire.Prove_ok _)) ->
+             | ( Ok (Wire.Response (_, Wire.Prove_ok _)),
+                 Ok (Wire.Response (_, Wire.Prove_ok _)) ) ->
                ()
              | _ -> Alcotest.fail "queued proves should still succeed");
             List.iter Unix.close [ fd1; fd2; fd3 ];
@@ -699,25 +809,28 @@ let e2e_tests =
                   | _ -> Alcotest.fail "expected Prove_ok")
             in
             let verify_req =
-              Wire.Request (Wire.Verify { key_id; public_inputs = io; proof; deadline_ms = 0 })
+              Wire.Request
+                (None, Wire.Verify { key_id; public_inputs = io; proof; deadline_ms = 0 })
             in
             (* occupy the worker, then queue two verifies behind it *)
             let fd_busy = raw_connect socket in
             Wire.write_frame fd_busy
               (Wire.Request
-                 (Wire.Prove
-                    { backend = Api.Backend_groth16;
-                      strategy = Mc.Vanilla;
-                      dims = tiny;
-                      input = Wire.Seeded { seed = 3; bound = 16 };
-                      deadline_ms = 0 }));
+                 ( None,
+                   Wire.Prove
+                     { backend = Api.Backend_groth16;
+                       strategy = Mc.Vanilla;
+                       dims = tiny;
+                       input = Wire.Seeded { seed = 3; bound = 16 };
+                       deadline_ms = 0 } ));
             Thread.delay 0.1;
             let fd_a = raw_connect socket and fd_b = raw_connect socket in
             Wire.write_frame fd_a verify_req;
             Wire.write_frame fd_b verify_req;
             (match (Wire.read_frame fd_a, Wire.read_frame fd_b) with
-             | Ok (Wire.Response (Wire.Verify_ok true)), Ok (Wire.Response (Wire.Verify_ok true))
-               -> ()
+             | ( Ok (Wire.Response (_, Wire.Verify_ok true)),
+                 Ok (Wire.Response (_, Wire.Verify_ok true)) ) ->
+               ()
              | _ -> Alcotest.fail "coalesced verifies should both pass");
             ignore (Wire.read_frame fd_busy);
             List.iter Unix.close [ fd_busy; fd_a; fd_b ];
@@ -731,26 +844,235 @@ let e2e_tests =
         let fd = raw_connect socket in
         Wire.write_frame fd
           (Wire.Request
-             (Wire.Prove
-                { backend = Api.Backend_spartan;
-                  strategy = Mc.Vanilla;
-                  dims = tiny;
-                  input = Wire.Seeded { seed = 2; bound = 16 };
-                  deadline_ms = 0 }));
+             ( None,
+               Wire.Prove
+                 { backend = Api.Backend_spartan;
+                   strategy = Mc.Vanilla;
+                   dims = tiny;
+                   input = Wire.Seeded { seed = 2; bound = 16 };
+                   deadline_ms = 0 } ));
         Thread.delay 0.05;
         (* the job is in flight; shutdown must wait for its response *)
         let sh = raw_connect socket in
-        Wire.write_frame sh (Wire.Request Wire.Shutdown);
+        Wire.write_frame sh (Wire.Request (None, Wire.Shutdown));
         (match Wire.read_frame fd with
-         | Ok (Wire.Response (Wire.Prove_ok _)) -> ()
+         | Ok (Wire.Response (_, Wire.Prove_ok _)) -> ()
          | _ -> Alcotest.fail "in-flight prove should complete during drain");
         (match Wire.read_frame sh with
-         | Ok (Wire.Response Wire.Shutdown_ok) -> ()
+         | Ok (Wire.Response (_, Wire.Shutdown_ok)) -> ()
          | _ -> Alcotest.fail "expected Shutdown_ok");
         Unix.close fd;
         Unix.close sh;
         Server.wait srv;
         check_bool "socket removed" false (Sys.file_exists socket)) ]
+
+(* ---------------- telemetry e2e ---------------- *)
+
+let wait_for_socket path =
+  let rec go n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "server socket never appeared"
+    else begin
+      Thread.delay 0.05;
+      go (n - 1)
+    end
+  in
+  go 100
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let telemetry_tests =
+  [ Alcotest.test_case "trace context propagates and timing stitches" `Slow (fun () ->
+        let socket = temp_socket "trace" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with Server.observe = true }
+        in
+        (* the server must live on its own domain: systhreads share their
+           domain's span stack, so an in-domain server would interleave
+           its serve.request.* spans with the client's client.request *)
+        let srv_domain =
+          Domain.spawn (fun () ->
+              let srv = Server.start cfg in
+              Server.wait srv)
+        in
+        wait_for_socket socket;
+        Span.reset ();
+        Sink.enable ();
+        Fun.protect
+          ~finally:(fun () -> Sink.disable ())
+          (fun () ->
+            Client.with_connection ~origin:"test-e2e" socket (fun c ->
+                match
+                  Client.request_exn c
+                    (Wire.Prove
+                       { backend = Api.Backend_spartan;
+                         strategy = Mc.Vanilla;
+                         dims = tiny;
+                         input = Wire.Seeded { seed = 6; bound = 16 };
+                         deadline_ms = 0 })
+                with
+                | Wire.Prove_ok _ ->
+                  let id =
+                    match Client.last_request_id c with
+                    | Some id -> id
+                    | None -> Alcotest.fail "client kept no request id"
+                  in
+                  let tm =
+                    match Client.last_timing c with
+                    | Some tm -> tm
+                    | None -> Alcotest.fail "v2 response carried no timing block"
+                  in
+                  check_bool "timing echoes the request id" true
+                    (tm.Wire.tm_request_id = id);
+                  check_bool "server reported at least one phase" true
+                    (tm.Wire.tm_phases <> []);
+                  check_bool "phases include the request span" true
+                    (List.exists
+                       (fun (n, _, _) -> n = "serve.request.prove")
+                       tm.Wire.tm_phases);
+                  List.iter
+                    (fun (_, off_s, dur_s) ->
+                      check_bool "phase offsets/durations are sane" true
+                        (off_s >= 0. && dur_s >= 0.
+                        && off_s +. dur_s <= tm.Wire.tm_exec_s +. 1e-6))
+                    tm.Wire.tm_phases;
+                  (* the client span tree now holds the whole request *)
+                  let root =
+                    match Span.find_root "client.request" with
+                    | Some r -> r
+                    | None -> Alcotest.fail "no client.request span recorded"
+                  in
+                  check_bool "root carries the request id" true
+                    (List.assoc_opt "request_id" (Span.args root)
+                    = Some (Wire.hex_of_id id));
+                  let stitched n =
+                    match Span.find_rec root n with
+                    | Some s -> s
+                    | None -> Alcotest.failf "span %s not stitched under the root" n
+                  in
+                  let exec = stitched "server.exec" in
+                  ignore (stitched "server.queue.wait");
+                  ignore (stitched "serve.request.prove");
+                  check_bool "stitched spans carry the request id" true
+                    (List.assoc_opt "request_id" (Span.args exec)
+                    = Some (Wire.hex_of_id id));
+                  check_bool "stitched spans sit on their own track" true
+                    (Span.domain_id exec <> Span.domain_id root)
+                | _ -> Alcotest.fail "expected Prove_ok"));
+        Client.with_connection socket (fun c ->
+            ignore (Client.request_exn c Wire.Shutdown));
+        Domain.join srv_domain);
+    Alcotest.test_case "v1 clients still speak to a v2 server" `Slow (fun () ->
+        let socket = temp_socket "v1compat" in
+        let cfg = Server.default_config ~socket_path:socket in
+        with_server cfg (fun _ ->
+            let fd = raw_connect socket in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                Wire.write_frame ~version:1 fd
+                  (Wire.Request
+                     ( None,
+                       Wire.Prove
+                         { backend = Api.Backend_spartan;
+                           strategy = Mc.Vanilla;
+                           dims = tiny;
+                           input = Wire.Seeded { seed = 7; bound = 16 };
+                           deadline_ms = 0 } ));
+                (match Wire.read_frame' fd with
+                 | Ok (Wire.Response (timing, Wire.Prove_ok _), meta) ->
+                   check_int "server answered at v1" 1 meta.Wire.frame_version;
+                   check_bool "no timing block at v1" true (timing = None)
+                 | Ok _ -> Alcotest.fail "expected Prove_ok"
+                 | Error e -> Alcotest.failf "transport: %s" (Wire.error_to_string e));
+                Wire.write_frame ~version:1 fd (Wire.Request (None, Wire.Status));
+                match Wire.read_frame' fd with
+                | Ok (Wire.Response (None, Wire.Status_ok s), meta) ->
+                  check_int "status answered at v1" 1 meta.Wire.frame_version;
+                  (* the prove plus this status request itself *)
+                  check_int "requests counted" 2 s.Wire.requests
+                | _ -> Alcotest.fail "expected Status_ok")));
+    Alcotest.test_case "flight recorder: detail dump, ring bound, shutdown flush" `Slow
+      (fun () ->
+        let socket = temp_socket "flight" in
+        let flight_file = Filename.temp_file "zkvc-flight" ".jsonl" in
+        let metrics_file = Filename.temp_file "zkvc-metrics" ".prom" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with
+            Server.flight_capacity = 2;
+            flight_file = Some flight_file;
+            metrics_file = Some metrics_file;
+            metrics_interval_s = 0.1 }
+        in
+        let dump = ref "" in
+        with_server cfg (fun _ ->
+            Client.with_connection socket (fun c ->
+                (* same statement three times: the first keygen misses,
+                   the two reruns hit the key cache *)
+                for _ = 1 to 3 do
+                  match
+                    Client.request_exn c
+                      (Wire.Prove
+                         { backend = Api.Backend_spartan;
+                           strategy = Mc.Vanilla;
+                           dims = tiny;
+                           input = Wire.Seeded { seed = 1; bound = 16 };
+                           deadline_ms = 0 })
+                  with
+                  | Wire.Prove_ok _ -> ()
+                  | _ -> Alcotest.fail "expected Prove_ok"
+                done;
+                match Client.request_exn c Wire.Status_detail with
+                | Wire.Status_detail_ok { status; metrics_text; flight_jsonl } ->
+                  (* three proves plus this status request itself *)
+                  check_int "status counts every request" 4 status.Wire.requests;
+                  dump := flight_jsonl;
+                  let lines = String.split_on_char '\n' (String.trim flight_jsonl) in
+                  check_int "ring keeps the last capacity records" 2 (List.length lines);
+                  List.iter
+                    (fun l ->
+                      check_bool "record is a prove" true (contains ~sub:"\"kind\":\"prove\"" l);
+                      check_bool "record has an outcome" true
+                        (contains ~sub:"\"outcome\":\"ok\"" l))
+                    lines;
+                  (* the oldest surviving record is the second prove: a
+                     cache miss was overwritten, the hit survived *)
+                  List.iter
+                    (fun l ->
+                      check_bool "survivors hit the key cache" true
+                        (contains ~sub:"\"cache\":\"hit\"" l))
+                    lines;
+                  (match Expose.parse metrics_text with
+                   | Error msg -> Alcotest.failf "exposition text invalid: %s" msg
+                   | Ok samples ->
+                     check_bool "request counter exposed" true
+                       (List.exists
+                          (fun s ->
+                            s.Expose.metric = "zkvc_serve_requests_total"
+                            && s.Expose.value >= 3.)
+                          samples);
+                     check_bool "queue depth gauge exposed" true
+                       (List.exists
+                          (fun s -> s.Expose.metric = "zkvc_serve_queue_depth")
+                          samples);
+                     check_bool "queue wait quantiles exposed" true
+                       (List.exists
+                          (fun s ->
+                            s.Expose.metric = "zkvc_serve_queue_wait_s"
+                            && List.mem_assoc "quantile" s.Expose.labels)
+                          samples))
+                | _ -> Alcotest.fail "expected Status_detail_ok"));
+        (* shutdown (inside with_server's finally) flushed the ring *)
+        check_bool "flight file equals the live dump" true (read_file flight_file = !dump);
+        (match Expose.parse (read_file metrics_file) with
+         | Ok _ -> ()
+         | Error msg -> Alcotest.failf "metrics snapshot invalid: %s" msg);
+        Sys.remove flight_file;
+        Sys.remove metrics_file) ]
 
 let () =
   Alcotest.run "serve"
@@ -760,4 +1082,5 @@ let () =
       ("cache", cache_tests);
       ("batch", batch_tests);
       ("jobs", jobs_tests);
-      ("e2e", e2e_tests) ]
+      ("e2e", e2e_tests);
+      ("telemetry", telemetry_tests) ]

@@ -79,11 +79,13 @@ else
     dune exec tools/perf_diff.exe -- --skip-time "$BASELINE" "$BENCH_JSON"
 fi
 
-echo "== proof service smoke (socket e2e, both backends) =="
+echo "== proof service smoke (socket e2e, both backends, telemetry) =="
 SERVE_TMP=$(mktemp -d /tmp/zkvc-serve-ci.XXXXXX)
 SOCK="$SERVE_TMP/zkvc.sock"
 dune exec bin/zkvc_cli.exe -- serve --socket "$SOCK" --cache-dir "$SERVE_TMP/keys" \
-    --metrics > "$SERVE_TMP/serve.log" 2>&1 &
+    --metrics --metrics-file "$SERVE_TMP/metrics.prom" --metrics-interval 0.2 \
+    --flight-file "$SERVE_TMP/flight.jsonl" --trace "$SERVE_TMP/serve-trace.json" \
+    > "$SERVE_TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 i=0
 while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
@@ -141,8 +143,68 @@ grep -Eq "cache_hits=[1-9]" "$SERVE_TMP/status.out" || {
     exit 1
 }
 
+echo "-- cross-process trace --"
+# a traced prove: the client records its own spans, stitches the server's
+# returned phase timings in, and prints the request id — which must then
+# appear in BOTH the client's and (after shutdown) the server's trace
+dune exec bin/zkvc_cli.exe -- client prove --socket "$SOCK" --dims 4,4,8 \
+    --backend groth16 --seed 7 --trace "$SERVE_TMP/client-trace.json" \
+    | tee "$SERVE_TMP/traced-prove.out"
+RID=$(sed -n 's/^request //p' "$SERVE_TMP/traced-prove.out")
+if [ -z "$RID" ]; then
+    echo "ci: traced prove printed no request id" >&2
+    exit 1
+fi
+grep -q "$RID" "$SERVE_TMP/client-trace.json" || {
+    echo "ci: request id $RID missing from the client trace" >&2
+    exit 1
+}
+grep -q "server.exec" "$SERVE_TMP/client-trace.json" || {
+    echo "ci: server phases not stitched into the client trace" >&2
+    exit 1
+}
+
+echo "-- flight recorder --"
+# one JSONL record per executed job: (prove+keygen+prove+verify) x 2
+# backends + the traced prove above
+dune exec bin/zkvc_cli.exe -- client status --socket "$SOCK" --detail \
+    > "$SERVE_TMP/detail.out" 2> "$SERVE_TMP/detail.err"
+DETAIL_COUNT=$(wc -l < "$SERVE_TMP/detail.out")
+if [ "$DETAIL_COUNT" -ne 9 ]; then
+    echo "ci: expected 9 flight records, got $DETAIL_COUNT" >&2
+    cat "$SERVE_TMP/detail.out" >&2
+    exit 1
+fi
+grep -q "\"request_id\":\"$RID\"" "$SERVE_TMP/detail.out" || {
+    echo "ci: traced request id missing from the flight dump" >&2
+    exit 1
+}
+
 dune exec bin/zkvc_cli.exe -- client shutdown --socket "$SOCK"
 wait "$SERVE_PID"
+
+# shutdown flushed the same ring the live dump came from: byte-identical
+cmp "$SERVE_TMP/detail.out" "$SERVE_TMP/flight.jsonl" || {
+    echo "ci: flight file differs from the live status --detail dump" >&2
+    exit 1
+}
+
+echo "-- metrics exposition --"
+grep -Eq "^zkvc_serve_requests_total [1-9]" "$SERVE_TMP/metrics.prom" || {
+    echo "ci: metrics snapshot missing a non-zero request counter" >&2
+    cat "$SERVE_TMP/metrics.prom" >&2
+    exit 1
+}
+# zkvc_cli top --file re-parses the snapshot against the exposition
+# grammar and exits non-zero on any malformed line
+dune exec bin/zkvc_cli.exe -- top --file "$SERVE_TMP/metrics.prom" > /dev/null || {
+    echo "ci: metrics snapshot failed exposition validation" >&2
+    exit 1
+}
+grep -q "$RID" "$SERVE_TMP/serve-trace.json" || {
+    echo "ci: request id $RID missing from the server trace" >&2
+    exit 1
+}
 if [ -S "$SOCK" ]; then
     echo "ci: socket file left behind after shutdown" >&2
     exit 1

@@ -357,6 +357,13 @@ let serve_cmd =
              ~doc:"Spill generated keys to key files in DIR and reload evicted \
                    ones from there.")
   in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker threads serving jobs under fair scheduling (verifies \
+                   dispatch ahead of queued proves). The default 1 keeps the \
+                   single-worker behaviour.")
+  in
   let trace_arg =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -397,13 +404,14 @@ let serve_cmd =
              ~doc:"Dump the flight recorder (JSON lines) here when the worker \
                    drains or crashes.")
   in
-  let run socket queue cache cache_dir jobs trace metrics job_delay metrics_file
-      metrics_interval flight flight_file =
+  let run socket queue cache cache_dir workers jobs trace metrics job_delay
+      metrics_file metrics_interval flight flight_file =
     let cfg =
       { Server.socket_path = socket;
         queue_capacity = queue;
         cache_capacity = cache;
         cache_dir;
+        workers;
         jobs;
         job_delay_s = job_delay;
         observe = trace <> None || metrics || metrics_file <> None;
@@ -418,8 +426,9 @@ let serve_cmd =
       Obs.Metrics.reset ()
     end;
     let t = Server.start cfg in
-    Printf.printf "zkvc serve: listening on %s (queue=%d cache=%d jobs=%d)\n%!" socket
-      queue cache (Zkvc_parallel.jobs ());
+    Printf.printf
+      "zkvc serve: listening on %s (queue=%d cache=%d workers=%d jobs=%d)\n%!"
+      socket queue cache (Stdlib.max 1 workers) (Zkvc_parallel.jobs ());
     Server.wait t;
     let s = Server.status t in
     Printf.printf
@@ -440,9 +449,9 @@ let serve_cmd =
      cached across requests; talk to it with $(b,zkvc_cli client))."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket_arg $ queue_arg $ cache_arg $ cache_dir_arg $ jobs_arg
-          $ trace_arg $ metrics_arg $ job_delay_arg $ metrics_file_arg
-          $ metrics_interval_arg $ flight_arg $ flight_file_arg)
+    Term.(const run $ socket_arg $ queue_arg $ cache_arg $ cache_dir_arg
+          $ workers_arg $ jobs_arg $ trace_arg $ metrics_arg $ job_delay_arg
+          $ metrics_file_arg $ metrics_interval_arg $ flight_arg $ flight_file_arg)
 
 (* ---- client ---- *)
 
@@ -599,11 +608,13 @@ let client_verify_cmd =
 
 let print_status out (s : Wire.status) =
   Printf.fprintf out
-    "uptime_s=%.1f requests=%d queue=%d/%d cache_hits=%d cache_misses=%d \
-     cache_entries=%d timeouts=%d rejections=%d batched=%d\n"
+    "uptime_s=%.1f requests=%d queue=%d/%d (verify=%d prove=%d) \
+     workers=%d/%d cache_hits=%d cache_misses=%d cache_entries=%d timeouts=%d \
+     rejections=%d batched=%d\n"
     s.Wire.uptime_s s.Wire.requests s.Wire.queue_depth s.Wire.queue_capacity
-    s.Wire.cache_hits s.Wire.cache_misses s.Wire.cache_entries s.Wire.timeouts
-    s.Wire.rejections s.Wire.batched
+    s.Wire.queue_depth_verify s.Wire.queue_depth_prove s.Wire.workers_busy
+    s.Wire.workers s.Wire.cache_hits s.Wire.cache_misses s.Wire.cache_entries
+    s.Wire.timeouts s.Wire.rejections s.Wire.batched
 
 let client_status_cmd =
   let detail_arg =

@@ -452,11 +452,14 @@ let wire_cases col fx =
       let bytes = Wire.encode_frame verify_request in
       flip_sweep ~rng:(stream fx.t 10) ~flips:48 bytes classify_verify_frame);
   emit col "wire" "frame-bitflip-v1" (fun () ->
-      (* the legacy encoding must fail just as closed; in particular no
-         single-bit flip of either version byte reaches the other
-         accepted version *)
+      (* the legacy encodings must fail just as closed; in particular no
+         single-bit flip of a version byte reaches another accepted
+         version *)
       let bytes = Wire.encode_frame ~version:1 verify_request in
       flip_sweep ~rng:(stream fx.t 11) ~flips:48 bytes classify_verify_frame);
+  emit col "wire" "frame-bitflip-v2" (fun () ->
+      let bytes = Wire.encode_frame ~version:2 verify_request in
+      flip_sweep ~rng:(stream fx.t 14) ~flips:48 bytes classify_verify_frame);
   emit col "wire" "status-detail-request-bitflip" (fun () ->
       let bytes = Wire.encode_frame (Wire.Request (adv_trace, Wire.Status_detail)) in
       flip_sweep ~rng:(stream fx.t 12) ~flips:32 bytes (fun b ->
@@ -475,7 +478,11 @@ let wire_cases col fx =
           cache_entries = 2;
           timeouts = 0;
           rejections = 1;
-          batched = 4 }
+          batched = 4;
+          workers = 2;
+          workers_busy = 1;
+          queue_depth_verify = 0;
+          queue_depth_prove = 1 }
       in
       let timing =
         Some

@@ -1,11 +1,15 @@
 (* Hierarchical spans: nestable named regions capturing wall time and
-   allocation deltas from [Gc.quick_stat]. The implicit stack lives in
-   domain-local storage, so [with_span] is reentrant AND safe to call
-   from Zkvc_parallel worker domains: each domain records onto its own
-   stack. Exporters read the calling domain's state, so worker-side spans
-   are effectively discarded — the supported recording pattern is to open
-   spans on the coordinating domain around parallel regions, which is
-   what every instrumented kernel does.
+   allocation deltas from [Gc.quick_stat]. The implicit stack lives in a
+   domain-local registry keyed by an installable context id (0 by
+   default; a server with several worker systhreads in one domain
+   installs [Thread.id] via [set_context]), so [with_span] is reentrant
+   AND safe to call concurrently from Zkvc_parallel worker domains or
+   sibling systhreads: each (domain, context) pair records onto its own
+   stack. Exporters merge the calling domain's contexts in creation
+   order, so worker-domain spans are effectively discarded — the
+   supported recording pattern is to open spans on the coordinating
+   domain around parallel regions — while sibling-thread spans within
+   the calling domain are all visible.
 
    When the sink is disabled, [with_span] is one flag load away from a
    direct call of the thunk: no span record, no clock read, no Gc stat. *)
@@ -36,22 +40,67 @@ let now () = !clock ()
 let seq_counter = Atomic.make 0
 
 type state =
-  { mutable stack : t list;
+  { ctx : int;
+    mutable stack : t list;
     mutable rev_roots : t list;
     mutable last : t option }
 
-let state_key =
-  Domain.DLS.new_key (fun () -> { stack = []; rev_roots = []; last = None })
+(* Per-domain registry of per-context states. The context function is 0
+   by default (one state per domain, exactly the old behaviour); the
+   proof service installs [Thread.id] so each worker systhread gets its
+   own stack. The registry lock only guards insertion of a new state —
+   lookups walk an immutable list snapshot, and a thread can always find
+   the state it inserted itself. *)
+type registry =
+  { reg_lock : Mutex.t;
+    mutable states : state list }
 
-let state () = Domain.DLS.get state_key
+let registry_key =
+  Domain.DLS.new_key (fun () -> { reg_lock = Mutex.create (); states = [] })
+
+let context = ref (fun () -> 0)
+let set_context f = context := f
+
+let rec find_state ctx = function
+  | st :: _ when st.ctx = ctx -> Some st
+  | _ :: rest -> find_state ctx rest
+  | [] -> None
+
+let state () =
+  let reg = Domain.DLS.get registry_key in
+  let ctx = !context () in
+  match find_state ctx reg.states with
+  | Some st -> st
+  | None ->
+    Mutex.lock reg.reg_lock;
+    let st =
+      match find_state ctx reg.states with
+      | Some st -> st
+      | None ->
+        let st = { ctx; stack = []; rev_roots = []; last = None } in
+        reg.states <- st :: reg.states;
+        st
+    in
+    Mutex.unlock reg.reg_lock;
+    st
+
+(* Chrome-trace track for a recorded span: the domain id for the default
+   context, a synthetic per-thread row (1000 + thread id) otherwise, so
+   concurrent worker threads don't interleave on one row. *)
+let track ctx = if ctx = 0 then (Domain.self () :> int) else 1000 + ctx
 
 let recording () = !Sink.enabled
 
 let reset () =
-  let st = state () in
-  st.stack <- [];
-  st.rev_roots <- [];
-  st.last <- None;
+  let reg = Domain.DLS.get registry_key in
+  Mutex.lock reg.reg_lock;
+  List.iter
+    (fun st ->
+      st.stack <- [];
+      st.rev_roots <- [];
+      st.last <- None)
+    reg.states;
+  Mutex.unlock reg.reg_lock;
   Atomic.set seq_counter 0
 
 let open_span ?(args = []) name =
@@ -60,7 +109,7 @@ let open_span ?(args = []) name =
   let s =
     { name;
       seq = Atomic.fetch_and_add seq_counter 1 + 1;
-      domain = (Domain.self () :> int);
+      domain = track st.ctx;
       args;
       start_s = now ();
       stop_s = Float.nan;
@@ -117,10 +166,11 @@ let with_span ?args name f =
    remote spans land on their own row. *)
 let add_external ~name ~start_s ~dur_s ?(args = []) ?domain () =
   if !Sink.enabled then begin
+    let st = state () in
     let s =
       { name;
         seq = Atomic.fetch_and_add seq_counter 1 + 1;
-        domain = (match domain with Some d -> d | None -> (Domain.self () :> int));
+        domain = (match domain with Some d -> d | None -> track st.ctx);
         args;
         start_s;
         stop_s = start_s +. dur_s;
@@ -131,7 +181,6 @@ let add_external ~name ~start_s ~dur_s ?(args = []) ?domain () =
         major_words = 0.;
         rev_children = [] }
     in
-    let st = state () in
     match st.stack with
     | parent :: _ -> parent.rev_children <- s :: parent.rev_children
     | [] -> st.rev_roots <- s :: st.rev_roots
@@ -149,7 +198,18 @@ let minor_words s = s.minor_words
 let major_words s = s.major_words
 let children s = List.rev s.rev_children
 
-let roots () = List.rev (state ()).rev_roots
+(* All root spans recorded in the calling domain, across every context,
+   in creation order. With the default context this is exactly the old
+   single-state behaviour; with per-thread contexts a coordinator thread
+   (the CLI's trace writer, the server's drain path) sees its worker
+   threads' spans too. *)
+let roots () =
+  let reg = Domain.DLS.get registry_key in
+  Mutex.lock reg.reg_lock;
+  let all = List.concat_map (fun st -> st.rev_roots) reg.states in
+  Mutex.unlock reg.reg_lock;
+  List.sort (fun a b -> compare a.seq b.seq) all
+
 let last_completed () = (state ()).last
 let depth () = List.length (state ()).stack
 

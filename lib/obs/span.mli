@@ -1,15 +1,19 @@
 (** Hierarchical span tracing: nestable named regions capturing wall time
     plus allocation statistics from [Gc.quick_stat].
 
-    The span stack is implicit, reentrant and domain-local: every domain
-    (including [Zkvc_parallel] workers) records onto its own stack, and
-    the read side ({!roots}, {!last_completed}, {!depth}) returns the
-    calling domain's state. Spans opened on worker domains are therefore
-    invisible to exporters running on the coordinating domain — the
-    supported pattern is to open spans on the coordinator around parallel
-    regions, which is what the instrumented kernels do. While the {!Sink}
-    is disabled, [with_span] costs one flag check and allocates no span
-    records. *)
+    The span stack is implicit, reentrant and scoped per (domain,
+    context): every domain (including [Zkvc_parallel] workers) records
+    into its own registry, and within a domain an installable context id
+    ({!set_context}, default [0]) further splits the stack — the proof
+    service installs [Thread.id] so concurrent worker systhreads don't
+    corrupt one another's nesting. {!last_completed} and {!depth} read
+    the calling context's state; {!roots} merges every context of the
+    calling domain in creation order. Spans opened on worker domains are
+    therefore invisible to exporters running on the coordinating domain —
+    the supported pattern is to open spans on the coordinator around
+    parallel regions, which is what the instrumented kernels do. While
+    the {!Sink} is disabled, [with_span] costs one flag check and
+    allocates no span records. *)
 
 type t
 
@@ -38,7 +42,17 @@ val add_external :
 (** Whether spans are currently being recorded (the sink is enabled). *)
 val recording : unit -> bool
 
-(** Drop all recorded roots, the open-span stack and the sequence counter. *)
+(** Install the per-domain context id used to pick the span stack.
+    Defaults to [fun () -> 0] (one stack per domain). A server running
+    several worker systhreads in one domain installs
+    [fun () -> Thread.id (Thread.self ())] so each thread records onto
+    its own stack; spans from non-default contexts render on synthetic
+    Chrome track [1000 + context]. The function must be cheap and
+    stable per thread. *)
+val set_context : (unit -> int) -> unit
+
+(** Drop all recorded roots, every context's open-span stack in the
+    calling domain, and the sequence counter. *)
 val reset : unit -> unit
 
 (** Clock used for span timestamps; defaults to [Sys.time]. Binaries

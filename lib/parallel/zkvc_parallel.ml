@@ -1,9 +1,16 @@
-(* Chunk-grabbing domain pool. One shared task slot: the caller publishes
-   a task under [mutex], bumps [generation] and broadcasts; workers (and
-   the caller itself) pull chunks from the task's atomic cursor until it
-   is drained. Completion is detected by counting finished chunks, so the
-   caller never joins domains — workers are reused across calls and live
-   for the whole process.
+(* Chunk-grabbing domain pool. One shared task slot: the caller acquires
+   the slot with a single compare-and-set, publishes a task under
+   [mutex], bumps [generation] and broadcasts; workers (and the caller
+   itself) pull chunks from the task's atomic cursor until it is drained.
+   Completion is detected by counting finished chunks, so the caller
+   never joins domains — workers are reused across calls and live for
+   the whole process.
+
+   Concurrent submitters are safe: whoever wins the compare-and-set owns
+   the slot until its task drains; every loser (a second systhread, or a
+   nested call from the slot holder's own chunk) degrades to sequential
+   execution instead of corrupting [current]/[generation] or stealing
+   the winner's completion broadcast.
 
    Determinism needs nothing from this file beyond "every index is
    processed exactly once": all parallelised kernels write disjoint slots
@@ -28,9 +35,12 @@ let spawned = ref 0
    a worker runs sequentially rather than touching the shared task slot *)
 let on_worker = Domain.DLS.new_key (fun () -> false)
 
-(* true on the caller while a task is in flight; nested calls from the
-   caller's own chunks run sequentially *)
-let in_flight = ref false
+(* true while the task slot is free. Acquired with one compare-and-set in
+   [parallel_for_ranges]; a caller that loses the race — another thread
+   mid-task, or a nested call from the holder's own chunk — runs
+   sequentially. Released only after the task has fully drained, so the
+   next acquirer finds [current] empty and no stale completion signals. *)
+let slot_free = Atomic.make true
 
 let max_jobs = 64
 
@@ -96,39 +106,43 @@ let parallel_for_ranges ?chunk n f =
   if n <= 0 then ()
   else begin
     let j = !current_jobs in
-    if j <= 1 || n = 1 || Domain.DLS.get on_worker || !in_flight then sequential n f
+    if j <= 1 || n = 1 || Domain.DLS.get on_worker then sequential n f
     else begin
       let chunk =
         match chunk with Some c -> Stdlib.max 1 c | None -> default_chunk n j
       in
       let nchunks = (n + chunk - 1) / chunk in
       if nchunks <= 1 then sequential n f
-      else begin
-        ensure_workers (j - 1);
-        let t =
-          { run = f;
-            hi = n;
-            chunk;
-            cursor = Atomic.make 0;
-            chunks_left = Atomic.make nchunks;
-            first_exn = Atomic.make None }
-        in
-        in_flight := true;
-        Mutex.lock mutex;
-        current := Some t;
-        incr generation;
-        Condition.broadcast work_cond;
-        Mutex.unlock mutex;
-        run_chunks t;
-        Mutex.lock mutex;
-        while Atomic.get t.chunks_left > 0 do
-          Condition.wait done_cond mutex
-        done;
-        current := None;
-        Mutex.unlock mutex;
-        in_flight := false;
-        match Atomic.get t.first_exn with Some e -> raise e | None -> ()
-      end
+      else if not (Atomic.compare_and_set slot_free true false) then
+        (* slot held by a concurrent submitter or an enclosing call *)
+        sequential n f
+      else
+        Fun.protect
+          ~finally:(fun () -> Atomic.set slot_free true)
+          (fun () ->
+            (* only the slot holder spawns, so [spawned] needs no lock *)
+            ensure_workers (j - 1);
+            let t =
+              { run = f;
+                hi = n;
+                chunk;
+                cursor = Atomic.make 0;
+                chunks_left = Atomic.make nchunks;
+                first_exn = Atomic.make None }
+            in
+            Mutex.lock mutex;
+            current := Some t;
+            incr generation;
+            Condition.broadcast work_cond;
+            Mutex.unlock mutex;
+            run_chunks t;
+            Mutex.lock mutex;
+            while Atomic.get t.chunks_left > 0 do
+              Condition.wait done_cond mutex
+            done;
+            current := None;
+            Mutex.unlock mutex;
+            match Atomic.get t.first_exn with Some e -> raise e | None -> ())
     end
   end
 

@@ -16,9 +16,14 @@
     are byte-identical for every job count. Chunking decides only who
     computes what, never what is computed.
 
-    Calls from a worker domain, or nested calls from inside a running
-    [parallel_*] body, degrade to sequential execution instead of
-    deadlocking on the shared pool. *)
+    Concurrency: the pool has one task slot, acquired atomically. Any
+    call that does not win the slot — a call from a worker domain, a
+    nested call from inside a running [parallel_*] body, or a concurrent
+    call from another thread while a task is in flight — degrades to
+    sequential execution instead of deadlocking on or corrupting the
+    shared pool. Concurrent submitters therefore always terminate with
+    every index processed exactly once; at most one of them runs its
+    indices on the pool. *)
 
 (** Current job count (>= 1). *)
 val jobs : unit -> int

@@ -17,14 +17,25 @@ type t =
   { capacity : int;
     dir : string option;
     mutable entries : entry list; (* most recently used first *)
-    lock : Mutex.t }
+    lock : Mutex.t;
+    (* per-key single-flight: ids whose keygen (or disk load) is running
+       right now. A second worker missing on the same id blocks on
+       [flight_done] instead of running keygen again, then finds the
+       first worker's entry in memory — recorded as a hit. *)
+    inflight : (string, unit) Hashtbl.t;
+    flight_done : Condition.t }
 
 let default_capacity = 8
 
 let create ?(capacity = default_capacity) ?dir () =
   if capacity < 1 then invalid_arg "Key_cache.create: capacity must be positive";
   Option.iter (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755) dir;
-  { capacity; dir; entries = []; lock = Mutex.create () }
+  { capacity;
+    dir;
+    entries = [];
+    lock = Mutex.create ();
+    inflight = Hashtbl.create 4;
+    flight_done = Condition.create () }
 
 let capacity t = t.capacity
 
@@ -152,22 +163,56 @@ let promote_locked t id =
     Some e
   | _ -> None
 
-let find_or_add t backend strategy dims ~challenge ~cs ~make =
-  let id = id_of backend strategy dims ~challenge cs in
-  let mem = with_lock t (fun () -> promote_locked t id) in
-  match mem with
-  | Some e -> (e, `Hit_mem)
-  | None -> (
+(* Make (or load) the entry for [id], with this caller owning the
+   single-flight slot for it. Runs [make]/disk IO outside the lock. *)
+let fill_inflight t id backend strategy dims ~challenge ~make =
+  let settle result =
+    Mutex.lock t.lock;
+    (match result with Some e -> insert_locked t e | None -> ());
+    Hashtbl.remove t.inflight id;
+    Condition.broadcast t.flight_done;
+    Mutex.unlock t.lock
+  in
+  match
     match load_from_disk t id with
-    | Some e ->
-      with_lock t (fun () -> insert_locked t e);
-      (e, `Hit_disk)
+    | Some e -> (e, `Hit_disk)
     | None ->
       let keys = make () in
       let e = { id; backend; strategy; dims; challenge; keys } in
       spill t e;
-      with_lock t (fun () -> insert_locked t e);
-      (e, `Miss))
+      (e, `Miss)
+  with
+  | e, outcome ->
+    settle (Some e);
+    (e, outcome)
+  | exception ex ->
+    (* release the slot so a waiter can retry (and surface its own
+       failure) instead of blocking forever *)
+    settle None;
+    raise ex
+
+let find_or_add t backend strategy dims ~challenge ~cs ~make =
+  let id = id_of backend strategy dims ~challenge cs in
+  Mutex.lock t.lock;
+  let rec get () =
+    match promote_locked t id with
+    | Some e ->
+      Mutex.unlock t.lock;
+      (e, `Hit_mem)
+    | None ->
+      if Hashtbl.mem t.inflight id then begin
+        (* another worker is generating this key: wait for it, then the
+           promote above finds its entry — a memory hit, keygen ran once *)
+        Condition.wait t.flight_done t.lock;
+        get ()
+      end
+      else begin
+        Hashtbl.add t.inflight id ();
+        Mutex.unlock t.lock;
+        fill_inflight t id backend strategy dims ~challenge ~make
+      end
+  in
+  get ()
 
 let find_by_id t id =
   match with_lock t (fun () -> promote_locked t id) with

@@ -51,7 +51,13 @@ val id_of :
     the cached entry for this circuit, loading it from disk or running
     [make] (which must produce keys for [cs]) on a miss. The entry is
     promoted to most-recently-used; an insertion past capacity evicts
-    the least recently used entry (still on disk if spill is on). *)
+    the least recently used entry (still on disk if spill is on).
+
+    Thread-safe with per-key single-flight: when several workers miss on
+    the same id concurrently, exactly one runs [make] ([make] itself
+    executes outside the cache lock); the others block until it settles
+    and return its entry as [`Hit_mem]. If [make] raises, one blocked
+    waiter takes over the slot and retries. *)
 val find_or_add :
   t ->
   Api.backend ->

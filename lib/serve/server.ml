@@ -15,6 +15,7 @@ type config =
     queue_capacity : int;
     cache_capacity : int;
     cache_dir : string option;
+    workers : int;
     jobs : int;
     job_delay_s : float;
     observe : bool;
@@ -36,6 +37,7 @@ let default_config ~socket_path =
     queue_capacity = 16;
     cache_capacity = Key_cache.default_capacity;
     cache_dir = None;
+    workers = 1;
     jobs = 0;
     job_delay_s = 0.;
     observe = false;
@@ -54,12 +56,23 @@ let m_rejected = Metrics.counter "serve.queue.rejected"
 let m_timeout = Metrics.counter "serve.deadline.exceeded"
 let m_batched = Metrics.counter "serve.batch.coalesced"
 
+(* worker-pool utilisation: pool size (constant once started) and how
+   many workers are executing a job right now *)
+let m_workers = Metrics.gauge "serve.workers"
+let m_workers_busy = Metrics.gauge "serve.workers.busy"
+
 (* [refs] counts the reader thread plus every queued job that still
    references this connection; the fd is closed only on the last
    release. Closing early would let a subsequent [accept] reuse the fd
    number and a stale job's response would land in an unrelated
    client's stream. *)
-type conn = { fd : Unix.file_descr; wlock : Mutex.t; refs : int Atomic.t }
+type conn =
+  { fd : Unix.file_descr;
+    cid : int; (* scheduler client id: one fair-queueing flow per connection *)
+    wlock : Mutex.t;
+    refs : int Atomic.t }
+
+let next_cid = Atomic.make 1
 
 let conn_retain conn = Atomic.incr conn.refs
 
@@ -83,6 +96,8 @@ type job =
 type flight_record =
   { fr_request_id : string; (* hex, or "-" when the request carried no trace *)
     fr_kind : string;
+    fr_lane : string; (* "verify" | "prove" *)
+    fr_worker : int; (* worker index (0 .. workers-1) that executed it *)
     fr_cache : string; (* "hit" | "miss" | "-" *)
     fr_depth_at_admit : int;
     fr_wait_s : float;
@@ -94,6 +109,8 @@ let flight_record_to_json r =
   Json.Obj
     [ ("request_id", Json.String r.fr_request_id);
       ("kind", Json.String r.fr_kind);
+      ("lane", Json.String r.fr_lane);
+      ("worker", Json.Int r.fr_worker);
       ("cache", Json.String r.fr_cache);
       ("depth_at_admit", Json.Int r.fr_depth_at_admit);
       ("wait_s", Json.Float r.fr_wait_s);
@@ -115,10 +132,12 @@ type t =
     cache_hits : int Atomic.t;
     cache_misses : int Atomic.t;
     stopping : bool Atomic.t;
+    live_workers : int Atomic.t; (* workers that have not exited yet *)
+    busy_workers : int Atomic.t; (* workers executing a job right now *)
     mutable is_drained : bool;
     drain_lock : Mutex.t;
     drain_cond : Condition.t;
-    mutable worker : Thread.t option;
+    mutable workers : Thread.t list;
     mutable acceptor : Thread.t option;
     mutable snapshotter : Thread.t option;
     readers_lock : Mutex.t;
@@ -149,7 +168,11 @@ let status t =
     cache_entries = Key_cache.length t.cache;
     timeouts = Atomic.get t.timeouts;
     rejections = Atomic.get t.rejections;
-    batched = Atomic.get t.batched }
+    batched = Atomic.get t.batched;
+    workers = Stdlib.max 1 t.cfg.workers;
+    workers_busy = Atomic.get t.busy_workers;
+    queue_depth_verify = Jobs.lane_depth t.jobs_q Jobs.Lane_verify;
+    queue_depth_prove = Jobs.lane_depth t.jobs_q Jobs.Lane_prove }
 
 (* ---------------- flight recorder / telemetry ---------------- *)
 
@@ -188,6 +211,22 @@ let request_kind = function
   | Wire.Status -> "status"
   | Wire.Status_detail -> "status_detail"
   | Wire.Shutdown -> "shutdown"
+
+(* Lane assignment: verification is cheap and latency-sensitive, so both
+   verify shapes ride the priority lane; keygen/prove are the heavy
+   throughput lane. Control requests never reach the scheduler. *)
+let lane_of_req = function
+  | Wire.Verify _ | Wire.Batch_verify _ -> Jobs.Lane_verify
+  | Wire.Keygen _ | Wire.Prove _ | Wire.Status | Wire.Status_detail | Wire.Shutdown ->
+    Jobs.Lane_prove
+
+(* DRR cost in deficit credits (quantum = 4): one visit affords one
+   prove, or four single verifies; a large batch verify costs
+   proportionally more so it cannot monopolise its lane. *)
+let cost_of_req = function
+  | Wire.Verify _ -> 1
+  | Wire.Batch_verify { items; _ } -> Stdlib.max 1 ((List.length items + 3) / 4 * 4)
+  | Wire.Keygen _ | Wire.Prove _ | Wire.Status | Wire.Status_detail | Wire.Shutdown -> 4
 
 let request_id_hex = function
   | Some { Wire.tr_request_id; _ } -> Wire.hex_of_id tr_request_id
@@ -353,7 +392,7 @@ let phases_of_span root =
 
 (* Send [resp] with a v2 timing block (at the job's own wire version —
    v1 clients get the plain v1 frame) and push a flight record. *)
-let finish t job ~wait_s ~exec_s ~phases resp =
+let finish t job ~wid ~wait_s ~exec_s ~phases resp =
   let timing =
     Some
       { Wire.tm_request_id =
@@ -368,6 +407,8 @@ let finish t job ~wait_s ~exec_s ~phases resp =
   Flight.record t.flight
     { fr_request_id = request_id_hex job.trace;
       fr_kind = request_kind job.req;
+      fr_lane = Jobs.lane_to_string (lane_of_req job.req);
+      fr_worker = wid;
       fr_cache = cache_outcome_of resp;
       fr_depth_at_admit = job.depth_at_admit;
       fr_wait_s = wait_s;
@@ -377,12 +418,15 @@ let finish t job ~wait_s ~exec_s ~phases resp =
 
 (* Run a job end to end: span-wrapped execution, timing extraction,
    versioned response, flight record. *)
-let run_job t job =
+let run_job t ~wid job =
   let wait_s = Span.now () -. job.admit_s in
   let args =
-    match job.trace with
-    | Some tr -> [ ("request_id", Wire.hex_of_id tr.Wire.tr_request_id) ]
-    | None -> []
+    ("worker", string_of_int wid)
+    :: ("lane", Jobs.lane_to_string (lane_of_req job.req))
+    ::
+    (match job.trace with
+     | Some tr -> [ ("request_id", Wire.hex_of_id tr.Wire.tr_request_id) ]
+     | None -> [])
   in
   let before = Span.last_completed () in
   let t0 = Span.now () in
@@ -397,12 +441,12 @@ let run_job t job =
     | _ -> None
   in
   let phases = match root with Some s -> phases_of_span s | None -> [] in
-  finish t job ~wait_s ~exec_s ~phases resp
+  finish t job ~wid ~wait_s ~exec_s ~phases resp
 
 (* Coalesce queued single-proof verifies against the same key into one
    batched check; each request still gets its own [Verify_ok], timing
    block (group execution time, per-job queue wait) and flight record. *)
-let process_verify_group t jobs =
+let process_verify_group t ~wid jobs =
   let now = Span.now () in
   let live, expired =
     List.partition
@@ -416,12 +460,12 @@ let process_verify_group t jobs =
     (fun j ->
       Atomic.incr t.timeouts;
       Metrics.incr m_timeout;
-      finish t j ~wait_s:(now -. j.admit_s) ~exec_s:0. ~phases:[]
+      finish t j ~wid ~wait_s:(now -. j.admit_s) ~exec_s:0. ~phases:[]
         (Wire.Error { code = Wire.Deadline_exceeded; message = "deadline exceeded" }))
     expired;
   match live with
   | [] -> ()
-  | [ j ] -> run_job t j
+  | [ j ] -> run_job t ~wid j
   | _ -> (
     let key_id =
       match (List.hd live).req with
@@ -431,14 +475,16 @@ let process_verify_group t jobs =
     let waits = List.map (fun j -> now -. j.admit_s) live in
     let answer_all exec_s phases resps =
       List.iter2
-        (fun (j, wait_s) resp -> finish t j ~wait_s ~exec_s ~phases resp)
+        (fun (j, wait_s) resp -> finish t j ~wid ~wait_s ~exec_s ~phases resp)
         (List.combine live waits) resps
     in
     match Key_cache.find_by_id t.cache key_id with
     | None -> answer_all 0. [] (List.map (fun _ -> unknown_key_error) live)
     | Some entry ->
       let args =
-        [ ("coalesced", string_of_int (List.length live));
+        [ ("worker", string_of_int wid);
+          ("lane", "verify");
+          ("coalesced", string_of_int (List.length live));
           ("request_ids", String.concat "," (List.map (fun j -> request_id_hex j.trace) live)) ]
       in
       let before = Span.last_completed () in
@@ -464,18 +510,31 @@ let process_verify_group t jobs =
       let phases = match root with Some s -> phases_of_span s | None -> [] in
       answer_all exec_s phases (List.map (fun ok -> Wire.Verify_ok ok) verdicts))
 
-let worker_body t =
+(* dedup while preserving first-occurrence order (group client lists) *)
+let distinct ints =
+  List.rev
+    (List.fold_left (fun acc i -> if List.mem i acc then acc else i :: acc) [] ints)
+
+let worker_body t ~wid =
   let rec loop () =
     match Jobs.pop t.jobs_q with
     | None -> ()
-    | Some job ->
+    | Some ticket ->
       if t.cfg.job_delay_s > 0. then Thread.delay t.cfg.job_delay_s;
-      (* the catch-all keeps the single worker alive: an unexpected
-         exception (e.g. on the coalesced-verify path) must answer
-         Internal and continue, not silently kill the only consumer *)
-      let guarded jobs f =
+      Atomic.incr t.busy_workers;
+      Metrics.set m_workers_busy (float_of_int (Atomic.get t.busy_workers));
+      (* the catch-all keeps the worker alive: an unexpected exception
+         (e.g. on the coalesced-verify path) must answer Internal and
+         continue, not silently kill a consumer. The finally releases
+         conn refs, frees every contributing scheduler client (so its
+         next job can dispatch) and drops the busy gauge. *)
+      let guarded jobs clients f =
         Fun.protect
-          ~finally:(fun () -> List.iter (fun j -> conn_release j.conn) jobs)
+          ~finally:(fun () ->
+            List.iter (fun j -> conn_release j.conn) jobs;
+            List.iter (fun cid -> Jobs.complete t.jobs_q ~client:cid) (distinct clients);
+            ignore (Atomic.fetch_and_add t.busy_workers (-1));
+            Metrics.set m_workers_busy (float_of_int (Atomic.get t.busy_workers)))
           (fun () ->
             try f ()
             with e ->
@@ -484,47 +543,69 @@ let worker_body t =
                 (fun j -> respond_error ~version:j.wire_version j.conn Wire.Internal msg)
                 jobs)
       in
+      let job = ticket.Jobs.t_item in
       (match job.req with
        | Wire.Verify { key_id; _ } ->
-         let rest =
-           Jobs.drain_where t.jobs_q (fun j ->
+         (* coalesce same-key single verifies that sit at the head of
+            idle clients' queues — deeper entries stay put so no
+            connection's responses reorder *)
+         let extra =
+           Jobs.drain_where t.jobs_q ~lane:Jobs.Lane_verify (fun j ->
                match j.req with
                | Wire.Verify { key_id = k; _ } -> k = key_id
                | _ -> false)
          in
-         let group = job :: rest in
-         guarded group (fun () -> process_verify_group t group)
-       | _ -> guarded [ job ] (fun () -> run_job t job));
+         let group = job :: List.map (fun tk -> tk.Jobs.t_item) extra in
+         let clients =
+           ticket.Jobs.t_client :: List.map (fun tk -> tk.Jobs.t_client) extra
+         in
+         guarded group clients (fun () -> process_verify_group t ~wid group)
+       | _ ->
+         guarded [ job ] [ ticket.Jobs.t_client ] (fun () -> run_job t ~wid job));
       loop ()
   in
   loop ()
 
-(* The finally block runs on normal drain AND when the worker dies on
-   an unexpected exception: the flight ring and a final metrics
-   snapshot always reach disk, and shutdown waiters are released. *)
-let worker_loop t =
+(* The finally block runs on normal drain AND when a worker dies on an
+   unexpected exception. The last worker out flushes the flight ring
+   and a final metrics snapshot, then releases shutdown waiters — by
+   then every job has been answered, since each worker finishes its own
+   job before exiting. *)
+let worker_loop t ~wid =
   Fun.protect
     ~finally:(fun () ->
-      flush_flight t;
-      write_metrics_snapshot t;
-      Mutex.lock t.drain_lock;
-      t.is_drained <- true;
-      Condition.broadcast t.drain_cond;
-      Mutex.unlock t.drain_lock)
-    (fun () -> worker_body t)
+      if Atomic.fetch_and_add t.live_workers (-1) = 1 then begin
+        flush_flight t;
+        write_metrics_snapshot t;
+        Mutex.lock t.drain_lock;
+        t.is_drained <- true;
+        Condition.broadcast t.drain_cond;
+        Mutex.unlock t.drain_lock
+      end)
+    (fun () -> worker_body t ~wid)
 
 (* Periodic atomic-rename metrics snapshots while the server runs; the
-   final post-drain snapshot is written by the worker's finally. *)
+   final post-drain snapshot is written by the last worker's finally.
+   Sleeps in short ticks rather than whole intervals (the stdlib
+   [Condition] has no timed wait) so [Server.wait] returns promptly
+   after drain even with a large [metrics_interval_s]. *)
 let snapshot_loop t interval_s =
   let interval_s = if interval_s > 0. then interval_s else 1. in
-  let rec loop () =
+  let tick = 0.05 in
+  let rec loop next =
     if not t.is_drained then begin
-      Thread.delay interval_s;
-      write_metrics_snapshot t;
-      loop ()
+      let now = monotonic_now () in
+      if now >= next then begin
+        write_metrics_snapshot t;
+        loop (now +. interval_s)
+      end
+      else begin
+        Thread.delay (Stdlib.min tick (next -. now));
+        loop next
+      end
     end
   in
-  loop ()
+  loop (monotonic_now () +. interval_s)
 
 (* ---------------- reader threads ---------------- *)
 
@@ -587,7 +668,10 @@ and handle_request t conn ~version ~trace ~payload_bytes req =
     in
     conn_retain conn;
     (* the queued job owns this ref; the worker releases it after responding *)
-    match Jobs.push t.jobs_q job with
+    match
+      Jobs.push t.jobs_q ~client:conn.cid ~lane:(lane_of_req req)
+        ~cost:(cost_of_req req) job
+    with
     | `Ok -> ()
     | `Full ->
       conn_release conn;
@@ -600,6 +684,11 @@ and handle_request t conn ~version ~trace ~payload_bytes req =
 
 let reader_loop t conn =
   let stop_now () = Atomic.get t.stopping && t.is_drained in
+  (* the version of the last frame this peer successfully sent; error
+     replies to unparseable frames use it, so a v1 client never receives
+     an error frame it cannot decode. Before any good frame, assume the
+     lowest version we speak — every peer decodes that. *)
+  let last_version = ref Wire.min_version in
   let rec loop () =
     if not (stop_now ()) then
       match Unix.select [ conn.fd ] [] [] 0.25 with
@@ -609,10 +698,14 @@ let reader_loop t conn =
         | Error Wire.Eof -> ()
         | Error e ->
           (* framing is lost after a malformed frame: answer, then drop *)
-          respond_error conn Wire.Bad_request (Wire.error_to_string e)
-        | Ok (Wire.Response _, _) ->
-          respond_error conn Wire.Bad_request "unexpected response frame"
+          respond_error ~version:!last_version conn Wire.Bad_request
+            (Wire.error_to_string e)
+        | Ok (Wire.Response _, meta) ->
+          last_version := meta.Wire.frame_version;
+          respond_error ~version:!last_version conn Wire.Bad_request
+            "unexpected response frame"
         | Ok (Wire.Request (trace, req), meta) ->
+          last_version := meta.Wire.frame_version;
           handle_request t conn ~version:meta.Wire.frame_version ~trace
             ~payload_bytes:meta.Wire.payload_bytes req;
           loop ())
@@ -630,7 +723,12 @@ let accept_loop t =
     | fd, _ ->
       if Atomic.get t.stopping then (try Unix.close fd with _ -> ())
       else begin
-        let conn = { fd; wlock = Mutex.create (); refs = Atomic.make 1 } in
+        let conn =
+          { fd;
+            cid = Atomic.fetch_and_add next_cid 1;
+            wlock = Mutex.create ();
+            refs = Atomic.make 1 }
+        in
         let th = Thread.create (fun () -> reader_loop t conn) () in
         Mutex.lock t.readers_lock;
         t.readers <- th :: t.readers;
@@ -655,6 +753,9 @@ let start cfg =
      move under us, and not [Sys.time], which is process CPU time and
      sums across worker domains. Tests inject a simulated clock. *)
   Span.set_clock (match cfg.clock with Some f -> f | None -> monotonic_now);
+  (* several worker systhreads share this domain: give each its own span
+     stack so concurrent jobs don't corrupt one another's nesting *)
+  Span.set_context (fun () -> Thread.id (Thread.self ()));
   (* metrics exposition is pointless with the sink off, so a metrics
      file implies observation *)
   if cfg.observe || cfg.metrics_file <> None then Sink.enable ();
@@ -666,10 +767,11 @@ let start cfg =
      (try Unix.close listen_fd with _ -> ());
      raise e);
   Unix.listen listen_fd 64;
+  let nworkers = Stdlib.max 1 cfg.workers in
   let t =
     { cfg;
       listen_fd;
-      jobs_q = Jobs.create ~capacity:cfg.queue_capacity;
+      jobs_q = Jobs.create ~capacity:cfg.queue_capacity ();
       cache = Key_cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
       flight = Flight.create ~capacity:(Stdlib.max 1 cfg.flight_capacity);
       started_at = Span.now ();
@@ -680,16 +782,21 @@ let start cfg =
       cache_hits = Atomic.make 0;
       cache_misses = Atomic.make 0;
       stopping = Atomic.make false;
+      live_workers = Atomic.make nworkers;
+      busy_workers = Atomic.make 0;
       is_drained = false;
       drain_lock = Mutex.create ();
       drain_cond = Condition.create ();
-      worker = None;
+      workers = [];
       acceptor = None;
       snapshotter = None;
       readers_lock = Mutex.create ();
       readers = [] }
   in
-  t.worker <- Some (Thread.create (fun () -> worker_loop t) ());
+  Metrics.set m_workers (float_of_int nworkers);
+  Metrics.set m_workers_busy 0.;
+  t.workers <-
+    List.init nworkers (fun wid -> Thread.create (fun () -> worker_loop t ~wid) ());
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
   if cfg.metrics_file <> None then begin
     write_metrics_snapshot t;
@@ -699,7 +806,7 @@ let start cfg =
 
 let wait t =
   Option.iter Thread.join t.acceptor;
-  Option.iter Thread.join t.worker;
+  List.iter Thread.join t.workers;
   Option.iter Thread.join t.snapshotter;
   let readers =
     Mutex.lock t.readers_lock;

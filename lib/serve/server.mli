@@ -2,12 +2,18 @@
     circuit keys warm across requests.
 
     Threading model (systhreads, one OCaml domain): one accept thread,
-    one reader thread per connection, and exactly one worker thread that
-    owns the prover — [Zkvc_parallel]'s pool and [Zkvc_obs]'s span stack
-    are not safe for concurrent callers in a domain, so readers only
-    parse, enqueue and answer [Status], while all proving/verifying (and
-    all span recording) happens on the worker. Parallelism inside a job
-    still comes from the domain pool ([config.jobs]).
+    one reader thread per connection, and [config.workers] worker
+    threads (default 1) pulling from the {!Jobs} scheduler — per-client
+    FIFOs under deficit round robin with a verify lane dispatched ahead
+    of the prove lane. Readers only parse, enqueue and answer
+    [Status]/[Status_detail]/[Shutdown]; proving/verifying happens on
+    the workers. The layers underneath are concurrency-safe for this:
+    [Zkvc_parallel] admits one submitter at a time (the rest degrade to
+    sequential), [Key_cache] runs keygen per-key single-flight, and
+    [Zkvc_obs] spans record per-thread. At most one job per connection
+    is in flight at once, so each connection's responses always arrive
+    in request order regardless of worker count. Parallelism inside a
+    job still comes from the domain pool ([config.jobs]).
 
     Backpressure: the job queue is bounded; a full queue rejects with
     [Queue_full] instead of queueing unboundedly. Deadlines are checked
@@ -20,7 +26,10 @@ type config =
     queue_capacity : int;
     cache_capacity : int;
     cache_dir : string option;  (** enables key-file disk spill *)
-    jobs : int;  (** domain-pool size for the worker; [0] = leave as-is *)
+    workers : int;
+        (** worker-thread pool size; values [< 1] are treated as [1].
+            [1] (the default) reproduces the single-worker behaviour *)
+    jobs : int;  (** domain-pool size for the workers; [0] = leave as-is *)
     job_delay_s : float;
         (** test hook: sleep this long before each job (deterministic
             queue-full / deadline tests). Leave [0.] *)
@@ -42,8 +51,8 @@ type config =
         (** flight-recorder ring size (last N completed/failed jobs);
             default 128 *)
     flight_file : string option
-        (** dump the flight ring (JSONL) here when the worker drains or
-            dies — same bytes [Status_detail] returns *) }
+        (** dump the flight ring (JSONL) here when the last worker
+            drains or dies — same bytes [Status_detail] returns *) }
 
 val default_config : socket_path:string -> config
 
@@ -52,12 +61,12 @@ type t
 val config : t -> config
 
 (** Bind, listen and spawn the accept + worker threads. Installs
-    [config.clock] (monotonic by default) as the span clock before any
-    span opens or deadline is computed. Raises [Unix.Unix_error] if the
-    socket can't be bound. *)
+    [config.clock] (monotonic by default) as the span clock, and
+    per-thread span contexts, before any span opens or deadline is
+    computed. Raises [Unix.Unix_error] if the socket can't be bound. *)
 val start : config -> t
 
-(** Request a graceful stop: close the queue, wait for the worker to
+(** Request a graceful stop: close the queue, wait for every worker to
     drain, stop accepting. Idempotent; blocks until drained. *)
 val shutdown : t -> unit
 

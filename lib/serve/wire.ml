@@ -35,7 +35,7 @@ exception Fail of error
 let fail e = raise (Fail e)
 
 let magic = "ZKVC"
-let version = 2
+let version = 3
 let min_version = 1
 let max_payload = 1 lsl 26 (* 64 MiB *)
 let header_bytes = 10
@@ -103,7 +103,13 @@ type status =
     cache_entries : int;
     timeouts : int;
     rejections : int;
-    batched : int }
+    batched : int;
+    (* scheduler block, wire version 3+ (decodes as zeros from older
+       peers): worker-pool size/occupancy and per-lane queue depths *)
+    workers : int;
+    workers_busy : int;
+    queue_depth_verify : int;
+    queue_depth_prove : int }
 
 type error_code =
   | Queue_full
@@ -416,7 +422,9 @@ let kind_of_frame = function
   | Response (_, Status_detail_ok _) -> 0x87
   | Response (_, Error _) -> 0xff
 
-let w_status buf s =
+(* the scheduler block is a v3 extension; v1/v2 status payloads stay
+   byte-identical to what older builds emitted *)
+let w_status ~version buf s =
   w_f64 buf s.uptime_s;
   w_i64 buf s.requests;
   w_u32 buf s.queue_depth;
@@ -426,7 +434,13 @@ let w_status buf s =
   w_u32 buf s.cache_entries;
   w_i64 buf s.timeouts;
   w_i64 buf s.rejections;
-  w_i64 buf s.batched
+  w_i64 buf s.batched;
+  if version >= 3 then begin
+    w_u32 buf s.workers;
+    w_u32 buf s.workers_busy;
+    w_u32 buf s.queue_depth_verify;
+    w_u32 buf s.queue_depth_prove
+  end
 
 let encode_request buf = function
   | Keygen { backend; strategy; dims; seed; bound; deadline_ms } ->
@@ -467,7 +481,7 @@ let encode_request buf = function
       items
   | Status | Status_detail | Shutdown -> ()
 
-let encode_response buf = function
+let encode_response ~version buf = function
   | Keygen_ok { key_id; cache_hit; key_bytes } ->
     w_key_id buf key_id;
     w_bool buf cache_hit;
@@ -483,9 +497,9 @@ let encode_response buf = function
   | Batch_ok oks ->
     w_u32 buf (List.length oks);
     List.iter (w_bool buf) oks
-  | Status_ok s -> w_status buf s
+  | Status_ok s -> w_status ~version buf s
   | Status_detail_ok { status; metrics_text; flight_jsonl } ->
-    w_status buf status;
+    w_status ~version buf status;
     w_lp_string buf metrics_text;
     w_lp_string buf flight_jsonl
   | Shutdown_ok -> ()
@@ -508,9 +522,9 @@ let encode_payload ~version buf = function
     encode_request buf req
   | Response (timing, resp) ->
     if version >= 2 then w_timing buf timing;
-    encode_response buf resp
+    encode_response ~version buf resp
 
-let r_status c =
+let r_status ~version c =
   let uptime_s = r_f64 c in
   let requests = r_i64 c in
   let queue_depth = r_u32 c in
@@ -521,8 +535,13 @@ let r_status c =
   let timeouts = r_i64 c in
   let rejections = r_i64 c in
   let batched = r_i64 c in
+  let workers = if version >= 3 then r_u32 c else 0 in
+  let workers_busy = if version >= 3 then r_u32 c else 0 in
+  let queue_depth_verify = if version >= 3 then r_u32 c else 0 in
+  let queue_depth_prove = if version >= 3 then r_u32 c else 0 in
   { uptime_s; requests; queue_depth; queue_capacity; cache_hits;
-    cache_misses; cache_entries; timeouts; rejections; batched }
+    cache_misses; cache_entries; timeouts; rejections; batched;
+    workers; workers_busy; queue_depth_verify; queue_depth_prove }
 
 let decode_payload ~version kind c =
   (* the v2 trace/timing prefix comes before the kind-specific body *)
@@ -598,10 +617,10 @@ let decode_payload ~version kind c =
       let n = r_u32 c in
       if n > remaining c then fail Truncated;
       response (Batch_ok (List.init n (fun _ -> r_bool c)))
-    | 0x85 -> response (Status_ok (r_status c))
+    | 0x85 -> response (Status_ok (r_status ~version c))
     | 0x86 -> response Shutdown_ok
     | 0x87 when version >= 2 ->
-      let status = r_status c in
+      let status = r_status ~version c in
       let metrics_text = r_lp_string c in
       let flight_jsonl = r_lp_string c in
       response (Status_detail_ok { status; metrics_text; flight_jsonl })
@@ -626,7 +645,7 @@ let decode_payload ~version kind c =
 (* ---------------- frames ---------------- *)
 
 let encode_frame ?(version = version) frame =
-  if version < min_version || version > 2 then
+  if version < min_version || version > 3 then
     invalid_arg "Wire.encode_frame: unsupported version";
   (match (version, frame) with
    | 1, (Request (_, Status_detail) | Response (_, Status_detail_ok _)) ->

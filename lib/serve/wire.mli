@@ -5,7 +5,7 @@
     {v
     offset  size  field
     0       4     magic "ZKVC"
-    4       1     version (1 or 2; current encoders default to 2)
+    4       1     version (1, 2 or 3; current encoders default to 3)
     5       1     kind (request 0x01..0x07, response 0x81..0x87, 0xff error)
     6       4     payload length, big-endian (at most {!max_payload})
     10      n     payload
@@ -15,9 +15,12 @@
     block (16-byte request id + origin string) and every response
     payload with an optional {!timing} block (request-id echo, queue
     wait, execution time, named phase offsets), enabling cross-process
-    trace stitching. Version 1 frames carry neither and remain fully
-    decodable; encoders take [?version] to speak to v1 peers. The
-    [Status_detail] operation exists only at version 2.
+    trace stitching. Version 3 appends a scheduler block (worker-pool
+    size and occupancy, per-lane queue depths) to the {!status} payload.
+    Version 1 frames carry none of these and remain fully decodable, and
+    v1/v2 payloads are byte-identical to what older builds emitted;
+    encoders take [?version] to speak to older peers. The
+    [Status_detail] operation exists only at version 2+.
 
     Integers are big-endian; scalars are the canonical 32-byte Fr
     encoding; curve points use the libraries' tagged uncompressed
@@ -124,7 +127,11 @@ type status =
     cache_entries : int;
     timeouts : int;
     rejections : int;
-    batched : int }
+    batched : int;
+    workers : int;  (** worker-thread pool size (v3+; 0 from older peers) *)
+    workers_busy : int;  (** workers executing a job right now (v3+) *)
+    queue_depth_verify : int;  (** queued jobs in the verify lane (v3+) *)
+    queue_depth_prove : int  (** queued jobs in the prove lane (v3+) *) }
 
 type error_code =
   | Queue_full
@@ -171,8 +178,8 @@ type meta = { frame_version : int; payload_bytes : int }
 (** Whole-buffer codec: [decode_frame] requires exactly one well-formed
     frame (trailing bytes are an error). [encode_frame ~version:1] drops
     the trace/timing block and raises [Invalid_argument] on
-    [Status_detail] frames, which v1 cannot express; the default version
-    is 2. *)
+    [Status_detail] frames, which v1 cannot express; versions below 3
+    drop the status scheduler block. The default version is 3. *)
 val encode_frame : ?version:int -> frame -> Bytes.t
 
 val decode_frame : Bytes.t -> (frame, error) result

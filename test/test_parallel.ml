@@ -75,6 +75,37 @@ let pool_tests =
             Parallel.parallel_for 8 (fun i ->
                 Parallel.parallel_for 8 (fun j -> Atomic.incr hits.((i * 8) + j)));
             Array.iter (fun h -> check_int "once" 1 (Atomic.get h)) hits));
+    Alcotest.test_case "concurrent submitters: every index exactly once" `Quick
+      (fun () ->
+        (* several systhreads hammer the pool at once: one wins the
+           submission slot per round, the rest degrade to sequential —
+           either way each thread's range is processed exactly once,
+           and nothing deadlocks *)
+        with_jobs 4 (fun () ->
+            let nthreads = 4 and n = 2_000 and rounds = 5 in
+            let hits =
+              Array.init nthreads (fun _ -> Array.init n (fun _ -> Atomic.make 0))
+            in
+            let failed = Atomic.make false in
+            let body t () =
+              try
+                for _ = 1 to rounds do
+                  Parallel.parallel_for n (fun i -> Atomic.incr hits.(t).(i))
+                done
+              with _ -> Atomic.set failed true
+            in
+            let ths = List.init nthreads (fun t -> Thread.create (body t) ()) in
+            List.iter Thread.join ths;
+            check_bool "no submitter raised" false (Atomic.get failed);
+            Array.iteri
+              (fun t per ->
+                Array.iteri
+                  (fun i h ->
+                    if Atomic.get h <> rounds then
+                      Alcotest.failf "thread %d index %d processed %d/%d times" t i
+                        (Atomic.get h) rounds)
+                  per)
+              hits));
     Alcotest.test_case "set_jobs clamps" `Quick (fun () ->
         with_jobs 1 (fun () ->
             Parallel.set_jobs 0;

@@ -1,9 +1,10 @@
 (* Proof-service tests: wire-codec round trips over every frame type,
    malformed-input fuzzing (decoding is total: typed errors, never
-   exceptions, never over-reads), key-cache LRU + disk spill, batched
-   verification with corrupted members, the bounded job queue, and
-   end-to-end socket sessions including queue-full backpressure,
-   deadlines and verify coalescing. *)
+   exceptions, never over-reads), key-cache LRU + disk spill + per-key
+   single-flight, batched verification with corrupted members, the
+   two-lane fair scheduler, and end-to-end socket sessions including
+   queue-full backpressure, deadlines, verify coalescing, lane priority
+   and multi-worker byte-identity. *)
 
 module Fr = Zkvc_field.Fr
 module Api = Zkvc.Api
@@ -147,7 +148,11 @@ let gen_status =
           cache_entries = i ();
           timeouts = i ();
           rejections = i ();
-          batched = i () })
+          batched = i ();
+          workers = i ();
+          workers_busy = i ();
+          queue_depth_verify = i ();
+          queue_depth_prove = i () })
       int)
 
 let gen_error_code =
@@ -233,13 +238,29 @@ let roundtrips f =
 
 let qtest ?(count = 30) name prop gen = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop gen)
 
-(* the frame as a v1 peer would see it: telemetry blocks dropped; [None]
-   for the two v2-only operations that cannot be spoken at v1 at all *)
+(* v1/v2 payloads predate the v3 scheduler block, so a status decoded
+   from them carries zeroed scheduler fields *)
+let zero_sched (s : Wire.status) =
+  { s with
+    Wire.workers = 0;
+    workers_busy = 0;
+    queue_depth_verify = 0;
+    queue_depth_prove = 0 }
+
+let drop_sched = function
+  | Wire.Status_ok s -> Wire.Status_ok (zero_sched s)
+  | Wire.Status_detail_ok { status; metrics_text; flight_jsonl } ->
+    Wire.Status_detail_ok { status = zero_sched status; metrics_text; flight_jsonl }
+  | r -> r
+
+(* the frame as a v1 peer would see it: telemetry blocks and the
+   scheduler block dropped; [None] for the two v2-only operations that
+   cannot be spoken at v1 at all *)
 let downgrade = function
   | Wire.Request (_, Wire.Status_detail) | Wire.Response (_, Wire.Status_detail_ok _) ->
     None
   | Wire.Request (_, r) -> Some (Wire.Request (None, r))
-  | Wire.Response (_, r) -> Some (Wire.Response (None, r))
+  | Wire.Response (_, r) -> Some (Wire.Response (None, drop_sched r))
 
 let codec_tests =
   [ qtest "every frame type round-trips" arb_frame roundtrips;
@@ -253,6 +274,19 @@ let codec_tests =
           | Ok g ->
             Bytes.equal (Wire.encode_frame g) (Wire.encode_frame f1)
             && Bytes.equal (Wire.encode_frame ~version:1 g) b));
+    qtest "v2 encoding drops the scheduler block and still round-trips" arb_frame
+      (fun f ->
+        let f2 =
+          match f with
+          | Wire.Request _ -> f
+          | Wire.Response (tm, r) -> Wire.Response (tm, drop_sched r)
+        in
+        let b = Wire.encode_frame ~version:2 f in
+        match Wire.decode_frame b with
+        | Error e -> Alcotest.failf "v2 decode failed: %s" (Wire.error_to_string e)
+        | Ok g ->
+          Bytes.equal (Wire.encode_frame g) (Wire.encode_frame f2)
+          && Bytes.equal (Wire.encode_frame ~version:2 g) b);
     Alcotest.test_case "fixed frames round-trip" `Quick (fun () ->
         let _, _, io, proof = Lazy.force groth16_fix in
         let trace =
@@ -284,7 +318,9 @@ let codec_tests =
                   { status =
                       { Wire.uptime_s = 1.0; requests = 3; queue_depth = 0;
                         queue_capacity = 64; cache_hits = 1; cache_misses = 2;
-                        cache_entries = 2; timeouts = 0; rejections = 0; batched = 0 };
+                        cache_entries = 2; timeouts = 0; rejections = 0; batched = 0;
+                        workers = 2; workers_busy = 1; queue_depth_verify = 0;
+                        queue_depth_prove = 1 };
                     metrics_text = "# TYPE zkvc_serve_requests counter\n";
                     flight_jsonl = "{\"kind\":\"prove\"}\n" } );
             Wire.Response
@@ -305,7 +341,9 @@ let codec_tests =
                  { status =
                      { Wire.uptime_s = 0.; requests = 0; queue_depth = 0;
                        queue_capacity = 0; cache_hits = 0; cache_misses = 0;
-                       cache_entries = 0; timeouts = 0; rejections = 0; batched = 0 };
+                       cache_entries = 0; timeouts = 0; rejections = 0; batched = 0;
+                       workers = 0; workers_busy = 0; queue_depth_verify = 0;
+                       queue_depth_prove = 0 };
                    metrics_text = "";
                    flight_jsonl = "" } )));
     Alcotest.test_case "status floats keep all 64 bits" `Quick (fun () ->
@@ -316,7 +354,8 @@ let codec_tests =
             let s =
               { Wire.uptime_s = u; requests = 0; queue_depth = 0; queue_capacity = 0;
                 cache_hits = 0; cache_misses = 0; cache_entries = 0; timeouts = 0;
-                rejections = 0; batched = 0 }
+                rejections = 0; batched = 0; workers = 0; workers_busy = 0;
+                queue_depth_verify = 0; queue_depth_prove = 0 }
             in
             match
               Wire.decode_frame (Wire.encode_frame (Wire.Response (None, Wire.Status_ok s)))
@@ -576,7 +615,38 @@ let cache_tests =
           (Key_cache.find_by_id t e1.Key_cache.id <> None));
     Alcotest.test_case "find_by_id misses unknown ids" `Quick (fun () ->
         let t = Key_cache.create ~capacity:2 () in
-        check_bool "unknown" true (Key_cache.find_by_id t (String.make 32 'q') = None)) ]
+        check_bool "unknown" true (Key_cache.find_by_id t (String.make 32 'q') = None));
+    Alcotest.test_case "concurrent misses run keygen once (single-flight)" `Quick
+      (fun () ->
+        let t = Key_cache.create ~capacity:2 () in
+        let prep = cs_of_dims tiny in
+        let made = Atomic.make 0 in
+        let results = Array.make 2 None in
+        let go i () =
+          let e, outcome =
+            Key_cache.find_or_add t Api.Backend_spartan Mc.Vanilla tiny
+              ~challenge:prep.Api.challenge ~cs:prep.Api.cs
+              ~make:(fun () ->
+                Atomic.incr made;
+                (* keep the slot occupied long enough for the second
+                   thread to land on the same id mid-flight *)
+                Thread.delay 0.15;
+                Api.keygen Api.Backend_spartan prep.Api.cs)
+          in
+          results.(i) <- Some (e.Key_cache.id, outcome)
+        in
+        let t1 = Thread.create (go 0) () in
+        Thread.delay 0.05;
+        let t2 = Thread.create (go 1) () in
+        Thread.join t1;
+        Thread.join t2;
+        check_int "keygen ran exactly once" 1 (Atomic.get made);
+        match (results.(0), results.(1)) with
+        | Some (id0, o0), Some (id1, o1) ->
+          check_bool "both got the same entry" true (id0 = id1);
+          check_bool "one miss, one memory hit" true
+            ((o0 = `Miss && o1 = `Hit_mem) || (o0 = `Hit_mem && o1 = `Miss))
+        | _ -> Alcotest.fail "a thread never settled") ]
 
 (* ---------------- batch verification ---------------- *)
 
@@ -623,37 +693,100 @@ let batch_tests =
         check_bool "no fast path" false fast;
         check_bool "all true" true (List.for_all Fun.id verdicts)) ]
 
-(* ---------------- job queue ---------------- *)
+(* ---------------- job scheduler ---------------- *)
+
+(* pop + complete in one step: dispatch order for tests where each job
+   "finishes" immediately *)
+let pop_done q =
+  match Jobs.pop q with
+  | Some tk ->
+    Jobs.complete q ~client:tk.Jobs.t_client;
+    tk.Jobs.t_item
+  | None -> Alcotest.fail "scheduler ran dry"
 
 let jobs_tests =
-  [ Alcotest.test_case "FIFO, backpressure, close" `Quick (fun () ->
-        let q = Jobs.create ~capacity:2 in
-        check_bool "push 1" true (Jobs.push q 1 = `Ok);
-        check_bool "push 2" true (Jobs.push q 2 = `Ok);
-        check_bool "push 3 rejected" true (Jobs.push q 3 = `Full);
-        check_bool "pop 1" true (Jobs.pop q = Some 1);
-        check_bool "push 3 after pop" true (Jobs.push q 3 = `Ok);
+  [ Alcotest.test_case "per-client FIFO, backpressure, close" `Quick (fun () ->
+        let q = Jobs.create ~capacity:2 () in
+        let push x = Jobs.push q ~client:1 ~lane:Jobs.Lane_prove x in
+        check_bool "push 1" true (push 1 = `Ok);
+        check_bool "push 2" true (push 2 = `Ok);
+        check_bool "push 3 rejected" true (push 3 = `Full);
+        (match Jobs.pop q with
+         | Some { Jobs.t_item = 1; t_client = 1; t_lane = Jobs.Lane_prove } -> ()
+         | _ -> Alcotest.fail "expected item 1 from client 1");
+        check_bool "push 3 after pop" true (push 3 = `Ok);
         Jobs.close q;
-        check_bool "push after close" true (Jobs.push q 4 = `Closed);
-        check_bool "drains in order" true (Jobs.pop q = Some 2 && Jobs.pop q = Some 3);
+        check_bool "push after close" true (push 4 = `Closed);
+        (* client 1 still has a job in flight: nothing else dispatches
+           for it until [complete] — that is the per-connection ordering
+           guarantee *)
+        Jobs.complete q ~client:1;
+        check_int "drains in order" 2 (pop_done q);
+        check_int "drains in order (2)" 3 (pop_done q);
         check_bool "empty after drain" true (Jobs.pop q = None));
-    Alcotest.test_case "drain_where keeps order of the rest" `Quick (fun () ->
-        let q = Jobs.create ~capacity:8 in
-        List.iter (fun i -> ignore (Jobs.push q i)) [ 1; 2; 3; 4; 5; 6 ];
-        let evens = Jobs.drain_where q (fun i -> i mod 2 = 0) in
-        check_bool "drained FIFO" true (evens = [ 2; 4; 6 ]);
+    Alcotest.test_case "verify lane dispatches ahead of earlier proves" `Quick
+      (fun () ->
+        let q = Jobs.create ~capacity:8 () in
+        ignore (Jobs.push q ~client:1 ~lane:Jobs.Lane_prove ~cost:4 "p1");
+        ignore (Jobs.push q ~client:2 ~lane:Jobs.Lane_prove ~cost:4 "p2");
+        ignore (Jobs.push q ~client:3 ~lane:Jobs.Lane_verify "v");
+        check_int "prove lane depth" 2 (Jobs.lane_depth q Jobs.Lane_prove);
+        check_int "verify lane depth" 1 (Jobs.lane_depth q Jobs.Lane_verify);
+        let order = List.init 3 (fun _ -> pop_done q) in
+        check_bool "verify first, then proves in arrival order" true
+          (order = [ "v"; "p1"; "p2" ]));
+    Alcotest.test_case "a flooding client cannot starve a quiet one" `Quick (fun () ->
+        let q = Jobs.create ~capacity:16 () in
+        for i = 1 to 8 do
+          ignore (Jobs.push q ~client:1 ~lane:Jobs.Lane_prove ~cost:4 (i * 10))
+        done;
+        ignore (Jobs.push q ~client:2 ~lane:Jobs.Lane_prove ~cost:4 1);
+        let order = List.init 9 (fun _ -> pop_done q) in
+        (* round robin: the quiet client's single job is served on the
+           next rotation, not behind the whole flood *)
+        check_int "quiet client served promptly" 1 (List.nth order 1);
+        check_int "flood still fully served" 80 (List.nth order 8));
+    Alcotest.test_case "an expensive head accumulates credit and dispatches" `Quick
+      (fun () ->
+        (* cost 9 > quantum 4: the head is starved twice, earns credit
+           across rescans, and must dispatch without blocking *)
+        let q = Jobs.create ~quantum:4 ~capacity:4 () in
+        ignore (Jobs.push q ~client:1 ~lane:Jobs.Lane_prove ~cost:9 "big");
+        check_bool "big job dispatched" true (pop_done q = "big"));
+    Alcotest.test_case "drain_where takes idle matching heads, oldest first" `Quick
+      (fun () ->
+        let q = Jobs.create ~capacity:8 () in
+        List.iter
+          (fun i -> ignore (Jobs.push q ~client:i ~lane:Jobs.Lane_verify i))
+          [ 1; 2; 3; 4; 5; 6 ];
+        let evens = Jobs.drain_where q ~lane:Jobs.Lane_verify (fun i -> i mod 2 = 0) in
+        check_bool "drained the matching clients" true
+          (List.sort compare (List.map (fun tk -> tk.Jobs.t_item) evens) = [ 2; 4; 6 ]);
         check_int "rest length" 3 (Jobs.length q);
-        check_bool "rest FIFO" true
-          (Jobs.pop q = Some 1 && Jobs.pop q = Some 3 && Jobs.pop q = Some 5));
+        let rest = List.init 3 (fun _ -> pop_done q) in
+        check_bool "rest dispatches in arrival order" true (rest = [ 1; 3; 5 ]));
+    Alcotest.test_case "drain_where never reorders within a connection" `Quick
+      (fun () ->
+        let q = Jobs.create ~capacity:8 () in
+        ignore (Jobs.push q ~client:1 ~lane:Jobs.Lane_prove "p");
+        ignore (Jobs.push q ~client:1 ~lane:Jobs.Lane_verify "v1");
+        ignore (Jobs.push q ~client:2 ~lane:Jobs.Lane_verify "v2");
+        (* client 1's verify sits behind its prove, so coalescing must
+           not take it *)
+        let got = Jobs.drain_where q ~lane:Jobs.Lane_verify (fun _ -> true) in
+        check_bool "only the idle head verify drained" true
+          (List.map (fun tk -> tk.Jobs.t_item) got = [ "v2" ]);
+        check_int "client 1 keeps both jobs" 2 (Jobs.length q));
     Alcotest.test_case "pop blocks until a push arrives" `Quick (fun () ->
-        let q = Jobs.create ~capacity:1 in
+        let q = Jobs.create ~capacity:1 () in
         let got = ref None in
         let th = Thread.create (fun () -> got := Jobs.pop q) () in
         Thread.delay 0.05;
         check_bool "still blocked" true (!got = None);
-        ignore (Jobs.push q 42);
+        ignore (Jobs.push q ~client:7 ~lane:Jobs.Lane_verify 42);
         Thread.join th;
-        check_bool "woke with the job" true (!got = Some 42)) ]
+        check_bool "woke with the job" true
+          (match !got with Some tk -> tk.Jobs.t_item = 42 | None -> false)) ]
 
 (* ---------------- end-to-end socket sessions ---------------- *)
 
@@ -864,7 +997,136 @@ let e2e_tests =
         Unix.close fd;
         Unix.close sh;
         Server.wait srv;
-        check_bool "socket removed" false (Sys.file_exists socket)) ]
+        check_bool "socket removed" false (Sys.file_exists socket));
+    Alcotest.test_case "a queued verify overtakes a queued prove" `Slow (fun () ->
+        let socket = temp_socket "lanes" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with Server.job_delay_s = 0.3 }
+        in
+        with_server cfg (fun srv ->
+            (* seed the cache and obtain a proof to verify *)
+            let prove_payload =
+              Wire.Prove
+                { backend = Api.Backend_groth16;
+                  strategy = Mc.Vanilla;
+                  dims = tiny;
+                  input = Wire.Seeded { seed = 3; bound = 16 };
+                  deadline_ms = 0 }
+            in
+            let key_id, io, proof =
+              Client.with_connection socket (fun c ->
+                  match Client.request_exn c prove_payload with
+                  | Wire.Prove_ok { key_id; public_inputs; proof; _ } ->
+                    (key_id, public_inputs, proof)
+                  | _ -> Alcotest.fail "expected Prove_ok")
+            in
+            let prove_req = Wire.Request (None, prove_payload) in
+            let fd1 = raw_connect socket in
+            let fd2 = raw_connect socket in
+            let fd3 = raw_connect socket in
+            Wire.write_frame fd1 prove_req;
+            Thread.delay 0.1;
+            (* the worker is inside fd1's prove; both of these queue *)
+            Wire.write_frame fd2 prove_req;
+            Wire.write_frame fd3
+              (Wire.Request
+                 ( None,
+                   Wire.Verify { key_id; public_inputs = io; proof; deadline_ms = 0 } ));
+            (match Wire.read_frame fd3 with
+             | Ok (Wire.Response (_, Wire.Verify_ok true)) -> ()
+             | _ -> Alcotest.fail "expected Verify_ok");
+            (match (Wire.read_frame fd1, Wire.read_frame fd2) with
+             | ( Ok (Wire.Response (_, Wire.Prove_ok _)),
+                 Ok (Wire.Response (_, Wire.Prove_ok _)) ) ->
+               ()
+             | _ -> Alcotest.fail "both proves should still complete");
+            List.iter Unix.close [ fd1; fd2; fd3 ];
+            (* the flight recorder (oldest first) shows the verify lane
+               jumping the queued prove *)
+            let lines = String.split_on_char '\n' (String.trim (Server.flight_jsonl srv)) in
+            check_int "four records" 4 (List.length lines);
+            check_bool "third completion is the verify" true
+              (contains ~sub:"\"kind\":\"verify\"" (List.nth lines 2));
+            check_bool "records carry their lane" true
+              (contains ~sub:"\"lane\":\"verify\"" (List.nth lines 2));
+            check_bool "records carry their worker" true
+              (contains ~sub:"\"worker\":" (List.nth lines 2))));
+    Alcotest.test_case "workers=4: concurrent proves are byte-identical" `Slow
+      (fun () ->
+        let socket = temp_socket "workers4" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with Server.workers = 4 }
+        in
+        with_server cfg (fun srv ->
+            let cases =
+              [| (Mspec.dims ~a:2 ~n:2 ~b:2, 21);
+                 (Mspec.dims ~a:2 ~n:2 ~b:3, 22);
+                 (Mspec.dims ~a:2 ~n:3 ~b:2, 23) |]
+            in
+            let results = Array.make (Array.length cases) None in
+            let run i =
+              let dims, seed = cases.(i) in
+              Client.with_connection socket (fun c ->
+                  match
+                    Client.request_exn c
+                      (Wire.Prove
+                         { backend = Api.Backend_spartan;
+                           strategy = Mc.Vanilla;
+                           dims;
+                           input = Wire.Seeded { seed; bound = 16 };
+                           deadline_ms = 0 })
+                  with
+                  | Wire.Prove_ok { proof; _ } -> results.(i) <- Some proof
+                  | _ -> ())
+            in
+            let ths =
+              List.init (Array.length cases) (fun i -> Thread.create run i)
+            in
+            List.iter Thread.join ths;
+            let bytes p =
+              match p with
+              | Api.Groth16_proof g -> Zkvc_groth16.Groth16.proof_to_bytes g
+              | Api.Spartan_proof s -> Spartan.proof_to_bytes s
+            in
+            Array.iteri
+              (fun i r ->
+                let dims, seed = cases.(i) in
+                match r with
+                | None -> Alcotest.failf "concurrent prove %d failed" i
+                | Some p ->
+                  let rng = Random.State.make [| seed |] in
+                  let x =
+                    Spec.random_matrix rng ~rows:dims.Mspec.a ~cols:dims.Mspec.n
+                      ~bound:16
+                  in
+                  let w =
+                    Spec.random_matrix rng ~rows:dims.Mspec.n ~cols:dims.Mspec.b
+                      ~bound:16
+                  in
+                  let local, _ = Api.run ~rng Api.Backend_spartan Mc.Vanilla ~x ~w dims in
+                  check_bool "byte-identical to Api.run" true
+                    (Bytes.equal (bytes p) (bytes local)))
+              results;
+            let s = Server.status srv in
+            check_int "all three proves missed the cache" 3 s.Wire.cache_misses;
+            check_int "worker pool size reported" 4 s.Wire.workers));
+    Alcotest.test_case "shutdown is prompt despite a long metrics interval" `Slow
+      (fun () ->
+        let socket = temp_socket "promptstop" in
+        let metrics_file = Filename.temp_file "zkvc-prompt" ".prom" in
+        let cfg =
+          { (Server.default_config ~socket_path:socket) with
+            Server.metrics_file = Some metrics_file;
+            metrics_interval_s = 300. }
+        in
+        let srv = Server.start cfg in
+        let t0 = Unix.gettimeofday () in
+        Server.shutdown srv;
+        Server.wait srv;
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt >= 5. then
+          Alcotest.failf "shutdown took %.1fs — snapshot loop slept the interval" dt;
+        Sys.remove metrics_file) ]
 
 (* ---------------- telemetry e2e ---------------- *)
 
@@ -996,6 +1258,32 @@ let telemetry_tests =
                   (* the prove plus this status request itself *)
                   check_int "requests counted" 2 s.Wire.requests
                 | _ -> Alcotest.fail "expected Status_ok")));
+    Alcotest.test_case "malformed frames are answered at the peer's version" `Slow
+      (fun () ->
+        let socket = temp_socket "badframe" in
+        let cfg = Server.default_config ~socket_path:socket in
+        with_server cfg (fun _ ->
+            let fd = raw_connect socket in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                Wire.write_frame ~version:1 fd (Wire.Request (None, Wire.Status));
+                (match Wire.read_frame' fd with
+                 | Ok (Wire.Response (None, Wire.Status_ok _), meta) ->
+                   check_int "status answered at v1" 1 meta.Wire.frame_version
+                 | _ -> Alcotest.fail "expected Status_ok");
+                (* an unknown frame kind under valid v1 framing: the
+                   error reply must stay at the version this peer last
+                   spoke, not the server's newest *)
+                let junk = Bytes.of_string "ZKVC\001\231\000\000\000\000" in
+                let n = Bytes.length junk in
+                assert (Unix.write fd junk 0 n = n);
+                match Wire.read_frame' fd with
+                | Ok (Wire.Response (_, Wire.Error { code = Wire.Bad_request; _ }), meta)
+                  ->
+                  check_int "error reply at the peer's version" 1
+                    meta.Wire.frame_version
+                | _ -> Alcotest.fail "expected a v1 Bad_request reply")));
     Alcotest.test_case "flight recorder: detail dump, ring bound, shutdown flush" `Slow
       (fun () ->
         let socket = temp_socket "flight" in

@@ -216,6 +216,89 @@ grep -q "serve.cache.hit" "$SERVE_TMP/serve.log" || {
 }
 echo "ci: proof service smoke ok ($SERVE_TMP)"
 
+echo "== proof service smoke (--workers 2, concurrent clients) =="
+# A fresh server instance with two worker threads: concurrent proves from
+# separate clients must all complete, serve byte-identical proofs, and the
+# metrics snapshot must expose the per-lane queue gauges.
+# Concurrent `dune exec` invocations contend on dune's build lock and can
+# stall one client behind the other, so this stage builds the CLI once and
+# runs the binary directly for every concurrent invocation.
+dune build bin/zkvc_cli.exe
+ZKVC_BIN=_build/default/bin/zkvc_cli.exe
+MW_TMP=$(mktemp -d /tmp/zkvc-serve-mw.XXXXXX)
+MW_SOCK="$MW_TMP/zkvc.sock"
+"$ZKVC_BIN" serve --socket "$MW_SOCK" --workers 2 \
+    --metrics-file "$MW_TMP/metrics.prom" --metrics-interval 0.2 \
+    > "$MW_TMP/serve.log" 2>&1 &
+MW_PID=$!
+i=0
+while [ ! -S "$MW_SOCK" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -S "$MW_SOCK" ]; then
+    echo "ci: multi-worker proof service did not come up" >&2
+    cat "$MW_TMP/serve.log" >&2
+    exit 1
+fi
+
+# two different circuits proved concurrently (each lands on its own worker)
+"$ZKVC_BIN" client prove --socket "$MW_SOCK" --dims 4,4,8 \
+    --backend spartan --seed 7 --out "$MW_TMP/a.zkvp" > "$MW_TMP/a.out" 2>&1 &
+CLIENT_A=$!
+"$ZKVC_BIN" client prove --socket "$MW_SOCK" --dims 4,8,4 \
+    --backend spartan --seed 9 --out "$MW_TMP/b.zkvp" > "$MW_TMP/b.out" 2>&1 &
+CLIENT_B=$!
+wait "$CLIENT_A" || { echo "ci: concurrent prove A failed" >&2; cat "$MW_TMP/a.out" >&2; exit 1; }
+wait "$CLIENT_B" || { echo "ci: concurrent prove B failed" >&2; cat "$MW_TMP/b.out" >&2; exit 1; }
+
+# cache-miss proofs stay byte-identical to in-process proving under workers=2
+"$ZKVC_BIN" prove --dims 4,4,8 --backend spartan --seed 7 \
+    --out "$MW_TMP/a-local.zkvp" > /dev/null
+cmp "$MW_TMP/a.zkvp" "$MW_TMP/a-local.zkvp" || {
+    echo "ci: multi-worker served proof differs from the in-process proof" >&2
+    exit 1
+}
+
+# concurrent verifies ride the priority lane; both must pass
+"$ZKVC_BIN" client verify --socket "$MW_SOCK" \
+    --proof "$MW_TMP/a.zkvp" > "$MW_TMP/va.out" 2>&1 &
+VERIFY_A=$!
+"$ZKVC_BIN" client verify --socket "$MW_SOCK" \
+    --proof "$MW_TMP/b.zkvp" > "$MW_TMP/vb.out" 2>&1 &
+VERIFY_B=$!
+wait "$VERIFY_A" && wait "$VERIFY_B" || {
+    echo "ci: concurrent verifies failed" >&2
+    cat "$MW_TMP/va.out" "$MW_TMP/vb.out" >&2
+    exit 1
+}
+grep -q "verified: true" "$MW_TMP/va.out" && grep -q "verified: true" "$MW_TMP/vb.out" || {
+    echo "ci: concurrent verifies did not both verify" >&2
+    exit 1
+}
+
+"$ZKVC_BIN" client status --socket "$MW_SOCK" | tee "$MW_TMP/status.out"
+grep -Eq "workers=[0-9]+/2" "$MW_TMP/status.out" || {
+    echo "ci: status should report the worker pool size" >&2
+    exit 1
+}
+
+"$ZKVC_BIN" client shutdown --socket "$MW_SOCK"
+wait "$MW_PID"
+
+for METRIC in zkvc_serve_workers zkvc_serve_queue_depth_verify zkvc_serve_queue_depth_prove; do
+    grep -q "^$METRIC " "$MW_TMP/metrics.prom" || {
+        echo "ci: metrics snapshot missing $METRIC" >&2
+        cat "$MW_TMP/metrics.prom" >&2
+        exit 1
+    }
+done
+grep -Eq "^zkvc_serve_workers 2(\.0+)?$" "$MW_TMP/metrics.prom" || {
+    echo "ci: zkvc_serve_workers should report 2" >&2
+    exit 1
+}
+echo "ci: multi-worker proof service smoke ok ($MW_TMP)"
+
 echo "== adversary: bounded fault-injection sweep =="
 # Bounded deterministic sweep: both backends, the cheap and the full CRPC
 # encoding, one dimension scale. The seed is fixed and printed by the CLI

@@ -67,6 +67,10 @@ let repeat = ref 1
 let only : string list ref = ref []
 let json_file : string option ref = ref None
 
+(* --profile: attach the constraint-provenance region tree to every
+   report measurement (zkvc-bench/3 "regions" block) *)
+let profile = ref false
+
 (* human tables; redirected to stderr when --json - owns stdout *)
 let out = ref stdout
 let tbl fmt = Printf.fprintf !out fmt
@@ -79,7 +83,7 @@ let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "abl"; "m
 let usage_error msg =
   Printf.eprintf "bench: %s\n" msg;
   Printf.eprintf
-    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--repeat N] [--json FILE]\n";
+    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--repeat N] [--json FILE] [--profile]\n";
   exit 2
 
 let () =
@@ -126,6 +130,9 @@ let () =
       json_file := Some f;
       parse rest
     | [ "--json" ] -> usage_error "--json expects an argument"
+    | "--profile" :: rest ->
+      profile := true;
+      parse rest
     | arg :: _ -> usage_error ("unknown argument: " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -208,12 +215,16 @@ let record_measurement ~section ~scheme (ms : Api.measurement list) =
         top_heap_words = m.Api.top_heap_words;
         major_collections = m.Api.major_collections }
     in
+    (* drop synthesis/prove timing from the attached tree: the report's
+       region block is the structural ledger (gated exactly by the perf
+       differ), while wall time stays in the reps *)
+    let regions = if !profile then Some (Obs.Attrib.strip_timing m.Api.regions) else None in
     report_measurements :=
-      Obs.Report.summarize ~section ~scheme
+      Obs.Report.summarize ?regions ~section ~scheme
         ~strategy:(Mc.strategy_name m.Api.strategy)
         ~backend:(Api.backend_name m.Api.backend)
         ~dims:(m.Api.dims.Mspec.a, m.Api.dims.Mspec.n, m.Api.dims.Mspec.b)
-        ~reps ~proof_bytes:m.Api.proof_bytes ~ledger
+        ~reps ~proof_bytes:m.Api.proof_bytes ~ledger ()
       :: !report_measurements
   end
 

@@ -233,6 +233,167 @@ let model_cmd =
   let doc = "Compile a paper model to verifiable ops and print exact budgets." in
   Cmd.v (Cmd.info "model" ~doc) Term.(const run $ arch_arg $ variant_arg $ strategy_arg)
 
+(* ---- profile ---- *)
+
+let iso8601_utc_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let profile_cmd =
+  let folded_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write the region tree as collapsed-stack text (one \
+                   $(i,path;to;region N) line per region, weight = self \
+                   constraint count) — feed straight to flamegraph.pl or \
+                   speedscope.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write a zkvc-bench/3 report (one measurement, section \
+                   $(b,profile)) with the region tree embedded, diffable \
+                   with $(b,perf_diff).")
+  in
+  let arch_arg =
+    Arg.(value & opt (some arch_conv) None
+         & info [ "arch" ] ~docv:"ARCH"
+             ~doc:"Profile a whole compiled model (shrunk by $(b,--shrink)) \
+                   instead of one matmul: cifar10, tiny-imagenet, imagenet \
+                   or bert. Layer labels become regions.")
+  in
+  let variant_arg =
+    Arg.(value & opt variant_conv Models.Zkvc_hybrid
+         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Model variant (with --arch).")
+  in
+  let shrink_arg =
+    Arg.(value & opt int 8
+         & info [ "shrink" ] ~docv:"N"
+             ~doc:"Divide model widths/depths by N before synthesis (with \
+                   --arch); keeps whole-model profiling tractable.")
+  in
+  let run d strategy backend seed jobs arch variant shrink folded json_file =
+    Zkvc_parallel.set_jobs jobs;
+    let rng = Random.State.make [| seed |] in
+    let cs, assignment, tree, dims, section =
+      match arch with
+      | None ->
+        (* the same seeded instance [prove] uses *)
+        let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+        let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+        let prep = Api.prepare strategy ~x ~w d in
+        (prep.Api.cs, prep.Api.assignment, prep.Api.regions, d, "profile")
+      | Some arch ->
+        let arch = Models.shrink arch ~factor:shrink in
+        let layers = Compiler.compile arch variant in
+        let b = Compiler.synthesize ~strategy cfg layers in
+        let cs, assignment, tree = Compiler.Counter.B.finalize_attributed b in
+        (cs, assignment, tree, d, "profile-" ^ arch.Models.arch_name)
+    in
+    let stats = Api.Cs.stats cs in
+    let public_inputs = Array.to_list (Array.sub assignment 1 (Api.Cs.num_inputs cs)) in
+    let t0 = Obs.Span.now () in
+    let keys = Api.keygen ~rng backend cs in
+    let t1 = Obs.Span.now () in
+    let proof = Api.prove_with ~rng keys assignment in
+    let t2 = Obs.Span.now () in
+    let ok = Api.verify_with keys ~public_inputs proof in
+    let t3 = Obs.Span.now () in
+    let prove_s = t2 -. t1 in
+    let tree = Obs.Attrib.with_prove_share ~prove_s tree in
+    (* Groth16's QAP reduction appends input-consistency rows on the A
+       side; surface them as a synthetic zero-constraint region so the
+       per-region nnz_a ledger reconciles with Qap.density. *)
+    let tree =
+      match backend with
+      | Api.Backend_groth16 ->
+        let pad =
+          Zkvc_groth16.Groth16.Qap.input_consistency_nnz
+            ~num_inputs:(Api.Cs.num_inputs cs)
+        in
+        { tree with
+          Obs.Attrib.children =
+            tree.Obs.Attrib.children
+            @ [ Obs.Attrib.make ~name:"(qap-padding)"
+                  ~self:{ Obs.Attrib.zero_counts with Obs.Attrib.nnz_a = pad }
+                  [] ] }
+      | Api.Backend_spartan -> tree
+    in
+    let total = Obs.Attrib.total tree in
+    Printf.printf "%s  %s  %s  prove=%.3fs setup=%.3fs verify=%.4fs%s\n\n" section
+      (Mc.strategy_name strategy) (Api.backend_name backend) prove_s (t1 -. t0) (t3 -. t2)
+      (if ok then "" else "  VERIFY-FAILED");
+    print_string (Obs.Attrib.to_table tree);
+    let sum_ok = total.Obs.Attrib.constraints = stats.Api.Cs.constraints in
+    Printf.printf "\nregion constraints total: %d; global ledger: %d (%s)\n"
+      total.Obs.Attrib.constraints stats.Api.Cs.constraints
+      (if sum_ok then "exact match" else "MISMATCH");
+    let unattrib = Obs.Attrib.unattributed_pct tree in
+    Printf.printf "unattributed constraints: %.2f%% (target < 5%%)%s\n" unattrib
+      (if unattrib >= 5. then "  WARNING" else "");
+    (match Obs.Attrib.top_regions ~n:3 tree with
+     | [] -> ()
+     | tops ->
+       Printf.printf "hot regions: %s\n"
+         (String.concat ", "
+            (List.map (fun (p, c) -> Printf.sprintf "%s (%d)" p c) tops)));
+    (match folded with
+     | Some file ->
+       let oc = open_out file in
+       output_string oc (Obs.Attrib.to_folded tree);
+       close_out oc;
+       Printf.printf "folded stacks: %s\n" file
+     | None -> ());
+    (match json_file with
+     | Some file ->
+       let ledger =
+         { Obs.Report.constraints = stats.Api.Cs.constraints;
+           variables = stats.Api.Cs.variables;
+           nonzero_a = stats.Api.Cs.nonzero_a;
+           nonzero_b = stats.Api.Cs.nonzero_b;
+           nonzero_c = stats.Api.Cs.nonzero_c;
+           witness = Api.Cs.num_aux cs;
+           top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+           major_collections = (Gc.quick_stat ()).Gc.major_collections }
+       in
+       let m =
+         Obs.Report.summarize
+           ~regions:(Obs.Attrib.strip_timing tree)
+           ~section ~scheme:"profile" ~strategy:(Mc.strategy_name strategy)
+           ~backend:(Api.backend_name backend)
+           ~dims:(dims.Mspec.a, dims.Mspec.n, dims.Mspec.b)
+           ~reps:[ { Obs.Report.setup_s = t1 -. t0; prove_s; verify_s = t3 -. t2 } ]
+           ~proof_bytes:(Api.proof_size proof) ~ledger ()
+       in
+       let report =
+         { Obs.Report.env =
+             { Obs.Report.git_rev = "unknown";
+               ocaml_version = Sys.ocaml_version;
+               nproc = Domain.recommended_domain_count ();
+               jobs = Zkvc_parallel.jobs ();
+               scale = 1;
+               full = false;
+               clock = "monotonic";
+               date = iso8601_utc_now () };
+           sections = [ section ];
+           measurements = [ m ] }
+       in
+       let oc = open_out file in
+       output_string oc (Obs.Json.to_string_pretty (Obs.Report.to_json report));
+       close_out oc;
+       Printf.printf "report: %s\n" file
+     | None -> ());
+    if not ok then 1 else if not sum_ok then 3 else 0
+  in
+  let doc =
+    "Attribute constraints, nonzeros and prove time to circuit regions \
+     (per gadget, per layer with --arch) and export the cost profile."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ jobs_arg
+          $ arch_arg $ variant_arg $ shrink_arg $ folded_arg $ json_arg)
+
 (* ---- gkr ---- *)
 
 let gkr_cmd =
@@ -819,5 +980,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ count_cmd; prove_cmd; model_cmd; gkr_cmd; keygen_cmd; verify_cmd;
-            serve_cmd; client_cmd; top_cmd; adversary_cmd ]))
+          [ count_cmd; prove_cmd; model_cmd; profile_cmd; gkr_cmd; keygen_cmd;
+            verify_cmd; serve_cmd; client_cmd; top_cmd; adversary_cmd ]))

@@ -39,7 +39,10 @@ type measurement =
     verified : bool;
     top_heap_words : int;
     major_collections : int;
-    timings : timings }
+    timings : timings;
+    regions : Zkvc_obs.Attrib.t
+        (* provenance tree with witness time and the prove time
+           apportioned over regions by nnz share *) }
 
 type proof =
   | Groth16_proof of Groth16.proof
@@ -72,7 +75,8 @@ type prepared =
   { cs : Cs.t;
     assignment : Fr.t array;
     y : Fr.t array array;
-    challenge : Fr.t option }
+    challenge : Fr.t option;
+    regions : Obs.Attrib.t }
 
 (** Build the matmul circuit for the given strategy. For CRPC strategies
     the challenge is derived by Fiat–Shamir from X, W and Y (commit-then-
@@ -85,8 +89,8 @@ let prepare strategy ~x ~w d =
   in
   let b = Bld.create () in
   let _wires, _y = Mc.build b strategy ?challenge ~x ~w d in
-  let cs, assignment = Bld.finalize b in
-  { cs; assignment; y; challenge }
+  let cs, assignment, regions = Bld.finalize_attributed b in
+  { cs; assignment; y; challenge; regions }
 
 let build_circuit strategy ~x ~w d =
   let p = prepare strategy ~x ~w d in
@@ -193,7 +197,8 @@ let run ?(rng = default_rng ()) backend strategy ~x ~w d =
       verified = ok;
       top_heap_words = gc1.Gc.top_heap_words;
       major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
-      timings } )
+      timings;
+      regions = Obs.Attrib.with_prove_share ~prove_s:t_prove prep.regions } )
 
 let pp_measurement fmt m =
   Format.fprintf fmt

@@ -36,7 +36,11 @@ type measurement =
     verified : bool;
     top_heap_words : int;
     major_collections : int;
-    timings : timings }
+    timings : timings;
+    regions : Zkvc_obs.Attrib.t
+        (** constraint-provenance tree: per-region counts, witness-
+            generation time, and the measured prove time apportioned
+            over regions by nonzero share *) }
 
 type proof =
   | Groth16_proof of Zkvc_groth16.Groth16.proof
@@ -58,7 +62,10 @@ type prepared =
   { cs : Cs.t;
     assignment : Fr.t array;
     y : Fr.t array array;
-    challenge : Fr.t option }
+    challenge : Fr.t option;
+    regions : Zkvc_obs.Attrib.t
+        (** constraint-provenance tree of the build (witness time filled,
+            prove share zero — no proving has happened yet) *) }
 
 val prepare :
   Matmul_circuit.strategy ->

@@ -181,13 +181,14 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       wire matrices [y = x·w]. This is the composition entry point: chained
       layers pass one matmul's output wires as the next one's inputs. *)
   let constrain b strategy ?challenge ~x ~w ~y d =
-    match strategy, challenge with
-    | Vanilla, _ -> constrain_vanilla b ~x ~w ~y d
-    | Vanilla_psq, _ -> constrain_vanilla_psq b ~x ~w ~y d
-    | Crpc, Some challenge -> constrain_crpc b ~challenge ~x ~w ~y d
-    | Crpc_psq, Some challenge -> constrain_crpc_psq b ~challenge ~x ~w ~y d
-    | (Crpc | Crpc_psq), None ->
-      invalid_arg "Matmul_circuit.constrain: CRPC strategies need a challenge"
+    B.in_region b ("matmul/" ^ strategy_name strategy) (fun () ->
+        match strategy, challenge with
+        | Vanilla, _ -> constrain_vanilla b ~x ~w ~y d
+        | Vanilla_psq, _ -> constrain_vanilla_psq b ~x ~w ~y d
+        | Crpc, Some challenge -> constrain_crpc b ~challenge ~x ~w ~y d
+        | Crpc_psq, Some challenge -> constrain_crpc_psq b ~challenge ~x ~w ~y d
+        | (Crpc | Crpc_psq), None ->
+          invalid_arg "Matmul_circuit.constrain: CRPC strategies need a challenge")
 
   (** Allocate wires for X, W and Y = X·W and add the constraints of the
       chosen [strategy]. [challenge] is required by the CRPC variants.
@@ -197,9 +198,13 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     if not (Spec.check_dims d x_values w_values) then
       invalid_arg "Matmul_circuit.build: dimension mismatch";
     let y_values = Spec.multiply x_values w_values in
-    let x = alloc_matrix b ~public:x_public x_values in
-    let w = alloc_matrix b ~public:w_public w_values in
-    let y = alloc_matrix b ~public:y_public y_values in
+    let x, w, y =
+      B.in_region b "matmul/alloc" (fun () ->
+          let x = alloc_matrix b ~public:x_public x_values in
+          let w = alloc_matrix b ~public:w_public w_values in
+          let y = alloc_matrix b ~public:y_public y_values in
+          (x, w, y))
+    in
     constrain b strategy ?challenge ~x ~w ~y d;
     ({ x; w; y }, y_values)
 end

@@ -72,6 +72,7 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       difference [d < 2^value_bits]. *)
   let exp_neg b cfg d =
     validate cfg;
+    B.in_region b "exp" (fun () ->
     (* finer scale S' = S·2^n: the base S' - d is exact (see Reference) *)
     let s' = 1 lsl (cfg.fractional_bits + cfg.exp_squarings) in
     let bits = G.bits_of b ~width:cfg.value_bits d in
@@ -112,7 +113,7 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       G.div_by_constant b ~q_width:(cfg.fractional_bits + 2) !p
         (Bigint.of_int (1 lsl cfg.exp_squarings))
     in
-    G.select b (L.of_var keep) (L.of_var e_full) L.zero
+    G.select b (L.of_var keep) (L.of_var e_full) L.zero)
 
   (** SoftMax over a vector of quantized logit wires; returns wires holding
       quantized probabilities (scale S). Implements the paper's recipe:
@@ -121,32 +122,37 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       verified division per element. *)
   let softmax b cfg xs =
     if xs = [] then invalid_arg "Nonlinear.softmax: empty";
-    let s = scale cfg in
-    let m = G.max_of b ~width:cfg.value_bits (List.map L.of_var xs) in
-    let es =
-      List.map (fun x -> exp_neg b cfg (L.sub (L.of_var m) (L.of_var x))) xs
-    in
-    (* materialise the total on a wire: keeps every per-element division
-       constraint O(1)-sized instead of dragging a |xs|-term combination *)
-    let total_lc = List.fold_left (fun acc e -> L.add acc (L.of_var e)) L.zero es in
-    let total_wire = B.alloc b (B.eval b total_lc) in
-    G.assert_equal b (L.of_var total_wire) total_lc;
-    let total = L.of_var total_wire in
-    let count_bits =
-      let rec go k p = if p >= List.length xs then k else go (k + 1) (2 * p) in
-      go 0 1
-    in
-    List.map
-      (fun e ->
-        let q, _r =
-          G.div_rem b
-            ~q_width:(cfg.fractional_bits + 1)
-            ~r_width:(cfg.fractional_bits + count_bits + 1)
-            (L.scale (F.of_int s) (L.of_var e))
-            total
+    B.in_region b "softmax" (fun () ->
+        let s = scale cfg in
+        let m = G.max_of b ~width:cfg.value_bits (List.map L.of_var xs) in
+        let es =
+          List.map (fun x -> exp_neg b cfg (L.sub (L.of_var m) (L.of_var x))) xs
         in
-        q)
-      es
+        B.in_region b "normalize" (fun () ->
+            (* materialise the total on a wire: keeps every per-element
+               division constraint O(1)-sized instead of dragging a
+               |xs|-term combination *)
+            let total_lc =
+              List.fold_left (fun acc e -> L.add acc (L.of_var e)) L.zero es
+            in
+            let total_wire = B.alloc b (B.eval b total_lc) in
+            G.assert_equal b (L.of_var total_wire) total_lc;
+            let total = L.of_var total_wire in
+            let count_bits =
+              let rec go k p = if p >= List.length xs then k else go (k + 1) (2 * p) in
+              go 0 1
+            in
+            List.map
+              (fun e ->
+                let q, _r =
+                  G.div_rem b
+                    ~q_width:(cfg.fractional_bits + 1)
+                    ~r_width:(cfg.fractional_bits + count_bits + 1)
+                    (L.scale (F.of_int s) (L.of_var e))
+                    total
+                in
+                q)
+              es))
 
   (** GELU(x) ≈ x²/8 + x/4 + 1/2 (the paper's polynomial), on a signed
       quantized wire with |x| < 2^(value_bits−1). The dividend
@@ -154,17 +160,18 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       gadget sees a genuine non-negative integer. *)
   let gelu b cfg x =
     validate cfg;
-    let s = scale cfg in
-    let x2 = G.mul b (L.of_var x) (L.of_var x) in
-    let dividend =
-      L.add (L.of_var x2)
-        (L.add
-           (L.scale (F.of_int (2 * s)) (L.of_var x))
-           (L.constant (F.of_int (4 * s * s))))
-    in
-    let q, _r =
-      G.div_by_constant b ~q_width:(2 * cfg.value_bits) dividend
-        (Bigint.of_int (8 * s))
-    in
-    q
+    B.in_region b "gelu" (fun () ->
+        let s = scale cfg in
+        let x2 = G.mul b (L.of_var x) (L.of_var x) in
+        let dividend =
+          L.add (L.of_var x2)
+            (L.add
+               (L.scale (F.of_int (2 * s)) (L.of_var x))
+               (L.constant (F.of_int (4 * s * s))))
+        in
+        let q, _r =
+          G.div_by_constant b ~q_width:(2 * cfg.value_bits) dividend
+            (Bigint.of_int (8 * s))
+        in
+        q)
 end

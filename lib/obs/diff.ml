@@ -62,7 +62,18 @@ let compare_one ~threshold ~k ~floor_s ~check_time (o : Report.measurement)
       (Float.max (threshold *. o.Report.prove_s)
          (k *. Float.max o.Report.prove_mad_s n.Report.prove_mad_s))
   in
-  let drifted = ledger_drift o.Report.ledger n.Report.ledger in
+  (* Per-region structural counts are deterministic exactly like the
+     global ledger, so they gate the same way — and a drift note names
+     the owning region, localising the regression. Skipped when either
+     side lacks a region tree (zkvc-bench/2 baselines, non-profiled
+     runs). *)
+  let region_drift =
+    match (o.Report.regions, n.Report.regions) with
+    | Some ot, Some nt ->
+      Attrib.drift_notes ~old_:(Attrib.strip_timing ot) ~new_:(Attrib.strip_timing nt)
+    | None, _ | _, None -> []
+  in
+  let drifted = ledger_drift o.Report.ledger n.Report.ledger @ region_drift in
   let verdict, notes =
     if drifted <> [] then (Ledger_drift, drifted)
     else if not check_time then (Ok_within_noise, [ "wall-time comparison skipped" ])

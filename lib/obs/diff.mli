@@ -9,8 +9,13 @@
     acceptance bar is 2×) always does. The cost ledger's deterministic
     fields (constraints, variables, nonzeros, witness length) are compared
     for {e exact equality} regardless of [check_time]: constraint counts
-    must never drift silently. GC fields ([top_heap_words],
-    [major_collections]) are reported but never gate. *)
+    must never drift silently. When both measurements carry a
+    constraint-provenance tree (zkvc-bench/3 [regions]), per-region
+    structural counts are held to the same exact-equality bar and a
+    drift note names the owning region; region comparison is skipped
+    when either side lacks the tree (v2 baselines keep comparing). GC
+    fields ([top_heap_words], [major_collections]) are reported but
+    never gate. *)
 
 type verdict =
   | Ok_within_noise  (** |delta| inside the noise band *)

@@ -3,9 +3,15 @@
    ledger. The codec must round-trip exactly — tests enforce
    [of_json (to_json r) = Ok r] — so every field is written and read
    explicitly; unknown fields are rejected nowhere (forward-compatible
-   readers skip them) but missing fields are an error. *)
+   readers skip them) but missing fields are an error.
 
-let schema = "zkvc-bench/2"
+   Schema history: zkvc-bench/2 (PR 3) is the ledger format; zkvc-bench/3
+   adds an optional per-measurement "regions" provenance tree. v2 files
+   are still read (regions = None) so committed baselines keep
+   comparing. *)
+
+let schema = "zkvc-bench/3"
+let schema_v2 = "zkvc-bench/2"
 
 type env =
   { git_rev : string;
@@ -47,15 +53,16 @@ type measurement =
     verify_s : float;
     verify_mad_s : float;
     proof_bytes : int;
-    ledger : ledger }
+    ledger : ledger;
+    regions : Attrib.t option (* provenance tree; None in v2 files *) }
 
 type t =
   { env : env;
     sections : string list;
     measurements : measurement list }
 
-let summarize ~section ~scheme ~strategy ~backend ~dims:(dims_a, dims_n, dims_b) ~reps
-    ~proof_bytes ~ledger =
+let summarize ?regions ~section ~scheme ~strategy ~backend ~dims:(dims_a, dims_n, dims_b) ~reps
+    ~proof_bytes ~ledger () =
   if reps = [] then invalid_arg "Report.summarize: empty rep list";
   let arr (f : rep -> float) = Array.of_list (List.map f reps) in
   let setups = arr (fun r -> r.setup_s)
@@ -75,7 +82,8 @@ let summarize ~section ~scheme ~strategy ~backend ~dims:(dims_a, dims_n, dims_b)
     verify_s = Stats.median verifies;
     verify_mad_s = Stats.mad verifies;
     proof_bytes;
-    ledger }
+    ledger;
+    regions }
 
 let key m =
   Printf.sprintf "%s/%s/%s/%s/%dx%dx%d" m.section m.scheme m.strategy m.backend m.dims_a
@@ -114,7 +122,7 @@ let rep_to_json (r : rep) =
 
 let measurement_to_json m =
   Json.Obj
-    [ ("section", Json.String m.section);
+    ([ ("section", Json.String m.section);
       ("scheme", Json.String m.scheme);
       ("strategy", Json.String m.strategy);
       ("backend", Json.String m.backend);
@@ -129,6 +137,7 @@ let measurement_to_json m =
       ("verify_mad_s", Json.Float m.verify_mad_s);
       ("proof_bytes", Json.Int m.proof_bytes);
       ("ledger", ledger_to_json m.ledger) ]
+    @ match m.regions with None -> [] | Some r -> [ ("regions", Attrib.to_json r) ])
 
 let to_json t =
   Json.Obj
@@ -205,13 +214,23 @@ let measurement_of_json v =
     verify_s = get_float "verify_s" v;
     verify_mad_s = get_float "verify_mad_s" v;
     proof_bytes = get_int "proof_bytes" v;
-    ledger = ledger_of_json (field "ledger" v) }
+    ledger = ledger_of_json (field "ledger" v);
+    regions =
+      (match Json.member "regions" v with
+       | None -> None
+       | Some r -> (
+         match Attrib.of_json r with
+         | Ok t -> Some t
+         | Error msg -> raise (Bad ("regions: " ^ msg)))) }
 
 let of_json v =
   match
     let s = get_string "schema" v in
-    if s <> schema then
-      raise (Bad (Printf.sprintf "unsupported schema %S (this reader understands %S)" s schema));
+    if s <> schema && s <> schema_v2 then
+      raise
+        (Bad
+           (Printf.sprintf "unsupported schema %S (this reader understands %S and %S)" s schema
+              schema_v2));
     { env = env_of_json (field "env" v);
       sections =
         List.map

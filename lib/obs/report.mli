@@ -13,9 +13,16 @@
 
     JSON encoding round-trips exactly: [of_json (to_json r) = Ok r]. *)
 
-(** Current schema identifier, ["zkvc-bench/2"]. Version 1 (PR 1's
-    ad-hoc bench dump, never committed) is not readable. *)
+(** Current schema identifier, ["zkvc-bench/3"]: version 2 plus an
+    optional per-measurement ["regions"] constraint-provenance tree.
+    Version 1 (PR 1's ad-hoc bench dump, never committed) is not
+    readable. *)
 val schema : string
+
+(** ["zkvc-bench/2"], still accepted by {!of_json} — committed baselines
+    parse with [regions = None], so region-free comparisons keep
+    working. Writers always emit {!schema}. *)
+val schema_v2 : string
 
 type env =
   { git_rev : string;  (** commit of the measured tree, or ["unknown"] *)
@@ -65,7 +72,10 @@ type measurement =
     verify_s : float;  (** median across reps *)
     verify_mad_s : float;
     proof_bytes : int;
-    ledger : ledger }
+    ledger : ledger;
+    regions : Attrib.t option
+        (** constraint-provenance tree ([bench --profile] /
+            [zkvc_cli profile]); [None] in zkvc-bench/2 files *) }
 
 type t =
   { env : env;
@@ -75,6 +85,7 @@ type t =
 (** Build a measurement's summary fields (medians, MADs) from its reps.
     Raises [Invalid_argument] on an empty rep list. *)
 val summarize :
+  ?regions:Attrib.t ->
   section:string ->
   scheme:string ->
   strategy:string ->
@@ -83,6 +94,7 @@ val summarize :
   reps:rep list ->
   proof_bytes:int ->
   ledger:ledger ->
+  unit ->
   measurement
 
 (** Identity of a measurement across runs:

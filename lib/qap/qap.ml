@@ -58,6 +58,12 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       nnz_b : int;
       nnz_c : int }
 
+  (* A-side nonzeros the reduction itself appends: one per input-
+     consistency row [(z_j)·0 = 0]. The profiler reports these as a
+     synthetic "(qap-padding)" region so the per-region nnz ledger sums
+     exactly to [density.nnz_a]. *)
+  let input_consistency_nnz ~num_inputs = num_inputs + 1
+
   let density t =
     let count f =
       Array.fold_left (fun acc c -> acc + L.num_terms (f c)) 0 t.cs.Cs.constraints
@@ -65,7 +71,7 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     let d =
       { rows = t.padded_rows;
         domain = domain_size t;
-        nnz_a = count (fun c -> c.Cs.a) + Cs.num_inputs t.cs + 1;
+        nnz_a = count (fun c -> c.Cs.a) + input_consistency_nnz ~num_inputs:(Cs.num_inputs t.cs);
         nnz_b = count (fun c -> c.Cs.b);
         nnz_c = count (fun c -> c.Cs.c) }
     in

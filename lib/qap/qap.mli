@@ -38,6 +38,12 @@ module Make (F : Zkvc_field.Field_intf.S) : sig
 
   val density : t -> density
 
+  (** A-side nonzeros the reduction appends beyond the R1CS matrices: one
+      per input-consistency row, i.e. [num_inputs + 1]. Lets provenance
+      consumers reconcile builder-side nnz counts with {!density} without
+      constructing a QAP. *)
+  val input_consistency_nnz : num_inputs:int -> int
+
   (** Quotient polynomial coefficients for a satisfying assignment,
       computed with three inverse NTTs and three coset NTTs. *)
   val h_coeffs : t -> F.t array -> F.t array

@@ -39,17 +39,18 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
     let xv = F.to_bigint (B.eval b x) in
     if Bigint.num_bits xv > width then
       invalid_arg "Gadgets.bits_of: value exceeds width (witness out of range)";
-    let bits =
-      List.init width (fun i -> alloc_boolean b (Bigint.bit xv i))
-    in
-    let sum =
-      List.fold_left
-        (fun (acc, p2) bit -> (L.add_term acc p2 bit, F.double p2))
-        (L.zero, F.one) bits
-      |> fst
-    in
-    assert_equal b sum x;
-    bits
+    B.in_region b "bits" (fun () ->
+        let bits =
+          List.init width (fun i -> alloc_boolean b (Bigint.bit xv i))
+        in
+        let sum =
+          List.fold_left
+            (fun (acc, p2) bit -> (L.add_term acc p2 bit, F.double p2))
+            (L.zero, F.one) bits
+          |> fst
+        in
+        assert_equal b sum x;
+        bits)
 
   (** Range-check without returning the bits. *)
   let assert_in_range b ~width x = ignore (bits_of b ~width x)
@@ -94,32 +95,34 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       SoftMax section. *)
   let max_of b ~width xs =
     if xs = [] then invalid_arg "Gadgets.max_of: empty";
-    let values = List.map (fun x -> F.to_bigint (B.eval b x)) xs in
-    let maxv = List.fold_left Bigint.max (List.hd values) values in
-    let m = B.alloc b (F.of_bigint maxv) in
-    let diffs = List.map (fun x -> L.sub (L.of_var m) x) xs in
-    List.iter (fun d -> assert_in_range b ~width d) diffs;
-    let prod = product b diffs in
-    B.enforce b ~label:"max-member" prod (L.constant F.one) L.zero;
-    m
+    B.in_region b "max" (fun () ->
+        let values = List.map (fun x -> F.to_bigint (B.eval b x)) xs in
+        let maxv = List.fold_left Bigint.max (List.hd values) values in
+        let m = B.alloc b (F.of_bigint maxv) in
+        let diffs = List.map (fun x -> L.sub (L.of_var m) x) xs in
+        List.iter (fun d -> assert_in_range b ~width d) diffs;
+        let prod = product b diffs in
+        B.enforce b ~label:"max-member" prod (L.constant F.one) L.zero;
+        m)
 
   (** Euclidean division by a positive constant: allocates [q, r] with
       [x = q·d + r], [0 ≤ r < d], [0 ≤ q < 2^q_width]. Returns [(q, r)]. *)
   let div_by_constant b ~q_width x d =
     if Bigint.le d Bigint.zero then invalid_arg "Gadgets.div_by_constant: d <= 0";
-    let xv = F.to_bigint (B.eval b x) in
-    let qv, rv = Bigint.divmod xv d in
-    let q = B.alloc b (F.of_bigint qv) in
-    let r = B.alloc b (F.of_bigint rv) in
-    (* linear reconstruction *)
-    assert_equal b x (L.add (L.term (F.of_bigint d) q) (L.of_var r));
-    assert_in_range b ~width:q_width (L.of_var q);
-    (* r < d: range-check r and d-1-r *)
-    let d_bits = Bigint.num_bits d in
-    assert_in_range b ~width:d_bits (L.of_var r);
-    assert_in_range b ~width:d_bits
-      (L.sub (L.constant (F.of_bigint (Bigint.sub d Bigint.one))) (L.of_var r));
-    (q, r)
+    B.in_region b "divc" (fun () ->
+        let xv = F.to_bigint (B.eval b x) in
+        let qv, rv = Bigint.divmod xv d in
+        let q = B.alloc b (F.of_bigint qv) in
+        let r = B.alloc b (F.of_bigint rv) in
+        (* linear reconstruction *)
+        assert_equal b x (L.add (L.term (F.of_bigint d) q) (L.of_var r));
+        assert_in_range b ~width:q_width (L.of_var q);
+        (* r < d: range-check r and d-1-r *)
+        let d_bits = Bigint.num_bits d in
+        assert_in_range b ~width:d_bits (L.of_var r);
+        assert_in_range b ~width:d_bits
+          (L.sub (L.constant (F.of_bigint (Bigint.sub d Bigint.one))) (L.of_var r));
+        (q, r))
 
   (** Division with a witness-dependent divisor: [x = q·y + r], [0 ≤ r < y].
       Used for the SoftMax normalisation [e_i·S / Σ e_j]. Costs one
@@ -127,14 +130,15 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
   let div_rem b ~q_width ~r_width x y =
     let xv = F.to_bigint (B.eval b x) and yv = F.to_bigint (B.eval b y) in
     if Bigint.le yv Bigint.zero then invalid_arg "Gadgets.div_rem: divisor <= 0";
-    let qv, rv = Bigint.divmod xv yv in
-    let q = B.alloc b (F.of_bigint qv) in
-    let r = B.alloc b (F.of_bigint rv) in
-    (* q*y = x - r *)
-    B.enforce b ~label:"divrem" (L.of_var q) y (L.sub x (L.of_var r));
-    assert_in_range b ~width:q_width (L.of_var q);
-    assert_in_range b ~width:r_width (L.of_var r);
-    (* r < y via range check of y - 1 - r *)
-    assert_in_range b ~width:r_width (L.sub (L.sub y (L.constant F.one)) (L.of_var r));
-    (q, r)
+    B.in_region b "divrem" (fun () ->
+        let qv, rv = Bigint.divmod xv yv in
+        let q = B.alloc b (F.of_bigint qv) in
+        let r = B.alloc b (F.of_bigint rv) in
+        (* q*y = x - r *)
+        B.enforce b ~label:"divrem" (L.of_var q) y (L.sub x (L.of_var r));
+        assert_in_range b ~width:q_width (L.of_var q);
+        assert_in_range b ~width:r_width (L.of_var r);
+        (* r < y via range check of y - 1 - r *)
+        assert_in_range b ~width:r_width (L.sub (L.sub y (L.constant F.one)) (L.of_var r));
+        (q, r))
 end

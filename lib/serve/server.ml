@@ -9,6 +9,7 @@ module Sink = Zkvc_obs.Sink
 module Expose = Zkvc_obs.Expose
 module Flight = Zkvc_obs.Flight
 module Json = Zkvc_obs.Json
+module Attrib = Zkvc_obs.Attrib
 
 type config =
   { socket_path : string;
@@ -103,7 +104,10 @@ type flight_record =
     fr_wait_s : float;
     fr_exec_s : float;
     fr_bytes : int;
-    fr_outcome : string (* "ok" | wire error code *) }
+    fr_outcome : string; (* "ok" | wire error code *)
+    fr_hot_region : string
+    (* comma-separated hottest constraint regions ("path(n)"), prove
+       jobs only; "-" otherwise *) }
 
 let flight_record_to_json r =
   Json.Obj
@@ -116,7 +120,8 @@ let flight_record_to_json r =
       ("wait_s", Json.Float r.fr_wait_s);
       ("exec_s", Json.Float r.fr_exec_s);
       ("bytes", Json.Int r.fr_bytes);
-      ("outcome", Json.String r.fr_outcome) ]
+      ("outcome", Json.String r.fr_outcome);
+      ("hot_region", Json.String r.fr_hot_region) ]
 
 type t =
   { cfg : config;
@@ -310,11 +315,24 @@ let process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline =
   in
   Wire.Keygen_ok { key_id = entry.Key_cache.id; cache_hit; key_bytes }
 
-let process_prove t ~backend ~strategy ~dims ~input ~deadline =
+(* The [n] hottest constraint regions of a prepared instance, rendered
+   "path(count)" and comma-joined — the provenance breadcrumb attached
+   to prove spans and flight records so a slow request names the
+   circuit region that dominates it without re-profiling. *)
+let hot_regions_of ?n prep =
+  match Attrib.top_regions ?n prep.Api.regions with
+  | [] -> "-"
+  | tops ->
+    String.concat ","
+      (List.map (fun (path, c) -> Printf.sprintf "%s(%d)" path c) tops)
+
+let process_prove t ~backend ~strategy ~dims ~input ~deadline ~hot =
   let rng, prep, entry, cache_hit = prepared_keys t backend strategy dims input ~deadline in
+  let hot_s = hot_regions_of prep in
+  hot := hot_s;
   let t0 = Span.now () in
   let proof =
-    Span.with_span "serve.prove" (fun () ->
+    Span.with_span ~args:[ ("hot_regions", hot_s) ] "serve.prove" (fun () ->
         Api.prove_with ~rng entry.Key_cache.keys prep.Api.assignment)
   in
   check_deadline deadline;
@@ -332,7 +350,7 @@ let unknown_key_error =
 (* Run one job's body and return the response (never raises; never
    writes to the socket). [args] tag every [serve.request.*] span with
    the request id so exported traces can be joined across processes. *)
-let execute t job ~args =
+let execute t job ~args ~hot =
   try
     check_deadline job.deadline;
     match job.req with
@@ -341,7 +359,7 @@ let execute t job ~args =
           process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline:job.deadline)
     | Wire.Prove { backend; strategy; dims; input; deadline_ms = _ } ->
       Span.with_span ~args "serve.request.prove" (fun () ->
-          process_prove t ~backend ~strategy ~dims ~input ~deadline:job.deadline)
+          process_prove t ~backend ~strategy ~dims ~input ~deadline:job.deadline ~hot)
     | Wire.Verify { key_id; public_inputs; proof; deadline_ms = _ } -> (
       match Key_cache.find_by_id t.cache key_id with
       | None -> unknown_key_error
@@ -392,7 +410,7 @@ let phases_of_span root =
 
 (* Send [resp] with a v2 timing block (at the job's own wire version —
    v1 clients get the plain v1 frame) and push a flight record. *)
-let finish t job ~wid ~wait_s ~exec_s ~phases resp =
+let finish ?(hot_region = "-") t job ~wid ~wait_s ~exec_s ~phases resp =
   let timing =
     Some
       { Wire.tm_request_id =
@@ -414,7 +432,8 @@ let finish t job ~wid ~wait_s ~exec_s ~phases resp =
       fr_wait_s = wait_s;
       fr_exec_s = exec_s;
       fr_bytes = job.payload_bytes;
-      fr_outcome = outcome_of resp }
+      fr_outcome = outcome_of resp;
+      fr_hot_region = hot_region }
 
 (* Run a job end to end: span-wrapped execution, timing extraction,
    versioned response, flight record. *)
@@ -429,8 +448,9 @@ let run_job t ~wid job =
      | None -> [])
   in
   let before = Span.last_completed () in
+  let hot = ref "-" in
   let t0 = Span.now () in
-  let resp = execute t job ~args in
+  let resp = execute t job ~args ~hot in
   let exec_s = Span.now () -. t0 in
   (* the span [execute] just closed, if it opened one (error paths that
      fail before any span leave [last_completed] stale — detect by
@@ -441,7 +461,7 @@ let run_job t ~wid job =
     | _ -> None
   in
   let phases = match root with Some s -> phases_of_span s | None -> [] in
-  finish t job ~wid ~wait_s ~exec_s ~phases resp
+  finish ~hot_region:!hot t job ~wid ~wait_s ~exec_s ~phases resp
 
 (* Coalesce queued single-proof verifies against the same key into one
    batched check; each request still gets its own [Verify_ok], timing

@@ -91,6 +91,21 @@ let compile (arch : Models.arch) variant =
 
 module Counter = Layer_circuit.Make (Zkvc_field.Fr)
 
+(** Synthesize every layer of a compiled model into one builder, each
+    layer's ops inside a provenance region named by its [label] — this is
+    what makes the structural layer labels real, measurable regions. The
+    result is live: callers can [finalize_attributed] it for the compiled
+    system plus the per-layer region tree. Dummy-witness semantics are the
+    same as {!Layer_circuit.Make.build_op}. *)
+let synthesize ?strategy cfg layers =
+  let b = Counter.B.create () in
+  List.iter
+    (fun { label; ops } ->
+      Counter.B.in_region b label (fun () ->
+          List.iter (fun op -> Counter.build_op ?strategy b cfg op) ops))
+    layers;
+  b
+
 (** Total exact constraint/variable counts for a compiled model. *)
 let total_counts ?strategy cfg layers =
   List.fold_left

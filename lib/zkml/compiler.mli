@@ -19,6 +19,18 @@ val compile : Zkvc_nn.Models.arch -> Zkvc_nn.Models.variant -> layer_ops list
 
 module Counter : module type of Layer_circuit.Make (Zkvc_field.Fr)
 
+(** Synthesize every layer into one builder, each layer's ops inside a
+    provenance region named by its [label]. Callers can
+    [Counter.B.finalize_attributed] the result for the compiled system
+    plus the per-layer region tree. Uses the same dummy-witness semantics
+    as {!Layer_circuit.Make.build_op}; intended for profiling at shrunk
+    dims, not full ImageNet scale. *)
+val synthesize :
+  ?strategy:Zkvc.Matmul_circuit.strategy ->
+  Zkvc.Nonlinear.config ->
+  layer_ops list ->
+  Counter.B.t
+
 (** Total exact constraint/variable counts for a compiled model. *)
 val total_counts :
   ?strategy:Zkvc.Matmul_circuit.strategy ->

@@ -121,9 +121,15 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
 
   (** Construct a representative circuit for [op] with synthetic witness
       values. The circuit shape depends only on [op] and [cfg], never on
-      the values, so this doubles as the exact constraint counter. *)
+      the values, so this doubles as the exact constraint counter.
+
+      Each op's synthesis runs inside a provenance region named after the
+      op ({!Ops.name}), so profiled builds attribute constraints per op;
+      [Op_matmul] relies on {!Zkvc.Matmul_circuit.build}'s own
+      ["matmul/..."] regions instead of opening a duplicate. *)
   let build_op ?(strategy = Zkvc.Matmul_circuit.Crpc_psq) b cfg (op : Ops.t) =
     let st = Random.State.make [| 7; 77 |] in
+    let in_op f = B.in_region b (Ops.name op) f in
     match op with
     | Ops.Op_matmul d ->
       let x = Spec.random_matrix st ~rows:d.Zkvc.Matmul_spec.a ~cols:d.Zkvc.Matmul_spec.n ~bound:64 in
@@ -137,35 +143,41 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
       let _ = Mc.build b strategy ?challenge ~x ~w ~y_public:false d in
       ()
     | Ops.Op_rescale n ->
-      for _ = 1 to n do
-        let x = alloc_value b (Random.State.int st 10000 - 5000) in
-        ignore (rescale b cfg (L.of_var x))
-      done
+      in_op (fun () ->
+          for _ = 1 to n do
+            let x = alloc_value b (Random.State.int st 10000 - 5000) in
+            ignore (rescale b cfg (L.of_var x))
+          done)
     | Ops.Op_scale_div { elems; divisor } ->
-      for _ = 1 to elems do
-        let x = alloc_value b (Random.State.int st 10000 - 5000) in
-        ignore (signed_div_by_constant b cfg (L.of_var x) (Bigint.of_int divisor))
-      done
+      in_op (fun () ->
+          for _ = 1 to elems do
+            let x = alloc_value b (Random.State.int st 10000 - 5000) in
+            ignore (signed_div_by_constant b cfg (L.of_var x) (Bigint.of_int divisor))
+          done)
     | Ops.Op_softmax { rows; len } ->
-      for _ = 1 to rows do
-        let xs = List.init len (fun _ -> alloc_value b (Random.State.int st 512 - 256)) in
-        ignore (softmax_row b cfg xs)
-      done
+      in_op (fun () ->
+          for _ = 1 to rows do
+            let xs = List.init len (fun _ -> alloc_value b (Random.State.int st 512 - 256)) in
+            ignore (softmax_row b cfg xs)
+          done)
     | Ops.Op_gelu n ->
-      for _ = 1 to n do
-        let x = alloc_value b (Random.State.int st 512 - 256) in
-        ignore (gelu b cfg x)
-      done
+      in_op (fun () ->
+          for _ = 1 to n do
+            let x = alloc_value b (Random.State.int st 512 - 256) in
+            ignore (gelu b cfg x)
+          done)
     | Ops.Op_layernorm { rows; cols } ->
-      for _ = 1 to rows do
-        let xs = List.init cols (fun _ -> alloc_value b (Random.State.int st 512 - 256)) in
-        ignore (layernorm_row b cfg xs)
-      done
+      in_op (fun () ->
+          for _ = 1 to rows do
+            let xs = List.init cols (fun _ -> alloc_value b (Random.State.int st 512 - 256)) in
+            ignore (layernorm_row b cfg xs)
+          done)
     | Ops.Op_mean_pool { out_elems; window } ->
-      for _ = 1 to out_elems do
-        let xs = List.init window (fun _ -> alloc_value b (Random.State.int st 512 - 256)) in
-        ignore (mean_pool b cfg xs)
-      done
+      in_op (fun () ->
+          for _ = 1 to out_elems do
+            let xs = List.init window (fun _ -> alloc_value b (Random.State.int st 512 - 256)) in
+            ignore (mean_pool b cfg xs)
+          done)
 
   (* ------------------------------------------------------------------ *)
   (* Exact constraint counting without full-size builds                   *)

@@ -6,6 +6,7 @@ module Stats = Zkvc_obs.Stats
 module Report = Zkvc_obs.Report
 module Diff = Zkvc_obs.Diff
 module Json = Zkvc_obs.Json
+module Attrib = Zkvc_obs.Attrib
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -91,14 +92,25 @@ let ledger ?(constraints = 120) ?(nonzero_a = 192) () =
     top_heap_words = 2_000_000;
     major_collections = 2 }
 
-let meas ?(scheme = "zkVC-G") ?(strategy = "crpc+psq") ?(prove = [ 0.061; 0.063; 0.059 ])
+let meas ?regions ?(scheme = "zkVC-G") ?(strategy = "crpc+psq") ?(prove = [ 0.061; 0.063; 0.059 ])
     ?(ledger = ledger ()) () =
-  Report.summarize ~section:"tab2" ~scheme ~strategy ~backend:"groth16" ~dims:(3, 4, 8)
+  Report.summarize ?regions ~section:"tab2" ~scheme ~strategy ~backend:"groth16" ~dims:(3, 4, 8)
     ~reps:
       (List.map (fun p -> { Report.setup_s = 0.44; prove_s = p; verify_s = 0.57 }) prove)
-    ~proof_bytes:256 ~ledger
+    ~proof_bytes:256 ~ledger ()
 
 let report ms = { Report.env; sections = [ "tab2" ]; measurements = ms }
+
+(* A small two-level region tree; [matmul_c] perturbs one leaf to model
+   a structural (per-region) cost change. *)
+let region_tree ?(matmul_c = 96) () =
+  let c ~constraints ~nnz =
+    { Attrib.constraints; variables = constraints; nnz_a = nnz; nnz_b = nnz; nnz_c = nnz }
+  in
+  Attrib.make ~name:"all" ~self:(c ~constraints:0 ~nnz:0)
+    [ Attrib.make ~name:"matmul" ~self:(c ~constraints:0 ~nnz:0)
+        [ Attrib.make ~name:"crpc+psq" ~self:(c ~constraints:matmul_c ~nnz:(2 * matmul_c)) [] ];
+      Attrib.make ~name:"softmax" ~self:(c ~constraints:24 ~nnz:60) [] ]
 
 let test_report_roundtrip () =
   let r = report [ meas (); meas ~strategy:"vanilla" ~prove:[ 0.139 ] () ] in
@@ -118,6 +130,40 @@ let test_report_roundtrip () =
     (Result.is_error
        (Report.of_json
           (Json.Obj [ ("schema", Json.String Report.schema); ("sections", Json.List []) ])))
+
+let test_report_regions_roundtrip () =
+  (* a profiled measurement (regions attached) round-trips exactly,
+     including the full tree *)
+  let r = report [ meas ~regions:(region_tree ()) (); meas ~strategy:"vanilla" () ] in
+  (match Report.of_string (Json.to_string (Report.to_json r)) with
+   | Ok r' -> check_bool "v3 with regions round-trips" true (r = r')
+   | Error e -> Alcotest.failf "v3 round-trip failed: %s" e);
+  check_bool "writer stamps the v3 schema" true
+    (Json.member "schema" (Report.to_json r) = Some (Json.String "zkvc-bench/3"))
+
+let test_report_reads_v2 () =
+  (* a v2 report (previous schema, no region blocks) must keep parsing:
+     committed baselines outlive schema bumps *)
+  let r = report [ meas () ] in
+  let v2_json =
+    (* rewrite the schema stamp; the body of a non-profiled report is
+       identical between v2 and v3 *)
+    match Report.to_json r with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "schema", _ -> ("schema", Json.String "zkvc-bench/2")
+             | f -> f)
+           fields)
+    | j -> j
+  in
+  match Report.of_string (Json.to_string v2_json) with
+  | Ok r' ->
+    check_bool "v2 text parses" true (r = r');
+    check_bool "regions absent" true
+      (List.for_all (fun m -> m.Report.regions = None) r'.Report.measurements)
+  | Error e -> Alcotest.failf "v2 report rejected: %s" e
 
 let test_summarize () =
   (* binary-exact sample values so the expected median/MAD are exact *)
@@ -163,6 +209,42 @@ let test_committed_baseline () =
         (zkvc.Report.nonzero_a < vanilla.Report.nonzero_a);
       check_bool "CRPC+PSQ has strictly fewer B-column nonzeros" true
         (zkvc.Report.nonzero_b < vanilla.Report.nonzero_b)
+  end
+
+(* The current baseline is region-profiled (zkvc-bench/3): every
+   measurement must carry a provenance tree whose attributed constraint
+   total equals the global ledger's — the self-consistency the profiler
+   CLI also asserts at run time. *)
+let test_committed_baseline_0008 () =
+  let path = "../BENCH_0008.json" in
+  let path = if Sys.file_exists path then path else "BENCH_0008.json" in
+  if not (Sys.file_exists path) then ()
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    match Report.of_string text with
+    | Error e -> Alcotest.failf "BENCH_0008.json unreadable: %s" e
+    | Ok r ->
+      (match Report.of_json (Report.to_json r) with
+       | Ok r' -> check_bool "baseline round-trips exactly" true (r = r')
+       | Error e -> Alcotest.failf "baseline re-parse failed: %s" e);
+      List.iter
+        (fun m ->
+          match m.Report.regions with
+          | None -> Alcotest.failf "measurement %s carries no region tree" (Report.key m)
+          | Some tree ->
+            check_int
+              (Report.key m ^ ": region constraints sum to the ledger")
+              m.Report.ledger.Report.constraints
+              (Attrib.total tree).Attrib.constraints;
+            check_bool
+              (Report.key m ^ ": timing stripped for determinism")
+              true
+              (Attrib.strip_timing tree = tree))
+        r.Report.measurements
   end
 
 (* ------------------------------------------------------------------ *)
@@ -225,6 +307,38 @@ let test_diff_ledger_drift () =
   let r'' = diff ~check_time:false [ meas ~prove:[ 0.1 ] () ] [ meas ~prove:[ 0.2 ] () ] in
   check_bool "slowdown ignored with check_time=false" true r''.Diff.ok
 
+let test_diff_region_drift () =
+  (* same global ledger, but one region's structural counts moved: the
+     region tree localises a drift the global ledger can't see *)
+  let r =
+    diff
+      [ meas ~regions:(region_tree ~matmul_c:96 ()) () ]
+      [ meas ~regions:(region_tree ~matmul_c:95 ()) () ]
+  in
+  check_bool "region drift fails the gate" false r.Diff.ok;
+  check_int "counted as a ledger drift" 1 r.Diff.drifts;
+  check_bool "verdict" true (only_verdict r = Diff.Ledger_drift);
+  let notes = match r.Diff.entries with [ e ] -> e.Diff.notes | _ -> [] in
+  check_bool "note names the owning region" true
+    (List.exists
+       (fun n ->
+         (* substring check: the note carries the region path *)
+         let sub = "matmul" in
+         let rec find i =
+           i + String.length sub <= String.length n
+           && (String.sub n i (String.length sub) = sub || find (i + 1))
+         in
+         find 0)
+       notes);
+  (* identical trees do not gate; a v2 baseline against a profiled run
+     skips the region comparison instead of failing *)
+  let same =
+    diff [ meas ~regions:(region_tree ()) () ] [ meas ~regions:(region_tree ()) () ]
+  in
+  check_bool "identical trees pass" true same.Diff.ok;
+  let skewed = diff [ meas () ] [ meas ~regions:(region_tree ()) () ] in
+  check_bool "missing baseline tree does not gate" true skewed.Diff.ok
+
 let test_diff_key_mismatch_reports_but_does_not_gate () =
   let r = diff [ meas () ] [ meas ~strategy:"vanilla" () ] in
   check_bool "missing/new keys do not gate" true r.Diff.ok;
@@ -253,8 +367,13 @@ let () =
         :: List.map QCheck_alcotest.(to_alcotest) qcheck_stats );
       ( "report",
         [ Alcotest.test_case "json round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "regions round-trip (zkvc-bench/3)" `Quick
+            test_report_regions_roundtrip;
+          Alcotest.test_case "v2 reports still parse" `Quick test_report_reads_v2;
           Alcotest.test_case "summarize medians and MAD" `Quick test_summarize;
-          Alcotest.test_case "committed baseline BENCH_0003" `Quick test_committed_baseline ] );
+          Alcotest.test_case "committed baseline BENCH_0003" `Quick test_committed_baseline;
+          Alcotest.test_case "committed baseline BENCH_0008" `Quick
+            test_committed_baseline_0008 ] );
       ( "diff",
         [ Alcotest.test_case "within noise" `Quick test_diff_within_noise;
           Alcotest.test_case "regression beyond band" `Quick test_diff_regression_beyond_band;
@@ -262,6 +381,7 @@ let () =
           Alcotest.test_case "noisy baseline widens band" `Quick
             test_diff_noisy_baseline_widens_band;
           Alcotest.test_case "ledger drift" `Quick test_diff_ledger_drift;
+          Alcotest.test_case "region drift" `Quick test_diff_region_drift;
           Alcotest.test_case "key mismatch reports, does not gate" `Quick
             test_diff_key_mismatch_reports_but_does_not_gate;
           Alcotest.test_case "json verdict parses" `Quick test_diff_json_verdict_parses ] ) ]

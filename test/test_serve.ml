@@ -1050,7 +1050,9 @@ let e2e_tests =
             check_bool "records carry their lane" true
               (contains ~sub:"\"lane\":\"verify\"" (List.nth lines 2));
             check_bool "records carry their worker" true
-              (contains ~sub:"\"worker\":" (List.nth lines 2))));
+              (contains ~sub:"\"worker\":" (List.nth lines 2));
+            check_bool "verify records carry no hot region" true
+              (contains ~sub:"\"hot_region\":\"-\"" (List.nth lines 2))));
     Alcotest.test_case "workers=4: concurrent proves are byte-identical" `Slow
       (fun () ->
         let socket = temp_socket "workers4" in
@@ -1325,7 +1327,9 @@ let telemetry_tests =
                     (fun l ->
                       check_bool "record is a prove" true (contains ~sub:"\"kind\":\"prove\"" l);
                       check_bool "record has an outcome" true
-                        (contains ~sub:"\"outcome\":\"ok\"" l))
+                        (contains ~sub:"\"outcome\":\"ok\"" l);
+                      check_bool "prove record names its hot region" true
+                        (contains ~sub:"\"hot_region\":\"matmul/" l))
                     lines;
                   (* the oldest surviving record is the second prove: a
                      cache miss was overwritten, the hit survived *)

@@ -1,9 +1,10 @@
 #!/bin/sh
 # CI entry point: full build, tier-1 test suites at two job counts, a
 # paired smoke bench (sequential vs parallel) that must produce non-empty
-# machine-readable reports and a sane speedup ratio, and a noise-aware
-# perf gate that diffs the sequential smoke report against the committed
-# baseline (BENCH_0003.json) with tools/perf_diff.
+# machine-readable reports and a sane speedup ratio, a noise-aware perf
+# gate that diffs the sequential smoke report against the committed
+# baseline (BENCH_0008.json, region-profiled) with tools/perf_diff, and a
+# constraint-provenance profile stage on both backends.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,8 +24,10 @@ echo "== smoke bench (tab2, scale 16, repeat 3, jobs=1 vs jobs=max) =="
 BENCH_JSON=${BENCH_JSON:-/tmp/bench.json}
 BENCH_JSON_PAR=${BENCH_JSON_PAR:-/tmp/bench-par.json}
 rm -f "$BENCH_JSON" "$BENCH_JSON_PAR"
-dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 1 --json "$BENCH_JSON"
-dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 0 --json "$BENCH_JSON_PAR"
+# --profile embeds the per-region constraint ledger so the perf gate
+# below also holds region-level structural counts to exact equality
+dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 1 --profile --json "$BENCH_JSON"
+dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 0 --profile --json "$BENCH_JSON_PAR"
 
 for f in "$BENCH_JSON" "$BENCH_JSON_PAR"; do
     if [ ! -s "$f" ]; then
@@ -56,7 +59,7 @@ else
 fi
 
 echo "== perf gate: tools/perf_diff vs committed baseline =="
-BASELINE=${BASELINE:-BENCH_0003.json}
+BASELINE=${BASELINE:-BENCH_0008.json}
 if [ ! -s "$BASELINE" ]; then
     echo "ci: baseline report missing: $BASELINE" >&2
     exit 1
@@ -78,6 +81,63 @@ else
     echo "ci: skipping wall-time comparison, still checking cost-ledger equality"
     dune exec tools/perf_diff.exe -- --skip-time "$BASELINE" "$BENCH_JSON"
 fi
+
+# schema compatibility: the previous-generation v2 baseline (no region
+# blocks) must keep diffing against a freshly produced v3 report — the
+# region comparison is skipped when one side lacks the tree, the global
+# ledger still gates. Wall times from the v2 era are not comparable.
+dune exec tools/perf_diff.exe -- --skip-time BENCH_0003.json "$BENCH_JSON" || {
+    echo "ci: v2 baseline no longer diffs against a v3 report" >&2
+    exit 1
+}
+
+echo "== constraint-provenance profile (both backends) =="
+PROF_TMP=$(mktemp -d /tmp/zkvc-profile-ci.XXXXXX)
+for BACKEND in groth16 spartan; do
+    echo "-- profile $BACKEND --"
+    dune exec bin/zkvc_cli.exe -- profile --backend "$BACKEND" --strategy crpc+psq \
+        --dims 8,8,16 --folded "$PROF_TMP/$BACKEND.folded" \
+        --json "$PROF_TMP/$BACKEND.json" | tee "$PROF_TMP/$BACKEND.out"
+    # the table's region constraint sum must equal the global ledger
+    grep -q "exact match" "$PROF_TMP/$BACKEND.out" || {
+        echo "ci: profile region sum does not match the global ledger ($BACKEND)" >&2
+        exit 1
+    }
+    # the folded export is non-empty and every line is `path;seg N`
+    if [ ! -s "$PROF_TMP/$BACKEND.folded" ]; then
+        echo "ci: folded profile missing or empty ($BACKEND)" >&2
+        exit 1
+    fi
+    awk '!/^[^ ]+ [0-9]+$/ { bad = 1 } END { exit bad }' "$PROF_TMP/$BACKEND.folded" || {
+        echo "ci: folded profile has malformed lines ($BACKEND)" >&2
+        cat "$PROF_TMP/$BACKEND.folded" >&2
+        exit 1
+    }
+    # the emitted zkvc-bench/3 report is machine-readable: diffing it
+    # against itself must come out clean
+    dune exec tools/perf_diff.exe -- --skip-time "$PROF_TMP/$BACKEND.json" \
+        "$PROF_TMP/$BACKEND.json" > /dev/null || {
+        echo "ci: profile report does not round-trip through perf_diff ($BACKEND)" >&2
+        exit 1
+    }
+done
+
+# the region-level gate actually gates: inject a one-count nnz change
+# into a single region of a copy and require perf_diff to fail on it
+sed '0,/"nnz_a": *[0-9][0-9]*/s//"nnz_a": 999999/' "$PROF_TMP/groth16.json" \
+    > "$PROF_TMP/groth16-drifted.json"
+if dune exec tools/perf_diff.exe -- --skip-time "$PROF_TMP/groth16.json" \
+    "$PROF_TMP/groth16-drifted.json" > "$PROF_TMP/drift.out" 2>&1; then
+    echo "ci: injected per-region nnz drift was not flagged" >&2
+    cat "$PROF_TMP/drift.out" >&2
+    exit 1
+fi
+grep -q "region " "$PROF_TMP/drift.out" || {
+    echo "ci: drift verdict does not name the owning region" >&2
+    cat "$PROF_TMP/drift.out" >&2
+    exit 1
+}
+echo "ci: profile stage ok ($PROF_TMP)"
 
 echo "== proof service smoke (socket e2e, both backends, telemetry) =="
 SERVE_TMP=$(mktemp -d /tmp/zkvc-serve-ci.XXXXXX)

@@ -1,5 +1,6 @@
-(* Compare two bench reports (Zkvc_obs.Report, schema zkvc-bench/2) and
-   gate on regressions: the perf-trajectory differ behind tools/ci.sh.
+(* Compare two bench reports (Zkvc_obs.Report, schema zkvc-bench/3;
+   zkvc-bench/2 baselines still read) and gate on regressions: the
+   perf-trajectory differ behind tools/ci.sh.
 
    Usage: perf_diff.exe [options] OLD.json NEW.json
      --threshold R   relative prove-time tolerance (default 0.25)
@@ -15,7 +16,12 @@
    max(threshold * old, k * MAD, floor) — single-run noise cannot fail
    the gate, a 2x slowdown always does. Deterministic cost-ledger fields
    (constraints, variables, nonzeros, witness length) must be exactly
-   equal regardless of --skip-time.
+   equal regardless of --skip-time. When both measurements embed a
+   constraint-provenance region tree (zkvc-bench/3, bench --profile or
+   zkvc_cli profile --json), per-region structural counts are held to
+   the same exact-equality bar and a drift note names the owning region;
+   the comparison is skipped when either side lacks the tree, so v2
+   baselines keep diffing.
 
    Exit status: 0 = within noise, 1 = regression or ledger drift,
    2 = usage or unreadable/invalid report. *)

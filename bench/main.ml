@@ -20,6 +20,8 @@
      --repeat N   repeat every matmul measurement N times after one
                   untimed warmup run; tables and the report carry the
                   median (and the report the per-rep times + MAD)
+     --optimize   run the R1CS optimiser pipeline (lib/opt) on every matmul
+                  circuit before setup/prove; -O for short
      --json FILE  also write every matmul measurement as a schema-versioned
                   Zkvc_obs.Report (the perf trajectory diffed by
                   tools/perf_diff); "-" writes the report to stdout and
@@ -71,6 +73,10 @@ let json_file : string option ref = ref None
    report measurement (zkvc-bench/3 "regions" block) *)
 let profile = ref false
 
+(* --optimize: run the R1CS optimiser pipeline (Zkvc_opt) on every
+   matmul circuit before setup/prove *)
+let optimize = ref false
+
 (* human tables; redirected to stderr when --json - owns stdout *)
 let out = ref stdout
 let tbl fmt = Printf.fprintf !out fmt
@@ -83,7 +89,7 @@ let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "abl"; "m
 let usage_error msg =
   Printf.eprintf "bench: %s\n" msg;
   Printf.eprintf
-    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--repeat N] [--json FILE] [--profile]\n";
+    "usage: main.exe [--full] [--scale N] [--jobs N] [--only SECTIONS] [--repeat N] [--json FILE] [--profile] [--optimize]\n";
   exit 2
 
 let () =
@@ -132,6 +138,9 @@ let () =
     | [ "--json" ] -> usage_error "--json expects an argument"
     | "--profile" :: rest ->
       profile := true;
+      parse rest
+    | "--optimize" :: rest | "-O" :: rest ->
+      optimize := true;
       parse rest
     | arg :: _ -> usage_error ("unknown argument: " ^ arg)
   in
@@ -313,7 +322,8 @@ let median_measurement (ms : Api.measurement list) =
 
 let measure ?(section = "") ?(scheme = "") backend strategy d inst =
   let x, w = inst in
-  let run () = snd (Api.run ~rng backend strategy ~x ~w d) in
+  let opt = if !optimize then Some Api.Opt.default else None in
+  let run () = snd (Api.run ~rng ?optimize:opt backend strategy ~x ~w d) in
   (* one untimed warmup so the first rep doesn't pay cold-cache costs *)
   if !repeat > 1 then ignore (run ());
   let ms = List.init !repeat (fun _ -> run ()) in
@@ -690,9 +700,10 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  progress "zkVC reproduction bench harness (scale=1/%d%s, jobs=%d, repeat=%d, clock=monotonic)\n"
+  progress "zkVC reproduction bench harness (scale=1/%d%s%s, jobs=%d, repeat=%d, clock=monotonic)\n"
     !scale
     (if !full then " full" else "")
+    (if !optimize then " optimised" else "")
     (Zkvc_parallel.jobs ())
     !repeat;
   if enabled "tab1" then run_tab1 ();

@@ -84,6 +84,19 @@ let backend_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let optimize_arg =
+  Arg.(value & flag
+       & info [ "optimize"; "O" ]
+           ~doc:"Run the R1CS optimiser pipeline (constant folding, wire \
+                 unification, dead-constraint elimination, linear-subexpression \
+                 sharing) on the circuit before keygen/prove. Satisfiability \
+                 and the CRPC challenge are unchanged; keys from an optimised \
+                 circuit only verify proofs of the same optimised circuit.")
+
+(* the CLI flag always selects the default pipeline; the library accepts
+   finer-grained configs *)
+let opt_of_flag b = if b then Some Api.Opt.default else None
+
 (* ---- codec file IO ---- *)
 
 let write_file path bytes =
@@ -141,8 +154,9 @@ let prove_cmd =
                    public inputs + statement descriptor) verifiable with \
                    $(b,zkvc_cli verify) on another machine.")
   in
-  let run d strategy backend seed trace metrics jobs out =
+  let run d strategy backend seed trace metrics jobs out optimize =
     Zkvc_parallel.set_jobs jobs;
+    let optimize = opt_of_flag optimize in
     let rng = Random.State.make [| seed |] in
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
@@ -152,15 +166,24 @@ let prove_cmd =
       Obs.Metrics.reset ();
       Obs.Sink.enable ()
     end;
-    let proof, m = Api.run ~rng backend strategy ~x ~w d in
+    let proof, m = Api.run ~rng ?optimize backend strategy ~x ~w d in
     if observing then Obs.Sink.disable ();
     Format.printf "%a@." Api.pp_measurement m;
-    (match out with
-     | Some file ->
-       (* rebuild the statement descriptor (prepare is deterministic in x,w) *)
-       let prep = Api.prepare strategy ~x ~w d in
+    (* the statement descriptor for --out, also carrying the optimiser
+       report (prepare is deterministic in x,w) *)
+    let prep =
+      if out <> None || optimize <> None then Some (Api.prepare ?optimize strategy ~x ~w d)
+      else None
+    in
+    (match prep with
+     | Some { Api.opt = Some { Api.opt_report; _ }; _ } ->
+       Format.printf "%a@." Api.Opt.pp_report opt_report
+     | _ -> ());
+    (match (out, prep) with
+     | Some file, Some prep ->
        let key_id =
-         Key_cache.id_of backend strategy d ~challenge:prep.Api.challenge prep.Api.cs
+         Key_cache.id_of ?opt:optimize backend strategy d ~challenge:prep.Api.challenge
+           prep.Api.cs
        in
        let pf =
          { Wire.pf_backend = backend;
@@ -174,7 +197,7 @@ let prove_cmd =
        in
        write_file file (Wire.encode_proof_file pf);
        Printf.printf "proof file: %s (key %s)\n" file (Wire.hex_of_id key_id)
-     | None -> ());
+     | _ -> ());
     (match trace with
      | Some file ->
        (try
@@ -197,7 +220,7 @@ let prove_cmd =
   let doc = "Prove a random matmul instance and verify it (prints timings)." in
   Cmd.v (Cmd.info "prove" ~doc)
     Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ trace_arg
-          $ metrics_arg $ jobs_arg $ out_arg)
+          $ metrics_arg $ jobs_arg $ out_arg $ optimize_arg)
 
 (* ---- model ---- *)
 
@@ -240,6 +263,74 @@ let iso8601_utc_now () =
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
+(* [profile --compare A.json B.json]: per-region delta of two reports'
+   attribution trees. Regions are flattened to slash-joined paths (self
+   counts, so parents and children never double-count); the union of
+   paths is diffed and sorted by nonzero saving. *)
+let profile_compare ~baseline ~candidate =
+  match candidate with
+  | None ->
+    Printf.eprintf "zkvc_cli: --compare needs a second report file argument\n";
+    2
+  | Some candidate -> (
+    let flatten tree =
+      (* path -> (constraints, nnz) of the region's self cost *)
+      let tbl = Hashtbl.create 64 in
+      let rec go prefix node =
+        let path =
+          if prefix = "" then node.Obs.Attrib.name
+          else prefix ^ "/" ^ node.Obs.Attrib.name
+        in
+        let c = node.Obs.Attrib.self in
+        Hashtbl.replace tbl path
+          ( c.Obs.Attrib.constraints,
+            c.Obs.Attrib.nnz_a + c.Obs.Attrib.nnz_b + c.Obs.Attrib.nnz_c );
+        List.iter (go path) node.Obs.Attrib.children
+      in
+      go "" tree;
+      tbl
+    in
+    let load path =
+      match Obs.Report.of_string (Bytes.to_string (read_file path)) with
+      | exception Sys_error msg -> Error msg
+      | Error e -> Error (path ^ ": " ^ e)
+      | Ok r -> (
+        match
+          List.find_map (fun m -> m.Obs.Report.regions) r.Obs.Report.measurements
+        with
+        | Some tree -> Ok (flatten tree)
+        | None -> Error (path ^ ": no measurement carries a region tree"))
+    in
+    match (load baseline, load candidate) with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "zkvc_cli: %s\n" e;
+      2
+    | Ok a, Ok b ->
+      let paths = Hashtbl.create 64 in
+      Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) a;
+      Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) b;
+      let get tbl p = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl p) in
+      let rows =
+        Hashtbl.fold
+          (fun p () acc ->
+            let ca, na = get a p and cb, nb = get b p in
+            if ca = cb && na = nb then acc else (p, cb - ca, nb - na) :: acc)
+          paths []
+        (* largest nonzero saving first; ties by path for stable output *)
+        |> List.sort (fun (p1, _, n1) (p2, _, n2) ->
+               match compare n1 n2 with 0 -> compare p1 p2 | c -> c)
+      in
+      Printf.printf "%-40s %14s %14s\n" "region" "d-constraints" "d-nnz";
+      if rows = [] then print_string "(no per-region differences)\n";
+      List.iter
+        (fun (p, dc, dn) -> Printf.printf "%-40s %+14d %+14d\n" p dc dn)
+        rows;
+      let tc, tn =
+        List.fold_left (fun (tc, tn) (_, dc, dn) -> (tc + dc, tn + dn)) (0, 0) rows
+      in
+      Printf.printf "%-40s %+14d %+14d\n" "total" tc tn;
+      0)
+
 let profile_cmd =
   let folded_arg =
     Arg.(value & opt (some string) None
@@ -273,24 +364,66 @@ let profile_cmd =
              ~doc:"Divide model widths/depths by N before synthesis (with \
                    --arch); keeps whole-model profiling tractable.")
   in
-  let run d strategy backend seed jobs arch variant shrink folded json_file =
+  let compare_arg =
+    Arg.(value & opt (some string) None
+         & info [ "compare" ] ~docv:"BASELINE.json"
+             ~doc:"Diff two zkvc-bench/3 reports instead of profiling: \
+                   $(b,zkvc_cli profile --compare A.json B.json) prints the \
+                   per-region constraint and nonzero deltas of B relative to \
+                   A, sorted by nonzero saving. Both files need embedded \
+                   region trees ($(b,--json) output, $(b,bench --profile)).")
+  in
+  let compare_to_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NEW.json" ~doc:"Second report for $(b,--compare).")
+  in
+  let run d strategy backend seed jobs arch variant shrink folded json_file optimize
+      compare compare_to =
+    match compare with
+    | Some baseline -> profile_compare ~baseline ~candidate:compare_to
+    | None ->
     Zkvc_parallel.set_jobs jobs;
+    let optimize = opt_of_flag optimize in
     let rng = Random.State.make [| seed |] in
-    let cs, assignment, tree, dims, section =
+    let cs, assignment, tree, opt_report, dims, section =
       match arch with
       | None ->
         (* the same seeded instance [prove] uses *)
         let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
         let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
-        let prep = Api.prepare strategy ~x ~w d in
-        (prep.Api.cs, prep.Api.assignment, prep.Api.regions, d, "profile")
+        let prep = Api.prepare ?optimize strategy ~x ~w d in
+        let report = Option.map (fun o -> o.Api.opt_report) prep.Api.opt in
+        (prep.Api.cs, prep.Api.assignment, prep.Api.regions, report, d, "profile")
       | Some arch ->
         let arch = Models.shrink arch ~factor:shrink in
         let layers = Compiler.compile arch variant in
         let b = Compiler.synthesize ~strategy cfg layers in
-        let cs, assignment, tree = Compiler.Counter.B.finalize_attributed b in
-        (cs, assignment, tree, d, "profile-" ^ arch.Models.arch_name)
+        let section = "profile-" ^ arch.Models.arch_name in
+        (match optimize with
+         | None ->
+           let cs, assignment, tree = Compiler.Counter.B.finalize_attributed b in
+           (cs, assignment, tree, None, d, section)
+         | Some config ->
+           let cs, assignment, tree, prov =
+             Compiler.Counter.B.finalize_with_provenance b
+           in
+           let res =
+             Api.Opt.optimize ~config
+               ~provenance:
+                 { Api.Opt.constraint_region =
+                     prov.Compiler.Counter.B.constraint_region;
+                   wire_region = prov.Compiler.Counter.B.wire_region;
+                   tree }
+               cs
+           in
+           let tree = Option.value ~default:tree res.Api.Opt.regions in
+           ( res.Api.Opt.cs,
+             Api.Opt.expand_witness res.Api.Opt.map assignment,
+             tree, Some res.Api.Opt.report, d, section ))
     in
+    (match opt_report with
+     | Some r -> Format.printf "%a@.@." Api.Opt.pp_report r
+     | None -> ());
     let stats = Api.Cs.stats cs in
     let public_inputs = Array.to_list (Array.sub assignment 1 (Api.Cs.num_inputs cs)) in
     let t0 = Obs.Span.now () in
@@ -392,7 +525,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ jobs_arg
-          $ arch_arg $ variant_arg $ shrink_arg $ folded_arg $ json_arg)
+          $ arch_arg $ variant_arg $ shrink_arg $ folded_arg $ json_arg
+          $ optimize_arg $ compare_arg $ compare_to_arg)
 
 (* ---- gkr ---- *)
 
@@ -427,20 +561,28 @@ let keygen_cmd =
     Arg.(required & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the key file here.")
   in
-  let run d strategy backend seed jobs out =
+  let run d strategy backend seed jobs out optimize =
     Zkvc_parallel.set_jobs jobs;
+    let optimize = opt_of_flag optimize in
     let rng = Random.State.make [| seed |] in
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
-    let prep = Api.prepare strategy ~x ~w d in
+    let prep = Api.prepare ?optimize strategy ~x ~w d in
+    (match prep.Api.opt with
+     | Some { Api.opt_report; _ } -> Format.printf "%a@." Api.Opt.pp_report opt_report
+     | None -> ());
     let keys = Api.keygen ~rng backend prep.Api.cs in
-    let key_id = Key_cache.id_of backend strategy d ~challenge:prep.Api.challenge prep.Api.cs in
+    let key_id =
+      Key_cache.id_of ?opt:optimize backend strategy d ~challenge:prep.Api.challenge
+        prep.Api.cs
+    in
     write_file out
       (Wire.encode_key_file
          { Wire.kf_backend = backend;
            kf_strategy = strategy;
            kf_dims = d;
            kf_challenge = prep.Api.challenge;
+           kf_opt = optimize;
            kf_key_id = key_id;
            kf_keys = keys });
     Printf.printf "key file: %s (key %s)\n" out (Wire.hex_of_id key_id);
@@ -451,7 +593,8 @@ let keygen_cmd =
      (CRPC challenges are seed-dependent, so use the same seed as prove)."
   in
   Cmd.v (Cmd.info "keygen" ~doc)
-    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ jobs_arg $ out_arg)
+    Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ jobs_arg
+          $ out_arg $ optimize_arg)
 
 (* ---- verify ---- *)
 
@@ -566,7 +709,7 @@ let serve_cmd =
                    drains or crashes.")
   in
   let run socket queue cache cache_dir workers jobs trace metrics job_delay
-      metrics_file metrics_interval flight flight_file =
+      metrics_file metrics_interval flight flight_file optimize =
     let cfg =
       { Server.socket_path = socket;
         queue_capacity = queue;
@@ -580,7 +723,8 @@ let serve_cmd =
         metrics_file;
         metrics_interval_s = metrics_interval;
         flight_capacity = flight;
-        flight_file }
+        flight_file;
+        optimize = opt_of_flag optimize }
     in
     if cfg.Server.observe then begin
       Obs.Span.reset ();
@@ -612,7 +756,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ queue_arg $ cache_arg $ cache_dir_arg
           $ workers_arg $ jobs_arg $ trace_arg $ metrics_arg $ job_delay_arg
-          $ metrics_file_arg $ metrics_interval_arg $ flight_arg $ flight_file_arg)
+          $ metrics_file_arg $ metrics_interval_arg $ flight_arg $ flight_file_arg
+          $ optimize_arg)
 
 (* ---- client ---- *)
 
@@ -939,13 +1084,15 @@ let adversary_cmd =
              ~doc:"Run only mutations whose name (family.mutation) contains \
                    this substring — as printed in a failure's repro line.")
   in
-  let run seed backend strategy dims only =
+  let run seed backend strategy dims only optimize =
     let opt_list v defaults = match v with Some v -> [ v ] | None -> defaults in
     let backends = opt_list backend [ Api.Backend_groth16; Api.Backend_spartan ] in
     let strategies = opt_list strategy Adv.default_strategies in
     let dims = opt_list dims Adv.default_dims in
-    Printf.printf "adversary sweep: seed=%d\n%!" seed;
-    let reports, clean = Adv.sweep ?only ~backends ~strategies ~dims ~seed () in
+    let optimize = opt_of_flag optimize in
+    Printf.printf "adversary sweep: seed=%d%s\n%!" seed
+      (if optimize <> None then " (optimised circuits)" else "");
+    let reports, clean = Adv.sweep ?only ?optimize ~backends ~strategies ~dims ~seed () in
     let mutations =
       List.fold_left (fun acc r -> acc + List.length r.Adv.cases) 0 reports
     in
@@ -969,7 +1116,7 @@ let adversary_cmd =
   in
   Cmd.v (Cmd.info "adversary" ~doc)
     Term.(const run $ seed_arg $ backend_opt_arg $ strategy_opt_arg $ dims_opt_arg
-          $ only_arg)
+          $ only_arg $ optimize_arg)
 
 let () =
   (* span timestamps must be wall time everywhere (Sys.time is per-process

@@ -52,6 +52,7 @@ let contains ~sub s =
 
 type fixture =
   { t : target;
+    opt : Api.Opt.config option;  (* optimiser the fixture was built under *)
     x : Fr.t array array;
     w : Fr.t array array;
     prep : Api.prepared;
@@ -63,18 +64,18 @@ type fixture =
    never shifts the randomness another family sees. *)
 let stream t salt = Random.State.make [| t.seed; salt |]
 
-let make_fixture t =
+let make_fixture ?optimize t =
   let rng = stream t 0 in
   let d = t.dims in
   let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
   let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
-  let prep = Api.prepare t.strategy ~x ~w d in
+  let prep = Api.prepare ?optimize t.strategy ~x ~w d in
   let keys = Api.keygen ~rng t.backend prep.Api.cs in
   let proof = Api.prove_with ~rng keys prep.Api.assignment in
   let public_inputs =
     Array.to_list (Array.sub prep.Api.assignment 1 (Api.Cs.num_inputs prep.Api.cs))
   in
-  { t; x; w; prep; keys; proof; public_inputs }
+  { t; opt = optimize; x; w; prep; keys; proof; public_inputs }
 
 let verify_fixture fx proof = Api.verify_with fx.keys ~public_inputs:fx.public_inputs proof
 
@@ -131,7 +132,7 @@ let groth16_cases col fx p =
     let d = fx.t.dims in
     let x2 = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w2 = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
-    let prep2 = Api.prepare fx.t.strategy ~x:x2 ~w:w2 d in
+    let prep2 = Api.prepare ?optimize:fx.opt fx.t.strategy ~x:x2 ~w:w2 d in
     let q =
       match Api.prove_with ~rng fx.keys prep2.Api.assignment with
       | Api.Groth16_proof q -> q
@@ -162,7 +163,7 @@ let spartan_cases col fx p =
     let d = fx.t.dims in
     let x2 = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
     let w2 = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
-    let prep2 = Api.prepare fx.t.strategy ~x:x2 ~w:w2 d in
+    let prep2 = Api.prepare ?optimize:fx.opt fx.t.strategy ~x:x2 ~w:w2 d in
     let q = Api.prove_with ~rng fx.keys prep2.Api.assignment in
     emit col "spartan.splice" "transplant" (fun () ->
         (verdict (verify_fixture fx q), ""))
@@ -205,9 +206,13 @@ let witness_cases col fx =
       let proof = Api.prove_with ~rng:(stream fx.t 5) fx.keys asg in
       (verdict (Api.verify_with fx.keys ~public_inputs:publics proof), ""));
   (* one corrupted internal wire (the prefix-sum link s_k for the PSQ
-     strategies, a product / CRPC term wire otherwise) *)
+     strategies, a product / CRPC term wire otherwise). Skipped under the
+     optimiser: compaction renumbers aux wires, so the structural index
+     below no longer names a binding wire — it could land on a private
+     x/w entry whose +1 bump is absorbed by a zero partner coefficient,
+     a sound acceptance the harness would misread as a forgery. *)
   let first_internal = 1 + num_inputs + (d.Mspec.a * d.Mspec.n) + (d.Mspec.n * d.Mspec.b) in
-  if Array.length fx.prep.Api.assignment > first_internal then begin
+  if fx.opt = None && Array.length fx.prep.Api.assignment > first_internal then begin
     let internal_count = Array.length fx.prep.Api.assignment - first_internal in
     let idx = first_internal + Random.State.int rng internal_count in
     let name =
@@ -334,7 +339,8 @@ let flip_sweep ~rng ~flips bytes classify =
 let wire_cases col fx =
   let challenge = fx.prep.Api.challenge in
   let key_id =
-    Key_cache.id_of fx.t.backend fx.t.strategy fx.t.dims ~challenge fx.prep.Api.cs
+    Key_cache.id_of ?opt:fx.opt fx.t.backend fx.t.strategy fx.t.dims ~challenge
+      fx.prep.Api.cs
   in
   let descriptor_matches ~backend ~strategy ~dims ~challenge:ch =
     backend = fx.t.backend && strategy = fx.t.strategy && dims = fx.t.dims
@@ -376,6 +382,7 @@ let wire_cases col fx =
           kf_strategy = fx.t.strategy;
           kf_dims = fx.t.dims;
           kf_challenge = challenge;
+          kf_opt = fx.opt;
           kf_key_id = key_id;
           kf_keys = fx.keys }
       in
@@ -508,8 +515,8 @@ let wire_cases col fx =
 
 (* ---- driver ---- *)
 
-let run_target ?only t =
-  let fx = make_fixture t in
+let run_target ?only ?optimize t =
+  let fx = make_fixture ?optimize t in
   let honest = verify_fixture fx fx.proof in
   let col = { only; acc = [] } in
   let honest_ipa =
@@ -556,13 +563,15 @@ let pp_report fmt r =
   List.iter (fun c -> Format.fprintf fmt "   %a@," pp_case c) r.cases;
   Format.fprintf fmt "@]"
 
-let repro_hint t c =
+let repro_hint ?optimize t c =
   Printf.sprintf
-    "zkvc_cli adversary --seed %d --backend %s --strategy %s --dims %d,%d,%d --only '%s'"
+    "zkvc_cli adversary --seed %d --backend %s --strategy %s --dims %d,%d,%d%s --only '%s'"
     t.seed (Api.backend_name t.backend) (Mc.strategy_name t.strategy)
-    t.dims.Mspec.a t.dims.Mspec.n t.dims.Mspec.b (case_name c)
+    t.dims.Mspec.a t.dims.Mspec.n t.dims.Mspec.b
+    (match optimize with Some _ -> " --optimize" | None -> "")
+    (case_name c)
 
-let shrink t c =
+let shrink ?optimize t c =
   let { Mspec.a; n; b } = t.dims in
   let candidates = ref [] in
   for a' = 1 to a do
@@ -587,7 +596,7 @@ let shrink t c =
       | Some _ -> found
       | None ->
         let t' = { t with dims = d } in
-        let r = run_target ~only:(case_name c) t' in
+        let r = run_target ~only:(case_name c) ?optimize t' in
         (match
            List.find_opt
              (fun c' -> case_name c' = case_name c && not (outcome_is_sound c'.outcome))
@@ -600,7 +609,7 @@ let shrink t c =
 let default_dims = [ Mspec.dims ~a:2 ~n:2 ~b:2; Mspec.dims ~a:3 ~n:3 ~b:2 ]
 let default_strategies = Mc.all_strategies
 
-let sweep ?(out = Format.std_formatter) ?only
+let sweep ?(out = Format.std_formatter) ?only ?optimize
     ?(backends = [ Api.Backend_groth16; Api.Backend_spartan ])
     ?(strategies = default_strategies) ?(dims = default_dims) ~seed () =
   let reports = ref [] in
@@ -611,15 +620,15 @@ let sweep ?(out = Format.std_formatter) ?only
           List.iter
             (fun d ->
               let t = { backend; strategy; dims = d; seed } in
-              let r = run_target ?only t in
+              let r = run_target ?only ?optimize t in
               reports := r :: !reports;
               Format.fprintf out "%a" pp_report r;
               List.iter
                 (fun c ->
-                  Format.fprintf out "   repro: %s@." (repro_hint t c);
-                  match shrink t c with
+                  Format.fprintf out "   repro: %s@." (repro_hint ?optimize t c);
+                  match shrink ?optimize t c with
                   | Some (t', c') ->
-                    Format.fprintf out "   shrunk: %s@." (repro_hint t' c')
+                    Format.fprintf out "   shrunk: %s@." (repro_hint ?optimize t' c')
                   | None -> ())
                 (failures r);
               Format.pp_print_flush out ())

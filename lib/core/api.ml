@@ -9,6 +9,7 @@ module Spartan = Zkvc_spartan.Spartan
 module Qap = Groth16.Qap
 module Cs = Zkvc_r1cs.Constraint_system.Make (Fr)
 module Bld = Zkvc_r1cs.Builder.Make (Fr)
+module Opt = Zkvc_opt.Opt.Make (Fr)
 module Mc = Matmul_circuit.Make (Fr)
 module Spec = Matmul_spec.Make (Fr)
 
@@ -71,17 +72,25 @@ let timed name f =
   end
   else time f
 
+(* Optimiser traces attached to a prepared statement: the pass report and
+   the witness map relating original and optimised layouts. *)
+type opt_info = { opt_report : Opt.report; opt_map : Opt.witness_map }
+
 type prepared =
   { cs : Cs.t;
     assignment : Fr.t array;
     y : Fr.t array array;
     challenge : Fr.t option;
-    regions : Obs.Attrib.t }
+    regions : Obs.Attrib.t;
+    opt : opt_info option }
 
 (** Build the matmul circuit for the given strategy. For CRPC strategies
     the challenge is derived by Fiat–Shamir from X, W and Y (commit-then-
-    prove flow); the same derivation runs on the verifier side. *)
-let prepare strategy ~x ~w d =
+    prove flow) — {e before} synthesis, so an optimiser config cannot
+    perturb it; the same derivation runs on the verifier side. With
+    [?optimize] the compiled system, assignment and region tree are the
+    optimised ones, ready for any key/prove/verify path. *)
+let prepare ?optimize strategy ~x ~w d =
   let y = Spec.multiply x w in
   let challenge =
     if Matmul_circuit.uses_challenge strategy then Some (Mc.derive_challenge ~x ~w ~y)
@@ -89,8 +98,27 @@ let prepare strategy ~x ~w d =
   in
   let b = Bld.create () in
   let _wires, _y = Mc.build b strategy ?challenge ~x ~w d in
-  let cs, assignment, regions = Bld.finalize_attributed b in
-  { cs; assignment; y; challenge; regions }
+  match optimize with
+  | None ->
+    let cs, assignment, regions = Bld.finalize_attributed b in
+    { cs; assignment; y; challenge; regions; opt = None }
+  | Some config ->
+    let cs, assignment, regions, prov = Bld.finalize_with_provenance b in
+    let res =
+      Obs.Span.with_span "zkvc.optimize" (fun () ->
+          Opt.optimize ~config
+            ~provenance:
+              { Opt.constraint_region = prov.Bld.constraint_region;
+                wire_region = prov.Bld.wire_region;
+                tree = regions }
+            cs)
+    in
+    { cs = res.Opt.cs;
+      assignment = Opt.expand_witness res.Opt.map assignment;
+      y;
+      challenge;
+      regions = (match res.Opt.regions with Some t -> t | None -> regions);
+      opt = Some { opt_report = res.Opt.report; opt_map = res.Opt.map } }
 
 let build_circuit strategy ~x ~w d =
   let p = prepare strategy ~x ~w d in
@@ -101,7 +129,7 @@ let build_circuit strategy ~x ~w d =
    witness values (see Builder), so synthesising with all-zero matrices
    reproduces the exact constraint system. This is what a verifier that
    never saw X and W (a key-file consumer, the serve disk cache) uses. *)
-let circuit_shape strategy ?challenge d =
+let circuit_shape ?optimize strategy ?challenge d =
   (match (Matmul_circuit.uses_challenge strategy, challenge) with
    | true, None ->
      invalid_arg "Api.circuit_shape: CRPC strategies need the proof's challenge"
@@ -111,7 +139,10 @@ let circuit_shape strategy ?challenge d =
   let w = Array.make_matrix d.Matmul_spec.n d.Matmul_spec.b Fr.zero in
   let b = Bld.create () in
   let _wires, _y = Mc.build b strategy ?challenge ~x ~w d in
-  fst (Bld.finalize b)
+  let cs = fst (Bld.finalize b) in
+  match optimize with
+  | None -> cs
+  | Some config -> (Opt.optimize ~config cs).Opt.cs
 
 type keys =
   | Groth16_keys of
@@ -162,10 +193,10 @@ let proof_size = function
     excluded from proving time. Verification failure is data
     ([measurement.verified]), not an exception: the adversary harness
     and the bench observe rejection without catching anything. *)
-let run ?(rng = default_rng ()) backend strategy ~x ~w d =
+let run ?(rng = default_rng ()) ?optimize backend strategy ~x ~w d =
   let gc0 = Gc.quick_stat () in
   let prep, _build_time =
-    timed "zkvc.build_circuit" (fun () -> prepare strategy ~x ~w d)
+    timed "zkvc.build_circuit" (fun () -> prepare ?optimize strategy ~x ~w d)
   in
   let cs = prep.cs in
   let stats = Cs.stats cs in

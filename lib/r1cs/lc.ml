@@ -46,8 +46,26 @@ module Make (F : Zkvc_field.Field_intf.S) = struct
   let eval (a : t) assignment =
     List.fold_left (fun acc (v, c) -> F.add acc (F.mul c assignment.(v))) F.zero a
 
-  let map_vars f (a : t) : t =
-    List.sort (fun (v1, _) (v2, _) -> compare v1 v2) (List.map (fun (v, c) -> (f v, c)) a)
+  (** Canonicalise an arbitrary term list: sort by wire, merge duplicate
+      wires, drop terms whose (merged) coefficient is zero. Every [t]
+      entering the system through this function satisfies the sorted /
+      no-zero / no-duplicate invariant the other operations rely on. *)
+  let of_terms terms : t =
+    let sorted = List.stable_sort (fun (v1, _) (v2, _) -> compare v1 v2) terms in
+    let rec merge = function
+      | [] -> []
+      | [ (v, c) ] -> if F.is_zero c then [] else [ (v, c) ]
+      | (v1, c1) :: ((v2, c2) :: rest as tl) ->
+        if v1 = v2 then merge ((v1, F.add c1 c2) :: rest)
+        else if F.is_zero c1 then merge tl
+        else (v1, c1) :: merge tl
+    in
+    merge sorted
+
+  (* Renaming can alias two distinct wires onto one (the optimiser's
+     union-find does exactly that), so the result must be re-canonicalised,
+     not merely re-sorted. *)
+  let map_vars f (a : t) : t = of_terms (List.map (fun (v, c) -> (f v, c)) a)
 
   let pp fmt (a : t) =
     if a = [] then Format.pp_print_string fmt "0"

@@ -28,6 +28,10 @@ module Make (F : Zkvc_field.Field_intf.S) : sig
   (** Terms in increasing wire order. *)
   val terms : t -> (var * F.t) list
 
+  (** Canonicalise an arbitrary term list: sort by wire, merge duplicate
+      wires, drop zero coefficients. [of_terms (terms a) = a]. *)
+  val of_terms : (var * F.t) list -> t
+
   (** Number of non-zero terms ("wires" in the paper's PSQ accounting). *)
   val num_terms : t -> int
 
@@ -36,7 +40,9 @@ module Make (F : Zkvc_field.Field_intf.S) : sig
   (** Evaluate against a full assignment (index 0 must hold one). *)
   val eval : t -> F.t array -> F.t
 
-  (** Rename wires; the result is re-sorted. *)
+  (** Rename wires; the result is re-canonicalised, so a renaming that
+      aliases two wires merges their coefficients (and drops the term if
+      they cancel). *)
   val map_vars : (var -> var) -> t -> t
 
   val pp : Format.formatter -> t -> unit

@@ -11,6 +11,7 @@ type entry =
     strategy : Mc.strategy;
     dims : Mspec.dims;
     challenge : Fr.t option;
+    opt : Api.Opt.config option;
     keys : Api.keys }
 
 type t =
@@ -51,7 +52,7 @@ let ids t = with_lock t (fun () -> List.map (fun e -> e.id) t.entries)
    folded term by term (wire index + canonical coefficient bytes), so any
    coefficient difference — e.g. a different CRPC challenge — yields a
    different id. *)
-let id_of backend strategy dims ~challenge (cs : Cs.t) =
+let id_of ?opt backend strategy dims ~challenge (cs : Cs.t) =
   let ctx = Sha256.init () in
   let u32 n =
     let b = Bytes.create 4 in
@@ -76,6 +77,10 @@ let id_of backend strategy dims ~challenge (cs : Cs.t) =
   (match challenge with
    | None -> Sha256.update_string ctx "_"
    | Some z -> Sha256.update ctx (Fr.to_bytes z));
+  (* the optimiser config, so optimised and unoptimised keys can never
+     collide even if a config ever left the system unchanged *)
+  Sha256.update_string ctx
+    (match opt with None -> "_" | Some c -> Api.Opt.config_tag c);
   u32 cs.Cs.num_inputs;
   u32 cs.Cs.num_aux;
   u32 (Array.length cs.Cs.constraints);
@@ -125,6 +130,7 @@ let spill t (e : entry) =
              kf_strategy = e.strategy;
              kf_dims = e.dims;
              kf_challenge = e.challenge;
+             kf_opt = e.opt;
              kf_key_id = e.id;
              kf_keys = e.keys })
 
@@ -142,6 +148,7 @@ let load_from_disk t id =
             strategy = kf.kf_strategy;
             dims = kf.kf_dims;
             challenge = kf.kf_challenge;
+            opt = kf.kf_opt;
             keys = kf.kf_keys }
       | Ok _ | Error _ -> None
       | exception Sys_error _ -> None)
@@ -165,7 +172,7 @@ let promote_locked t id =
 
 (* Make (or load) the entry for [id], with this caller owning the
    single-flight slot for it. Runs [make]/disk IO outside the lock. *)
-let fill_inflight t id backend strategy dims ~challenge ~make =
+let fill_inflight t id backend strategy dims ~challenge ~opt ~make =
   let settle result =
     Mutex.lock t.lock;
     (match result with Some e -> insert_locked t e | None -> ());
@@ -178,7 +185,7 @@ let fill_inflight t id backend strategy dims ~challenge ~make =
     | Some e -> (e, `Hit_disk)
     | None ->
       let keys = make () in
-      let e = { id; backend; strategy; dims; challenge; keys } in
+      let e = { id; backend; strategy; dims; challenge; opt; keys } in
       spill t e;
       (e, `Miss)
   with
@@ -191,8 +198,8 @@ let fill_inflight t id backend strategy dims ~challenge ~make =
     settle None;
     raise ex
 
-let find_or_add t backend strategy dims ~challenge ~cs ~make =
-  let id = id_of backend strategy dims ~challenge cs in
+let find_or_add ?opt t backend strategy dims ~challenge ~cs ~make =
+  let id = id_of ?opt backend strategy dims ~challenge cs in
   Mutex.lock t.lock;
   let rec get () =
     match promote_locked t id with
@@ -209,7 +216,7 @@ let find_or_add t backend strategy dims ~challenge ~cs ~make =
       else begin
         Hashtbl.add t.inflight id ();
         Mutex.unlock t.lock;
-        fill_inflight t id backend strategy dims ~challenge ~make
+        fill_inflight t id backend strategy dims ~challenge ~opt ~make
       end
   in
   get ()

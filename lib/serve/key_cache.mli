@@ -20,6 +20,8 @@ type entry =
     strategy : Zkvc.Matmul_circuit.strategy;
     dims : Zkvc.Matmul_spec.dims;
     challenge : Fr.t option;
+    opt : Api.Opt.config option;
+        (** optimiser config the keys were generated against *)
     keys : Api.keys }
 
 type t
@@ -38,8 +40,12 @@ val length : t -> int
 (** In-memory ids, most recently used first (for tests). *)
 val ids : t -> string list
 
-(** Deterministic cache id of a circuit/backend pair. *)
+(** Deterministic cache id of a circuit/backend pair. The optimiser
+    config ([?opt]) is absorbed into the digest alongside the (already
+    optimised) constraint system, so optimised and unoptimised keys can
+    never collide. *)
 val id_of :
+  ?opt:Api.Opt.config ->
   Api.backend ->
   Zkvc.Matmul_circuit.strategy ->
   Zkvc.Matmul_spec.dims ->
@@ -59,6 +65,7 @@ val id_of :
     and return its entry as [`Hit_mem]. If [make] raises, one blocked
     waiter takes over the slot and retries. *)
 val find_or_add :
+  ?opt:Api.Opt.config ->
   t ->
   Api.backend ->
   Zkvc.Matmul_circuit.strategy ->

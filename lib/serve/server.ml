@@ -24,7 +24,11 @@ type config =
     metrics_file : string option;
     metrics_interval_s : float;
     flight_capacity : int;
-    flight_file : string option }
+    flight_file : string option;
+    optimize : Api.Opt.config option
+        (* run the R1CS optimiser on every prepared circuit; absorbed
+           into cache ids and spilled key files so optimised and
+           unoptimised keys never mix *) }
 
 (* Monotonic wall clock (CLOCK_MONOTONIC via bechamel's stub), in
    seconds. Deadlines and uptime must never go through
@@ -46,7 +50,8 @@ let default_config ~socket_path =
     metrics_file = None;
     metrics_interval_s = 1.;
     flight_capacity = 128;
-    flight_file = None }
+    flight_file = None;
+    optimize = None }
 
 (* serve.* metrics mirror the atomic counters below; the atomics are
    authoritative (Status works with the sink disabled). *)
@@ -279,11 +284,14 @@ let matrices_of_input dims input =
 (* prepare + cached keygen, shared by Keygen and Prove *)
 let prepared_keys t backend strategy dims input ~deadline =
   let rng, x, w = matrices_of_input dims input in
-  let prep = Span.with_span "serve.prepare" (fun () -> Api.prepare strategy ~x ~w dims) in
+  let optimize = t.cfg.optimize in
+  let prep =
+    Span.with_span "serve.prepare" (fun () -> Api.prepare ?optimize strategy ~x ~w dims)
+  in
   check_deadline deadline;
   let entry, hit =
-    Key_cache.find_or_add t.cache backend strategy dims ~challenge:prep.Api.challenge
-      ~cs:prep.Api.cs
+    Key_cache.find_or_add ?opt:optimize t.cache backend strategy dims
+      ~challenge:prep.Api.challenge ~cs:prep.Api.cs
       ~make:(fun () ->
         Span.with_span "serve.keygen" (fun () -> Api.keygen ~rng backend prep.Api.cs))
   in
@@ -310,6 +318,7 @@ let process_keygen t ~backend ~strategy ~dims ~seed ~bound ~deadline =
         kf_strategy = strategy;
         kf_dims = dims;
         kf_challenge = prep.Api.challenge;
+        kf_opt = entry.Key_cache.opt;
         kf_key_id = entry.Key_cache.id;
         kf_keys = entry.Key_cache.keys }
   in

@@ -50,9 +50,15 @@ type config =
     flight_capacity : int;
         (** flight-recorder ring size (last N completed/failed jobs);
             default 128 *)
-    flight_file : string option
+    flight_file : string option;
         (** dump the flight ring (JSONL) here when the last worker
-            drains or dies — same bytes [Status_detail] returns *) }
+            drains or dies — same bytes [Status_detail] returns *)
+    optimize : Zkvc.Api.Opt.config option
+        (** run the R1CS optimiser ([Zkvc_opt]) on every circuit the
+            server prepares or keygens. The config is absorbed into
+            cache ids and spilled key files, so optimised and
+            unoptimised keys never mix. [None] (the default) leaves
+            circuits untouched. *) }
 
 val default_config : socket_path:string -> config
 

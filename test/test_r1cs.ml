@@ -156,6 +156,33 @@ struct
         let cs, assignment = Bld.finalize b in
         Cs.is_satisfied cs assignment)
 
+  (* Regression: [of_terms] must canonicalise at construction — merge
+     duplicate wires, drop zero coefficients, sort by wire — like the
+     [add]-built equivalent. The original implementation trusted its
+     input, so a duplicated wire fed to [map_vars] double-counted. *)
+  let prop_of_terms_canonical =
+    QCheck.Test.make ~name:(n "of_terms canonicalises") ~count:200
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 12)
+         (QCheck.pair (QCheck.int_range 0 5) (QCheck.int_range (-3) 3)))
+      (fun raw ->
+        let terms = List.map (fun (v, c) -> (v, F.of_int c)) raw in
+        let lc = L.of_terms terms in
+        let naive =
+          List.fold_left (fun acc (v, c) -> L.add acc (L.term c v)) L.zero terms
+        in
+        let assign = Array.init 8 (fun i -> F.of_int (i + 2)) in
+        let at l = F.to_string (L.eval l assign) in
+        (* same value as the add-built canonical form, and same shape *)
+        at lc = at naive
+        && L.num_terms lc = L.num_terms naive
+        && (let ws = List.map fst (L.terms lc) in
+            ws = List.sort_uniq compare ws)
+        && List.for_all (fun (_, c) -> not (F.equal c F.zero)) (L.terms lc)
+        (* collapsing every wire onto one must merge, never duplicate *)
+        && (let collapsed = L.map_vars (fun _ -> 1) lc in
+            L.num_terms collapsed <= 1
+            && at collapsed = F.to_string (L.eval lc (Array.make 8 assign.(1)))))
+
   let test_stats () =
     let b = Bld.create () in
     let x = Bld.alloc b (F.of_int 2) in
@@ -181,6 +208,7 @@ struct
         Alcotest.test_case (n "div rem") `Quick test_div_rem;
         Alcotest.test_case (n "product") `Quick test_product;
         Alcotest.test_case (n "stats") `Quick test_stats;
+        QCheck_alcotest.to_alcotest prop_of_terms_canonical;
         QCheck_alcotest.to_alcotest prop_random_linear_circuits ] )
 
   let _ = st

@@ -483,6 +483,7 @@ let file_tests =
                   kf_strategy = strategy;
                   kf_dims = tiny;
                   kf_challenge = prep.Api.challenge;
+                  kf_opt = None;
                   kf_key_id = id;
                   kf_keys = keys }
             in
@@ -503,6 +504,7 @@ let file_tests =
               kf_strategy = Mc.Vanilla;
               kf_dims = tiny;
               kf_challenge = prep.Api.challenge;
+              kf_opt = None;
               kf_key_id = String.make 32 'z';
               kf_keys = keys }
         in

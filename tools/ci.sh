@@ -3,8 +3,11 @@
 # paired smoke bench (sequential vs parallel) that must produce non-empty
 # machine-readable reports and a sane speedup ratio, a noise-aware perf
 # gate that diffs the sequential smoke report against the committed
-# baseline (BENCH_0008.json, region-profiled) with tools/perf_diff, and a
-# constraint-provenance profile stage on both backends.
+# baseline (BENCH_0008.json, region-profiled) with tools/perf_diff, a
+# constraint-provenance profile stage on both backends, and an optimiser
+# stage (lib/opt): optimised prove/verify on both backends, a measured
+# nnz win on the ViT profile, and a second perf gate against the
+# optimised baseline BENCH_0009.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -138,6 +141,73 @@ grep -q "region " "$PROF_TMP/drift.out" || {
     exit 1
 }
 echo "ci: profile stage ok ($PROF_TMP)"
+
+echo "== optimiser stage: lib/opt pipeline =="
+OPT_TMP=$(mktemp -d /tmp/zkvc-opt-ci.XXXXXX)
+# end-to-end on both backends: optimised keygen, optimised prove (exits
+# non-zero on a failed verification), and offline verify of the optimised
+# proof against the spilled key file (which carries the optimiser config)
+for BACKEND in groth16 spartan; do
+    echo "-- optimised prove/verify $BACKEND --"
+    dune exec bin/zkvc_cli.exe -- keygen --dims 4,4,8 --backend "$BACKEND" --seed 7 \
+        --optimize --out "$OPT_TMP/$BACKEND.zkvk" > /dev/null
+    dune exec bin/zkvc_cli.exe -- prove --dims 4,4,8 --backend "$BACKEND" --seed 7 \
+        --optimize --out "$OPT_TMP/$BACKEND.zkvp" > "$OPT_TMP/$BACKEND-prove.out" || {
+        echo "ci: optimised prove failed ($BACKEND)" >&2
+        cat "$OPT_TMP/$BACKEND-prove.out" >&2
+        exit 1
+    }
+    dune exec bin/zkvc_cli.exe -- verify --key "$OPT_TMP/$BACKEND.zkvk" \
+        --proof "$OPT_TMP/$BACKEND.zkvp" | grep -q "verified: true" || {
+        echo "ci: offline verification of an optimised proof failed ($BACKEND)" >&2
+        exit 1
+    }
+done
+
+# the pipeline must actually win on a real workload: the ViT token-mixer
+# profile with --optimize reports a strictly smaller nnz total, keeps the
+# per-region ledger exact, and attributes every win to a region
+dune exec bin/zkvc_cli.exe -- profile --arch cifar10 --variant zkvc --shrink 24 \
+    --backend spartan --optimize | tee "$OPT_TMP/profile.out"
+grep -q "exact match" "$OPT_TMP/profile.out" || {
+    echo "ci: optimised profile region sum does not match the global ledger" >&2
+    exit 1
+}
+awk '/^  total .* nnz / {
+    before = $(NF - 2); after = $NF
+    if (after + 0 >= before + 0) {
+        printf "ci: optimiser did not reduce nnz (%d -> %d)\n", before, after
+        exit 1
+    }
+    found = 1
+}
+END { if (!found) { print "ci: no optimiser nnz total in the profile output"; exit 1 } }' \
+    "$OPT_TMP/profile.out" || exit 1
+
+# per-pass behaviour on an injected-redundancy circuit (exact elimination
+# counts, witness round trips) is asserted by test/test_opt.ml in the
+# runtest stages above; here we gate the committed optimised baseline:
+# same smoke bench as the perf gate, now with --optimize, against
+# BENCH_0009.json — structural counts (global and per region) to exact
+# equality, wall time only when the core count matches
+echo "-- optimised perf gate vs BENCH_0009.json --"
+BENCH_OPT_JSON=${BENCH_OPT_JSON:-/tmp/bench-opt.json}
+rm -f "$BENCH_OPT_JSON"
+dune exec bench/main.exe -- --only tab2 --scale 16 --repeat 3 --jobs 1 \
+    --profile --optimize --json "$BENCH_OPT_JSON"
+OPT_BASELINE=${OPT_BASELINE:-BENCH_0009.json}
+if [ ! -s "$OPT_BASELINE" ]; then
+    echo "ci: optimised baseline report missing: $OPT_BASELINE" >&2
+    exit 1
+fi
+OPT_BASE_NPROC=$(json_nproc "$OPT_BASELINE")
+if [ "$OPT_BASE_NPROC" = "$(json_nproc "$BENCH_OPT_JSON")" ]; then
+    dune exec tools/perf_diff.exe -- "$OPT_BASELINE" "$BENCH_OPT_JSON"
+else
+    echo "ci: optimised baseline nproc=$OPT_BASE_NPROC differs; cost ledger only"
+    dune exec tools/perf_diff.exe -- --skip-time "$OPT_BASELINE" "$BENCH_OPT_JSON"
+fi
+echo "ci: optimiser stage ok ($OPT_TMP)"
 
 echo "== proof service smoke (socket e2e, both backends, telemetry) =="
 SERVE_TMP=$(mktemp -d /tmp/zkvc-serve-ci.XXXXXX)
@@ -379,6 +449,13 @@ for BACKEND in groth16 spartan; do
         exit 1
     }
 done
+# the same sweep against optimiser-transformed circuits: a pass that
+# widened the acceptance set would surface here as an accepted forgery
+dune exec bin/zkvc_cli.exe -- adversary --seed "$ADVERSARY_SEED" \
+    --backend spartan --strategy crpc+psq --dims 2,2,2 --optimize || {
+    echo "ci: adversary sweep found an accepted forgery on an optimised circuit" >&2
+    exit 1
+}
 echo "ci: adversary sweep clean (seed=$ADVERSARY_SEED)"
 
 echo "ci: ok ($BENCH_JSON, $BENCH_JSON_PAR)"

@@ -1,0 +1,23 @@
+module F = Zkvc_field.Fr
+module Opt = Zkvc_opt.Opt.Make (F)
+module L = Opt.L
+module Cs = Opt.Cs
+
+let lc terms = L.of_terms (List.map (fun (v, k) -> (v, F.of_int k)) terms)
+
+let () =
+  (* wires: 0=one, aux v=1, w=2, x=3.  Rows (linear, encoded as 1*B = 0):
+     v - w = 0 ; v - 2w = 0 ; v + x - 5 = 0 *)
+  let row b = { Cs.a = L.constant F.one; b; c = L.zero; label = "" } in
+  let cs =
+    { Cs.num_inputs = 0;
+      num_aux = 3;
+      constraints =
+        [| row (lc [ (1, 1); (2, -1) ]);
+           row (lc [ (1, 1); (2, -2) ]);
+           row (lc [ (0, -5); (1, 1); (3, 1) ]) |] }
+  in
+  match Opt.optimize cs with
+  | r ->
+    Format.printf "ok: %a@." Opt.pp_report r.Opt.report
+  | exception e -> Format.printf "EXCEPTION: %s@." (Printexc.to_string e)

@@ -16,7 +16,8 @@
      --scale N    divide matmul dimensions by N (default 4; 1 = paper size)
      --jobs N     prover worker domains (0 = all cores; default
                   ZKVC_JOBS or 1)
-     --only ...   comma-separated subset of {tab1,fig3,fig6,tab2,tab3,tab4,abl,micro}
+     --only ...   comma-separated subset of {tab1,fig3,fig6,tab2,tab3,tab4,agg,abl,micro}
+     --agg-max N  largest batch size the agg section measures (default 16)
      --repeat N   repeat every matmul measurement N times after one
                   untimed warmup run; tables and the report carry the
                   median (and the report the per-rep times + MAD)
@@ -84,7 +85,12 @@ let tbl fmt = Printf.fprintf !out fmt
 (* progress / log chatter, never on the table stream *)
 let progress fmt = Printf.eprintf fmt
 
-let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "abl"; "micro" ]
+let valid_sections = [ "tab1"; "fig3"; "fig6"; "tab2"; "tab3"; "tab4"; "agg"; "abl"; "micro" ]
+
+(* --agg-max: largest batch size the agg section measures (the N grid is
+   {1,4,16,64} clipped to this; 64 exists for the one-off EXPERIMENTS
+   table, CI stays at 16) *)
+let agg_max = ref 16
 
 let usage_error msg =
   Printf.eprintf "bench: %s\n" msg;
@@ -132,6 +138,13 @@ let () =
        | None -> usage_error (Printf.sprintf "--repeat expects an integer, got %S" n));
       parse rest
     | [ "--repeat" ] -> usage_error "--repeat expects an argument"
+    | "--agg-max" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some r when r >= 1 -> agg_max := r
+       | Some r -> usage_error (Printf.sprintf "--agg-max must be >= 1, got %d" r)
+       | None -> usage_error (Printf.sprintf "--agg-max expects an integer, got %S" n));
+      parse rest
+    | [ "--agg-max" ] -> usage_error "--agg-max expects an argument"
     | "--json" :: f :: rest ->
       json_file := Some f;
       parse rest
@@ -453,6 +466,193 @@ let run_tab2 () =
     (get false false /. Stdlib.max 1e-9 (get true true))
 
 (* ------------------------------------------------------------------ *)
+(* Amortised verification: batch verify + SnarkPack aggregation         *)
+
+(* Per-proof verification cost as the batch grows: N honest proofs under
+   one (challenge-free) key verified three ways — one at a time, with the
+   backend's combined batch check, and (Groth16) compressed into one
+   SnarkPack aggregate. Report rows (section "agg"):
+     setup_s  = per-proof INDIVIDUAL verify seconds (the amortised baseline)
+     prove_s  = total combined-check seconds for the whole batch (gated)
+     verify_s = per-proof combined seconds — the number that must fall as
+                N grows
+   [proof_bytes] carries the single-proof size for batch rows and the
+   aggregate blob size for snarkpack rows (constant-ish vs N x 259 B). *)
+let run_agg () =
+  let module Groth16 = Zkvc_groth16.Groth16 in
+  let module Aggregate = Zkvc_groth16.Aggregate in
+  let module Spartan = Zkvc_spartan.Spartan in
+  let d = scaled_dims 128 in
+  header
+    (Format.asprintf "Amortised verification — batch + aggregate, dims %a%s"
+       Mspec.pp_dims d
+       (if !scale = 1 then "" else Printf.sprintf " (scaled 1/%d)" !scale));
+  let ns = List.filter (fun n -> n <= !agg_max) [ 1; 4; 16; 64 ] in
+  let n_max = List.fold_left Stdlib.max 1 ns in
+  let strategy = Mc.Vanilla in
+  let time f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  in
+  let median l = Obs.Stats.median (Array.of_list l) in
+  tbl "%-8s %4s | %12s %12s %12s | %10s %10s\n" "backend" "N" "indiv(s)"
+    "batched(s)" "per-proof" "amortised" "proof(B)";
+  List.iter
+    (fun (bname, backend) ->
+      progress "agg: proving %d %s members...\n%!" n_max bname;
+      let preps =
+        List.init n_max (fun _ ->
+            let x, w = random_instance d in
+            Api.prepare strategy ~x ~w d)
+      in
+      let prep0 = List.hd preps in
+      let keys = Api.keygen ~rng backend prep0.Api.cs in
+      let members =
+        List.map
+          (fun (prep : Api.prepared) ->
+            let publics =
+              Array.to_list
+                (Array.sub prep.Api.assignment 1 (Api.Cs.num_inputs prep.Api.cs))
+            in
+            (publics, Api.prove_with ~rng keys prep.Api.assignment))
+          preps
+      in
+      let stats = Api.Cs.stats prep0.Api.cs in
+      let ledger =
+        { Obs.Report.constraints = stats.Api.Cs.constraints;
+          variables = stats.Api.Cs.variables;
+          nonzero_a = stats.Api.Cs.nonzero_a;
+          nonzero_b = stats.Api.Cs.nonzero_b;
+          nonzero_c = stats.Api.Cs.nonzero_c;
+          witness = Array.length prep0.Api.assignment;
+          top_heap_words = 0;
+          major_collections = 0 }
+      in
+      let record scheme ~reps ~proof_bytes =
+        if !json_file <> None then
+          report_measurements :=
+            Obs.Report.summarize ~section:"agg" ~scheme
+              ~strategy:(Mc.strategy_name strategy)
+              ~backend:(Api.backend_name backend)
+              ~dims:(d.Mspec.a, d.Mspec.n, d.Mspec.b)
+              ~reps ~proof_bytes ~ledger ()
+            :: !report_measurements
+      in
+      let take n = List.filteri (fun i _ -> i < n) members in
+      let single_proof_bytes =
+        match snd (List.hd members) with
+        | Api.Groth16_proof p -> Bytes.length (Groth16.proof_to_bytes p)
+        | Api.Spartan_proof p -> Spartan.proof_size_bytes p
+      in
+      (* the batch check per backend; asserts acceptance so a silently
+         rejecting batch cannot masquerade as a fast one *)
+      let batch_check pairs =
+        match keys with
+        | Api.Groth16_keys { vk; _ } ->
+          let pairs =
+            List.map
+              (function
+                | io, Api.Groth16_proof p -> (io, p)
+                | _ -> assert false)
+              pairs
+          in
+          assert (Groth16.verify_batch vk pairs = Groth16.Batch_accepted)
+        | Api.Spartan_keys { inst; key } ->
+          let pairs =
+            List.map
+              (function
+                | io, Api.Spartan_proof p -> (io, p)
+                | _ -> assert false)
+              pairs
+          in
+          assert (Spartan.verify_batch key inst pairs = Spartan.Batch_accepted)
+      in
+      List.iter
+        (fun n ->
+          let pairs = take n in
+          let reps =
+            List.init !repeat (fun _ ->
+                let (), t_ind =
+                  time (fun () ->
+                      List.iter
+                        (fun (io, p) ->
+                          assert (Api.verify_with keys ~public_inputs:io p))
+                        pairs)
+                in
+                let (), t_batch = time (fun () -> batch_check pairs) in
+                { Obs.Report.setup_s = t_ind /. float_of_int n;
+                  prove_s = t_batch;
+                  verify_s = t_batch /. float_of_int n })
+          in
+          record (Printf.sprintf "batch-n%d" n) ~reps ~proof_bytes:single_proof_bytes;
+          let t_ind_pp = median (List.map (fun (r : Obs.Report.rep) -> r.Obs.Report.setup_s) reps) in
+          let t_batch = median (List.map (fun (r : Obs.Report.rep) -> r.Obs.Report.prove_s) reps) in
+          tbl "%-8s %4d | %12.3f %12.3f %12.4f | %9.1fx %10d\n%!" bname n
+            (t_ind_pp *. float_of_int n)
+            t_batch
+            (t_batch /. float_of_int n)
+            (t_ind_pp /. Stdlib.max 1e-9 (t_batch /. float_of_int n))
+            single_proof_bytes)
+        ns;
+      (* SnarkPack aggregation (Groth16 only): one O(log N) proof for the
+         whole batch; the verifier pays ~constant pairings however large
+         N grows *)
+      match keys with
+      | Api.Spartan_keys _ -> ()
+      | Api.Groth16_keys { vk; _ } ->
+        let srs, t_srs =
+          time (fun () -> Aggregate.setup rng ~max_proofs:(Stdlib.max 2 n_max))
+        in
+        progress "agg: aggregation SRS in %.2fs\n%!" t_srs;
+        List.iter
+          (fun n ->
+            let pairs =
+              List.map
+                (function
+                  | io, Api.Groth16_proof p -> (io, p)
+                  | _ -> assert false)
+                (take n)
+            in
+            let ios = List.map fst pairs in
+            let agg, t_agg = time (fun () -> Aggregate.aggregate srs vk pairs) in
+            let blob = Aggregate.proof_size_bytes agg in
+            let reps =
+              List.init !repeat (fun _ ->
+                  let (), t_ind =
+                    time (fun () ->
+                        List.iter
+                          (fun (io, p) ->
+                            assert
+                              (Api.verify_with keys ~public_inputs:io
+                                 (Api.Groth16_proof p)))
+                          pairs)
+                  in
+                  let (), t_ver =
+                    time (fun () ->
+                        assert (Aggregate.verify_aggregate srs vk ios agg))
+                  in
+                  { Obs.Report.setup_s = t_ind /. float_of_int n;
+                    prove_s = t_ver;
+                    verify_s = t_ver /. float_of_int n })
+            in
+            record (Printf.sprintf "snarkpack-n%d" n) ~reps ~proof_bytes:blob;
+            let t_ind_pp = median (List.map (fun (r : Obs.Report.rep) -> r.Obs.Report.setup_s) reps) in
+            let t_ver = median (List.map (fun (r : Obs.Report.rep) -> r.Obs.Report.prove_s) reps) in
+            tbl
+              "%-8s %4d | %12s %12.3f %12.4f | %9.1fx %10d  (snarkpack, agg %.2fs)\n%!"
+              "g16-agg" n "-" t_ver
+              (t_ver /. float_of_int n)
+              (t_ind_pp /. Stdlib.max 1e-9 (t_ver /. float_of_int n))
+              blob t_agg)
+          (List.filter (fun n -> n >= 2) ns);
+        tbl
+          "batched(s) = one combined check for the whole batch; amortised = per-proof\n";
+        tbl
+          "individual / per-proof combined. snarkpack rows verify ONE aggregate proof.\n%!")
+    [ ("groth16", Api.Backend_groth16); ("spartan", Api.Backend_spartan) ]
+
+(* ------------------------------------------------------------------ *)
 (* Tables III and IV                                                    *)
 
 let run_tab3 () =
@@ -712,6 +912,7 @@ let () =
   if enabled "tab2" then run_tab2 ();
   if enabled "tab3" then run_tab3 ();
   if enabled "tab4" then run_tab4 ();
+  if enabled "agg" then run_agg ();
   if enabled "abl" then run_ablations ();
   if enabled "micro" then run_micro ();
   write_json_report ();

@@ -19,6 +19,9 @@ module Wire = Zkvc_serve.Wire
 module Server = Zkvc_serve.Server
 module Client = Zkvc_serve.Client
 module Key_cache = Zkvc_serve.Key_cache
+module Batch = Zkvc_serve.Batch
+module Groth16 = Zkvc_groth16.Groth16
+module Aggregate = Zkvc_groth16.Aggregate
 
 open Cmdliner
 
@@ -154,8 +157,77 @@ let prove_cmd =
                    public inputs + statement descriptor) verifiable with \
                    $(b,zkvc_cli verify) on another machine.")
   in
-  let run d strategy backend seed trace metrics jobs out optimize =
+  let key_arg =
+    Arg.(value & opt (some string) None
+         & info [ "key" ] ~docv:"FILE"
+             ~doc:"Prove under the keys in this key file (from $(b,keygen)) \
+                   instead of generating fresh ones. The statement's \
+                   backend, strategy, dims and optimiser config come from \
+                   the file; only $(b,--seed) picks the instance. Proofs \
+                   from different seeds then share one key — required for \
+                   $(b,verify --batch) and $(b,aggregate). CRPC keys are \
+                   statement-bound, so this needs a challenge-free \
+                   strategy (vanilla / vanilla+psq) or a matching seed.")
+  in
+  (* prove under an existing key file: same CRS for every seed, which is
+     what batch verification and aggregation need offline. The generated
+     statement must land on the key file's key id (CRPC challenges are
+     statement-derived, so a mismatched seed fails loudly here instead of
+     yielding an unverifiable proof). *)
+  let run_with_key kf seed out =
+    let d = kf.Wire.kf_dims and strategy = kf.Wire.kf_strategy in
+    let backend = kf.Wire.kf_backend and optimize = kf.Wire.kf_opt in
+    let rng = Random.State.make [| seed |] in
+    let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+    let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+    let prep = Api.prepare ?optimize strategy ~x ~w d in
+    let key_id =
+      Key_cache.id_of ?opt:optimize backend strategy d ~challenge:prep.Api.challenge
+        prep.Api.cs
+    in
+    if key_id <> kf.Wire.kf_key_id then begin
+      Printf.eprintf
+        "zkvc_cli: statement key %s does not match the key file's %s\n\
+         (CRPC keys are statement-bound: reuse the keygen seed, or keygen \
+         a vanilla-strategy key)\n"
+        (Wire.hex_of_id key_id)
+        (Wire.hex_of_id kf.Wire.kf_key_id);
+      2
+    end
+    else begin
+      let proof = Api.prove_with ~rng kf.Wire.kf_keys prep.Api.assignment in
+      let public_inputs =
+        Array.to_list (Array.sub prep.Api.assignment 1 (Api.Cs.num_inputs prep.Api.cs))
+      in
+      let ok = Api.verify_with kf.Wire.kf_keys ~public_inputs proof in
+      Printf.printf "proved under key %s, verified: %b\n" (Wire.hex_of_id key_id) ok;
+      (match out with
+       | Some file ->
+         let pf =
+           { Wire.pf_backend = backend;
+             pf_strategy = strategy;
+             pf_dims = d;
+             pf_challenge = prep.Api.challenge;
+             pf_key_id = key_id;
+             pf_public_inputs = public_inputs;
+             pf_proof = proof }
+         in
+         write_file file (Wire.encode_proof_file pf);
+         Printf.printf "proof file: %s (key %s)\n" file (Wire.hex_of_id key_id)
+       | None -> ());
+      if ok then 0 else 1
+    end
+  in
+  let run d strategy backend seed trace metrics jobs out optimize key_file =
     Zkvc_parallel.set_jobs jobs;
+    match key_file with
+    | Some file -> (
+      match Wire.decode_key_file (read_file file) with
+      | Error e ->
+        Printf.eprintf "zkvc_cli: bad key file %s: %s\n" file (Wire.error_to_string e);
+        2
+      | Ok kf -> run_with_key kf seed out)
+    | None ->
     let optimize = opt_of_flag optimize in
     let rng = Random.State.make [| seed |] in
     let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
@@ -220,7 +292,7 @@ let prove_cmd =
   let doc = "Prove a random matmul instance and verify it (prints timings)." in
   Cmd.v (Cmd.info "prove" ~doc)
     Term.(const run $ dims_arg $ strategy_arg $ backend_arg $ seed_arg $ trace_arg
-          $ metrics_arg $ jobs_arg $ out_arg $ optimize_arg)
+          $ metrics_arg $ jobs_arg $ out_arg $ optimize_arg $ key_arg)
 
 (* ---- model ---- *)
 
@@ -598,47 +670,229 @@ let keygen_cmd =
 
 (* ---- verify ---- *)
 
+(* Aggregation SRS policy shared by [aggregate] and [verify --aggregate]:
+   derive both trapdoors from a seed. [Kzg.setup_g2]/[Kzg.setup] each
+   draw exactly one scalar before any degree-dependent work, so SRSes
+   from one seed are prefix-compatible: a verifier sized for any
+   [max_proofs >= n] reproduces the aggregator's commitment keys. *)
+let aggregation_srs ~seed ~n =
+  let rec np2 p = if p >= n then p else np2 (2 * p) in
+  Aggregate.setup (Random.State.make [| seed |]) ~max_proofs:(Stdlib.max 2 (np2 2))
+
+let srs_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "srs-seed" ] ~docv:"SEED"
+           ~doc:"Seed the aggregation SRS trapdoors are derived from (must \
+                 match between $(b,aggregate) and $(b,verify --aggregate)).")
+
+(* Load a proof file and require it to target [kf]'s key. *)
+let load_proof_for kf proof_file =
+  match Wire.decode_proof_file (read_file proof_file) with
+  | Error e ->
+    Printf.eprintf "zkvc_cli: bad proof file %s: %s\n" proof_file
+      (Wire.error_to_string e);
+    None
+  | Ok pf ->
+    if pf.Wire.pf_key_id <> kf.Wire.kf_key_id then begin
+      Printf.eprintf
+        "zkvc_cli: proof %s was made for key %s but the key file holds %s\n"
+        proof_file
+        (Wire.hex_of_id pf.Wire.pf_key_id)
+        (Wire.hex_of_id kf.Wire.kf_key_id);
+      None
+    end
+    else Some pf
+
 let verify_cmd =
   let key_arg =
     Arg.(required & opt (some string) None
          & info [ "key" ] ~docv:"FILE" ~doc:"Key file from $(b,keygen).")
   in
   let proof_arg =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "proof" ] ~docv:"FILE" ~doc:"Proof file from $(b,prove --out).")
   in
-  let run key_file proof_file =
+  let batch_arg =
+    Arg.(value & opt_all string []
+         & info [ "batch" ] ~docv:"FILE"
+             ~doc:"Proof file to verify as part of one batch (repeat for each \
+                   member; all must target the key file's key). The batch is \
+                   checked with the backend's combined verifier; on rejection \
+                   each member is re-verified alone and reported.")
+  in
+  let aggregate_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "aggregate" ] ~docv:"FILE"
+             ~doc:"Aggregate proof file from $(b,zkvc_cli aggregate); verified \
+                   with the SRS re-derived from $(b,--srs-seed).")
+  in
+  let verify_single kf proof_file =
+    match load_proof_for kf proof_file with
+    | None -> 2
+    | Some pf ->
+      let ok =
+        try
+          Api.verify_with kf.Wire.kf_keys ~public_inputs:pf.Wire.pf_public_inputs
+            pf.Wire.pf_proof
+        with Invalid_argument _ -> false
+      in
+      Printf.printf "verified: %b\n" ok;
+      if ok then 0 else 1
+  in
+  let verify_batch kf files =
+    let pfs = List.map (load_proof_for kf) files in
+    if List.exists (( = ) None) pfs then 2
+    else begin
+      let items =
+        List.filter_map
+          (Option.map (fun pf -> (pf.Wire.pf_public_inputs, pf.Wire.pf_proof)))
+          pfs
+      in
+      let o = Batch.verify_each kf.Wire.kf_keys items in
+      let path =
+        match o.Batch.path with
+        | Batch.Batched -> "batched"
+        | Batch.Aggregated -> "aggregated"
+        | Batch.Fallback -> "fallback"
+        | Batch.Per_item -> "per-item"
+      in
+      List.iter2
+        (fun file ok -> Printf.printf "%s: verified: %b\n" file ok)
+        files o.Batch.verdicts;
+      Printf.printf "batch of %d: %s%s\n" (List.length files) path
+        (match o.Batch.malformed with
+         | [] -> ""
+         | bad ->
+           Printf.sprintf " (malformed: %s)"
+             (String.concat "," (List.map string_of_int bad)));
+      if List.for_all Fun.id o.Batch.verdicts then 0 else 1
+    end
+  in
+  let verify_aggregate kf agg_file srs_seed =
+    match Wire.decode_aggregate_file (read_file agg_file) with
+    | Error e ->
+      Printf.eprintf "zkvc_cli: bad aggregate file %s: %s\n" agg_file
+        (Wire.error_to_string e);
+      2
+    | Ok af ->
+      if af.Wire.af_key_id <> kf.Wire.kf_key_id then begin
+        Printf.eprintf
+          "zkvc_cli: aggregate was made for key %s but the key file holds %s\n"
+          (Wire.hex_of_id af.Wire.af_key_id)
+          (Wire.hex_of_id kf.Wire.kf_key_id);
+        2
+      end
+      else begin
+        match kf.Wire.kf_keys with
+        | Api.Spartan_keys _ ->
+          Printf.eprintf "zkvc_cli: aggregate proofs are Groth16-only\n";
+          2
+        | Api.Groth16_keys { vk; _ } ->
+          let srs =
+            aggregation_srs ~seed:srs_seed ~n:(List.length af.Wire.af_statements)
+          in
+          let ok =
+            try Aggregate.verify_aggregate srs vk af.Wire.af_statements af.Wire.af_proof
+            with Invalid_argument _ -> false
+          in
+          Printf.printf "aggregate of %d: verified: %b\n"
+            (List.length af.Wire.af_statements) ok;
+          if ok then 0 else 1
+      end
+  in
+  let run key_file proof_file batch_files aggregate_file srs_seed =
     match Wire.decode_key_file (read_file key_file) with
     | Error e ->
       Printf.eprintf "zkvc_cli: bad key file %s: %s\n" key_file (Wire.error_to_string e);
       2
     | Ok kf -> (
-      match Wire.decode_proof_file (read_file proof_file) with
-      | Error e ->
-        Printf.eprintf "zkvc_cli: bad proof file %s: %s\n" proof_file
-          (Wire.error_to_string e);
+      match (proof_file, batch_files, aggregate_file) with
+      | Some pf, [], None -> verify_single kf pf
+      | None, (_ :: _ as files), None -> verify_batch kf files
+      | None, [], Some agg -> verify_aggregate kf agg srs_seed
+      | None, [], None ->
+        Printf.eprintf "zkvc_cli: give one of --proof, --batch or --aggregate\n";
         2
-      | Ok pf ->
-        if pf.Wire.pf_key_id <> kf.Wire.kf_key_id then begin
-          Printf.eprintf
-            "zkvc_cli: proof was made for key %s but the key file holds %s\n"
-            (Wire.hex_of_id pf.Wire.pf_key_id)
-            (Wire.hex_of_id kf.Wire.kf_key_id);
-          2
-        end
+      | _ ->
+        Printf.eprintf
+          "zkvc_cli: --proof, --batch and --aggregate are mutually exclusive\n";
+        2)
+  in
+  let doc =
+    "Verify proof files against a key file (no witness needed): one proof \
+     ($(b,--proof)), a batch sharing one combined check ($(b,--batch), \
+     repeated), or a SnarkPack-style aggregate ($(b,--aggregate))."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ key_arg $ proof_arg $ batch_arg $ aggregate_file_arg
+          $ srs_seed_arg)
+
+(* ---- aggregate ---- *)
+
+let aggregate_cmd =
+  let key_arg =
+    Arg.(required & opt (some string) None
+         & info [ "key" ] ~docv:"FILE" ~doc:"Key file from $(b,keygen) (Groth16).")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the aggregate proof file here.")
+  in
+  let proofs_arg =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"PROOF_FILE" ~doc:"Proof files to aggregate (in order).")
+  in
+  let run key_file out srs_seed proof_files =
+    match Wire.decode_key_file (read_file key_file) with
+    | Error e ->
+      Printf.eprintf "zkvc_cli: bad key file %s: %s\n" key_file (Wire.error_to_string e);
+      2
+    | Ok kf -> (
+      match kf.Wire.kf_keys with
+      | Api.Spartan_keys _ ->
+        Printf.eprintf "zkvc_cli: aggregation is Groth16-only\n";
+        2
+      | Api.Groth16_keys { vk; _ } ->
+        let pfs = List.map (load_proof_for kf) proof_files in
+        if List.exists (( = ) None) pfs then 2
         else begin
-          let ok =
-            try
-              Api.verify_with kf.Wire.kf_keys ~public_inputs:pf.Wire.pf_public_inputs
-                pf.Wire.pf_proof
-            with Invalid_argument _ -> false
+          let instances =
+            List.filter_map
+              (Option.map (fun pf ->
+                   match pf.Wire.pf_proof with
+                   | Api.Groth16_proof p -> (pf.Wire.pf_public_inputs, p)
+                   | Api.Spartan_proof _ ->
+                     (* unreachable: a Groth16 key id never matches a
+                        Spartan proof file *)
+                     invalid_arg "spartan proof under groth16 key"))
+              pfs
           in
-          Printf.printf "verified: %b\n" ok;
-          if ok then 0 else 1
+          let srs = aggregation_srs ~seed:srs_seed ~n:(List.length instances) in
+          let agg = Aggregate.aggregate srs vk instances in
+          let individual_bytes =
+            List.fold_left
+              (fun acc (_, p) -> acc + Groth16.proof_size_bytes p)
+              0 instances
+          in
+          write_file out
+            (Wire.encode_aggregate_file
+               { Wire.af_key_id = kf.Wire.kf_key_id;
+                 af_statements = List.map fst instances;
+                 af_proof = agg });
+          Printf.printf "aggregate file: %s (%d proofs, %dB aggregate vs %dB individual)\n"
+            out (List.length instances)
+            (Aggregate.proof_size_bytes agg)
+            individual_bytes;
+          0
         end)
   in
-  let doc = "Verify a proof file against a key file (no witness needed)." in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ key_arg $ proof_arg)
+  let doc =
+    "Aggregate Groth16 proof files sharing one key into a single \
+     O(log N)-size SnarkPack-style proof (verify with $(b,zkvc_cli verify \
+     --aggregate))."
+  in
+  Cmd.v (Cmd.info "aggregate" ~doc)
+    Term.(const run $ key_arg $ out_arg $ srs_seed_arg $ proofs_arg)
 
 (* ---- serve ---- *)
 
@@ -708,8 +962,15 @@ let serve_cmd =
              ~doc:"Dump the flight recorder (JSON lines) here when the worker \
                    drains or crashes.")
   in
+  let batch_aggregate_arg =
+    Arg.(value & flag
+         & info [ "batch-aggregate" ]
+             ~doc:"Verify homogeneous Groth16 batches by SnarkPack-style \
+                   aggregation (one short aggregate proof checked instead of \
+                   the weighted multi-pairing).")
+  in
   let run socket queue cache cache_dir workers jobs trace metrics job_delay
-      metrics_file metrics_interval flight flight_file optimize =
+      metrics_file metrics_interval flight flight_file optimize batch_aggregate =
     let cfg =
       { Server.socket_path = socket;
         queue_capacity = queue;
@@ -724,7 +985,8 @@ let serve_cmd =
         metrics_interval_s = metrics_interval;
         flight_capacity = flight;
         flight_file;
-        optimize = opt_of_flag optimize }
+        optimize = opt_of_flag optimize;
+        batch_aggregate }
     in
     if cfg.Server.observe then begin
       Obs.Span.reset ();
@@ -757,7 +1019,7 @@ let serve_cmd =
     Term.(const run $ socket_arg $ queue_arg $ cache_arg $ cache_dir_arg
           $ workers_arg $ jobs_arg $ trace_arg $ metrics_arg $ job_delay_arg
           $ metrics_file_arg $ metrics_interval_arg $ flight_arg $ flight_file_arg
-          $ optimize_arg)
+          $ optimize_arg $ batch_aggregate_arg)
 
 (* ---- client ---- *)
 
@@ -882,10 +1144,17 @@ let client_keygen_cmd =
 
 let client_verify_cmd =
   let proof_arg =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "proof" ] ~docv:"FILE" ~doc:"Proof file to verify on the server.")
   in
-  let run socket proof_file deadline_ms =
+  let batch_arg =
+    Arg.(value & opt_all string []
+         & info [ "batch" ] ~docv:"FILE"
+             ~doc:"Proof file to include in one server-side $(b,Batch_verify) \
+                   request (repeat for each member; all must target the same \
+                   key).")
+  in
+  let verify_one socket proof_file deadline_ms =
     match Wire.decode_proof_file (read_file proof_file) with
     | Error e ->
       Printf.eprintf "zkvc_cli: bad proof file %s: %s\n" proof_file
@@ -908,9 +1177,66 @@ let client_verify_cmd =
             if ok then 0 else 1
           | Ok _ -> unexpected_response ())
   in
-  let doc = "Verify a proof file against the server's key cache." in
+  let verify_batch socket files deadline_ms =
+    let pfs =
+      List.map
+        (fun file ->
+          match Wire.decode_proof_file (read_file file) with
+          | Error e ->
+            Printf.eprintf "zkvc_cli: bad proof file %s: %s\n" file
+              (Wire.error_to_string e);
+            None
+          | Ok pf -> Some pf)
+        files
+    in
+    if List.exists (( = ) None) pfs then 2
+    else begin
+      let pfs = List.filter_map Fun.id pfs in
+      let key_id = (List.hd pfs).Wire.pf_key_id in
+      if List.exists (fun pf -> pf.Wire.pf_key_id <> key_id) pfs then begin
+        Printf.eprintf "zkvc_cli: batch members target different keys\n";
+        2
+      end
+      else
+        Client.with_connection socket (fun c ->
+            match
+              Client.request c
+                (Wire.Batch_verify
+                   { key_id;
+                     items =
+                       List.map
+                         (fun pf -> (pf.Wire.pf_public_inputs, pf.Wire.pf_proof))
+                         pfs;
+                     deadline_ms })
+            with
+            | Error e -> client_transport_fail e
+            | Ok (Wire.Error { code; message }) -> client_fail code message
+            | Ok (Wire.Batch_ok verdicts) ->
+              List.iter2
+                (fun file ok -> Printf.printf "%s: verified: %b\n" file ok)
+                files verdicts;
+              if List.for_all Fun.id verdicts then 0 else 1
+            | Ok _ -> unexpected_response ())
+    end
+  in
+  let run socket proof_file batch_files deadline_ms =
+    match (proof_file, batch_files) with
+    | Some pf, [] -> verify_one socket pf deadline_ms
+    | None, (_ :: _ as files) -> verify_batch socket files deadline_ms
+    | None, [] ->
+      Printf.eprintf "zkvc_cli: give --proof or --batch\n";
+      2
+    | Some _, _ :: _ ->
+      Printf.eprintf "zkvc_cli: --proof and --batch are mutually exclusive\n";
+      2
+  in
+  let doc =
+    "Verify proof files against the server's key cache: one proof \
+     ($(b,--proof)) or a batch in one $(b,Batch_verify) request \
+     ($(b,--batch), repeated)."
+  in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ socket_arg $ proof_arg $ deadline_arg)
+    Term.(const run $ socket_arg $ proof_arg $ batch_arg $ deadline_arg)
 
 let print_status out (s : Wire.status) =
   Printf.fprintf out
@@ -1128,4 +1454,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ count_cmd; prove_cmd; model_cmd; profile_cmd; gkr_cmd; keygen_cmd;
-            verify_cmd; serve_cmd; client_cmd; top_cmd; adversary_cmd ]))
+            verify_cmd; aggregate_cmd; serve_cmd; client_cmd; top_cmd;
+            adversary_cmd ]))

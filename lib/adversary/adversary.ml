@@ -7,9 +7,11 @@ module Spec = Mspec.Make (Fr)
 module Bld = Zkvc_r1cs.Builder.Make (Fr)
 module McM = Mc.Make (Fr)
 module Groth16 = Zkvc_groth16.Groth16
+module Aggregate = Zkvc_groth16.Aggregate
 module Spartan = Zkvc_spartan.Spartan
 module Wire = Zkvc_serve.Wire
 module Key_cache = Zkvc_serve.Key_cache
+module Batch = Zkvc_serve.Batch
 
 type target =
   { backend : Api.backend;
@@ -304,7 +306,7 @@ let crpc_cases col fx =
           (if backend_accepts then "accepts" else "rejects")
           (if fs_authentic then "MATCHES (forgery!)" else "fails authentication") ))
 
-(* ---- wire-level attacks through the Zkvc_serve codecs ---- *)
+(* ---- bit-flip machinery (shared by the wire and aggregate families) ---- *)
 
 let flip_bit bytes pos =
   let b = Bytes.copy bytes in
@@ -335,6 +337,183 @@ let flip_sweep ~rng ~flips bytes classify =
       Printf.sprintf "%d flips: %d decode-error, %d descriptor/key-id, %d verify-false%s"
         flips !err !desc !reject
         (if !benign > 0 then Printf.sprintf ", %d benign" !benign else "") )
+
+(* ---- batch verification and SnarkPack aggregation attacks ---- *)
+
+(* one-site proof tampering, backend-generic (used wherever a batch or
+   key-file case needs "some corrupted member") *)
+let tamper_proof = function
+  | Api.Groth16_proof p ->
+    Api.Groth16_proof (Groth16.Mutate.apply Groth16.Mutate.C_bump p)
+  | Api.Spartan_proof p ->
+    (match Spartan.Mutate.sites p with
+     | s :: _ -> Api.Spartan_proof (Spartan.Mutate.apply s p)
+     | [] -> assert false)
+
+(* [n] (statement, proof) members under the fixture's keys. Challenge-free
+   strategies get [n] distinct statements; CRPC keys are statement-bound,
+   so there the batch is the fixture statement re-proved with fresh prover
+   randomness — still distinct proofs, same key. *)
+let batch_members fx n =
+  let d = fx.t.dims in
+  let rng = stream fx.t 15 in
+  List.init n (fun i ->
+      if i = 0 then (fx.public_inputs, fx.proof)
+      else if Mc.uses_challenge fx.t.strategy then
+        (fx.public_inputs, Api.prove_with ~rng fx.keys fx.prep.Api.assignment)
+      else begin
+        let x = Spec.random_matrix rng ~rows:d.Mspec.a ~cols:d.Mspec.n ~bound:256 in
+        let w = Spec.random_matrix rng ~rows:d.Mspec.n ~cols:d.Mspec.b ~bound:256 in
+        let prep = Api.prepare ?optimize:fx.opt fx.t.strategy ~x ~w d in
+        let publics =
+          Array.to_list (Array.sub prep.Api.assignment 1 (Api.Cs.num_inputs prep.Api.cs))
+        in
+        (publics, Api.prove_with ~rng fx.keys prep.Api.assignment)
+      end)
+
+let replace_nth l k v = List.mapi (fun i x -> if i = k then v else x) l
+
+let io_equal a b =
+  List.length a = List.length b && List.for_all2 Fr.equal a b
+
+let batch_cases col fx =
+  let members = batch_members fx 3 in
+  let honest = Batch.verify_each fx.keys members in
+  let path_name = function
+    | Batch.Batched -> "batched"
+    | Batch.Aggregated -> "aggregated"
+    | Batch.Fallback -> "fallback"
+    | Batch.Per_item -> "per-item"
+  in
+  (* one corrupted member: the combined check must reject the batch, and
+     the per-item fallback must isolate the fault — honest members still
+     pass, the corrupted one fails *)
+  emit col "batch" "one-bad-member" (fun () ->
+      if not (List.for_all Fun.id honest.Batch.verdicts) then
+        (Crashed "honest batch rejected", path_name honest.Batch.path)
+      else begin
+        let io1, p1 = List.nth members 1 in
+        let out = Batch.verify_each fx.keys (replace_nth members 1 (io1, tamper_proof p1)) in
+        let honest_ok = List.nth out.Batch.verdicts 0 && List.nth out.Batch.verdicts 2 in
+        ( verdict (List.nth out.Batch.verdicts 1),
+          Printf.sprintf "path=%s, honest members %s" (path_name out.Batch.path)
+            (if honest_ok then "isolated (pass)" else "REJECTED with it") )
+      end);
+  (* statements swapped between two members: every proof is individually
+     well-formed, but neither proves the statement now claimed for it *)
+  (match members with
+   | (io0, p0) :: (io1, p1) :: rest when not (io_equal io0 io1) ->
+     emit col "batch" "statement-swap" (fun () ->
+         let out = Batch.verify_each fx.keys ((io1, p0) :: (io0, p1) :: rest) in
+         ( verdict (List.nth out.Batch.verdicts 0 || List.nth out.Batch.verdicts 1),
+           "path=" ^ path_name out.Batch.path ))
+   | _ -> ());
+  (* wrong-arity member: must be flagged as structurally malformed (an
+     attributable fault), not silently dropped or accepted *)
+  emit col "batch" "arity-truncate" (fun () ->
+      let io1, p1 = List.nth members 1 in
+      match io1 with
+      | [] -> (Rejected, "no inputs to truncate")
+      | _ :: tl ->
+        let out = Batch.verify_each fx.keys (replace_nth members 1 (tl, p1)) in
+        if List.nth out.Batch.verdicts 1 then (Accepted, "")
+        else if List.mem 1 out.Batch.malformed then
+          (Rejected_error "flagged malformed", "path=" ^ path_name out.Batch.path)
+        else (Rejected, "rejected but not attributed as malformed"));
+  (* the empty batch has no sound verdict; it must refuse, not accept *)
+  emit col "batch" "empty" (fun () ->
+      match Batch.verify_each fx.keys [] with
+      | _ -> (Accepted, "empty batch produced a verdict")
+      | exception Invalid_argument _ -> (Rejected_error "Invalid_argument", ""))
+
+let aggregate_cases col fx =
+  match fx.keys with
+  | Api.Spartan_keys _ -> ()
+  | Api.Groth16_keys { vk; _ } ->
+    (* two members keep the family affordable at ~40 pairings per verify;
+       the full 17-site tamper matrix at n=4 runs in test/test_snark.ml *)
+    let members =
+      List.map
+        (function
+          | io, Api.Groth16_proof p -> (io, p)
+          | _, Api.Spartan_proof _ -> assert false)
+        (batch_members fx 2)
+    in
+    let ios = List.map fst members in
+    let srs = Aggregate.setup (stream fx.t 16) ~max_proofs:2 in
+    let agg = Aggregate.aggregate srs vk members in
+    if not (Aggregate.verify_aggregate srs vk ios agg) then
+      emit col "aggregate" "honest" (fun () ->
+          (Crashed "honest aggregate rejected", ""))
+    else begin
+      (* one tamper site per proof-component class (commitment, Groth16
+         target, GIPA cross term, final vector element, KZG witness, MIPP
+         final) — the exhaustive per-site matrix runs in test_snark *)
+      let wanted =
+        [ "comm_a"; "z0"; "tipp.round[0].zl"; "tipp.a"; "tipp.v_wit"; "mipp.c" ]
+      in
+      List.iter
+        (fun site ->
+          let name = Aggregate.Mutate.site_name site in
+          if List.mem name wanted then
+            emit col "aggregate" ("tamper." ^ name) (fun () ->
+                let agg' = Aggregate.Mutate.apply site agg in
+                (verdict (Aggregate.verify_aggregate srs vk ios agg'), "")))
+        (Aggregate.Mutate.sites agg);
+      (* the honest aggregate replayed against a forged statement list *)
+      emit col "aggregate" "statement-forge" (fun () ->
+          let ios' =
+            match ios with
+            | (v :: tl0) :: tl -> (Fr.add v Fr.one :: tl0) :: tl
+            | _ -> assert false
+          in
+          (verdict (Aggregate.verify_aggregate srs vk ios' agg), ""));
+      (* one invalid member hidden inside an otherwise honest aggregation:
+         compression must not launder it into an accepted proof *)
+      emit col "aggregate" "bad-member" (fun () ->
+          let io1, p1 = List.nth members 1 in
+          let members' =
+            replace_nth members 1 (io1, Groth16.Mutate.apply Groth16.Mutate.C_bump p1)
+          in
+          let agg' = Aggregate.aggregate srs vk members' in
+          (verdict (Aggregate.verify_aggregate srs vk ios agg'), ""));
+      (* a wrong-seed SRS: the verifier's structured keys no longer match
+         the ones the proof was built against *)
+      emit col "aggregate" "srs-mismatch" (fun () ->
+          let srs' = Aggregate.setup (stream fx.t 17) ~max_proofs:2 in
+          (verdict (Aggregate.verify_aggregate srs' vk ios agg), ""));
+      (* bit flips over the aggregate-file codec: every flip must end in a
+         typed decode error, a key-id mismatch, or a false verdict *)
+      emit col "aggregate" "file-bitflip" (fun () ->
+          let key_id =
+            Key_cache.id_of ?opt:fx.opt fx.t.backend fx.t.strategy fx.t.dims
+              ~challenge:fx.prep.Api.challenge fx.prep.Api.cs
+          in
+          let af =
+            { Wire.af_key_id = key_id; af_statements = ios; af_proof = agg }
+          in
+          let honest_blob = Aggregate.proof_to_bytes agg in
+          let bytes = Wire.encode_aggregate_file af in
+          flip_sweep ~rng:(stream fx.t 18) ~flips:12 bytes (fun b ->
+              match Wire.decode_aggregate_file b with
+              | Error _ -> `Err
+              | Ok af' ->
+                if af'.Wire.af_key_id <> key_id then `Desc
+                else if
+                  Aggregate.verify_aggregate srs vk af'.Wire.af_statements
+                    af'.Wire.af_proof
+                then begin
+                  let unchanged =
+                    List.length af'.Wire.af_statements = List.length ios
+                    && List.for_all2 io_equal af'.Wire.af_statements ios
+                    && Bytes.equal (Aggregate.proof_to_bytes af'.Wire.af_proof) honest_blob
+                  in
+                  if unchanged then `Benign else `Accept
+                end
+                else `Reject))
+    end
+
+(* ---- wire-level attacks through the Zkvc_serve codecs ---- *)
 
 let wire_cases col fx =
   let challenge = fx.prep.Api.challenge in
@@ -467,6 +646,41 @@ let wire_cases col fx =
   emit col "wire" "frame-bitflip-v2" (fun () ->
       let bytes = Wire.encode_frame ~version:2 verify_request in
       flip_sweep ~rng:(stream fx.t 14) ~flips:48 bytes classify_verify_frame);
+  emit col "wire" "batch-frame-bitflip" (fun () ->
+      (* a two-member [Batch_verify] request frame: every flip must end in
+         a typed decode error, a changed key id, a refused (empty/oversized)
+         batch, a [false] member verdict, or leave both statements
+         untouched — never a batch that accepts a changed statement *)
+      let members = [ (fx.public_inputs, fx.proof); (fx.public_inputs, fx.proof) ] in
+      let frame =
+        Wire.Request
+          (adv_trace, Wire.Batch_verify { key_id; items = members; deadline_ms = 0 })
+      in
+      let honest_proof = proof_bytes fx.proof in
+      let bytes = Wire.encode_frame frame in
+      flip_sweep ~rng:(stream fx.t 19) ~flips:24 bytes (fun b ->
+          match Wire.decode_frame b with
+          | Error _ -> `Err
+          | Ok (Wire.Request (_, Wire.Batch_verify { key_id = kid; items; _ })) ->
+            if kid <> key_id then `Desc
+            else begin
+              match Batch.verify_each fx.keys items with
+              | exception Invalid_argument _ -> `Err
+              | out ->
+                let unchanged (io, p) =
+                  io_equal io fx.public_inputs
+                  && Bytes.equal (proof_bytes p) honest_proof
+                in
+                let forged_accepted =
+                  List.exists2
+                    (fun item ok -> ok && not (unchanged item))
+                    items out.Batch.verdicts
+                in
+                if forged_accepted then `Accept
+                else if List.for_all Fun.id out.Batch.verdicts then `Benign
+                else `Reject
+            end
+          | Ok _ -> `Desc));
   emit col "wire" "status-detail-request-bitflip" (fun () ->
       let bytes = Wire.encode_frame (Wire.Request (adv_trace, Wire.Status_detail)) in
       flip_sweep ~rng:(stream fx.t 12) ~flips:32 bytes (fun b ->
@@ -531,6 +745,8 @@ let run_target ?only ?optimize t =
   in
   witness_cases col fx;
   if Mc.uses_challenge t.strategy then crpc_cases col fx;
+  batch_cases col fx;
+  aggregate_cases col fx;
   wire_cases col fx;
   { target = t; honest_verified = honest && honest_ipa; cases = List.rev col.acc }
 

@@ -30,13 +30,26 @@
       the harness asserts the Fiat–Shamir challenge {e authentication}
       ([derive_challenge] recomputation) catches them, which is exactly
       the reduction step CRPC soundness stands on;
+    - [batch] — attacks on batched verification
+      ({!Zkvc_serve.Batch.verify_each}): one corrupted member must sink
+      the combined check while the per-item fallback isolates it,
+      statements swapped between well-formed members must reject,
+      wrong-arity members must be flagged as attributable malformed
+      faults, and the empty batch must refuse to produce a verdict;
+    - [aggregate] — attacks on SnarkPack-style aggregation
+      ({!Zkvc_groth16.Aggregate}, Groth16 targets only): every
+      commitment, GIPA round, final value and KZG witness in the
+      aggregate proof bumped one at a time, the honest aggregate
+      replayed against forged statements, one invalid member hidden in
+      an otherwise honest aggregation, a wrong-seed SRS, and bit flips
+      over the aggregate-file codec;
     - [wire] — bit-flipped proof files, key files and request/response
-      frames (at both wire versions, including v2 trace/timing blocks
-      and the [Status_detail] operation) pushed through the
-      {!Zkvc_serve.Wire} codecs: every flip must end in a typed decode
-      error, a descriptor/key-id mismatch, a [false] verdict or an
-      unchanged statement — never [true] on a changed statement, never
-      an exception. *)
+      frames (at both wire versions, including v2 trace/timing blocks,
+      the [Status_detail] operation and [Batch_verify] requests) pushed
+      through the {!Zkvc_serve.Wire} codecs: every flip must end in a
+      typed decode error, a descriptor/key-id mismatch, a refused batch,
+      a [false] verdict or an unchanged statement — never [true] on a
+      changed statement, never an exception. *)
 
 module Api = Zkvc.Api
 

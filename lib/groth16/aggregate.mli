@@ -1,0 +1,111 @@
+(** SnarkPack-style aggregation (Gailly–Maller–Nitulescu, FC 2022) of N
+    Groth16 proofs under one verifying key into a single
+    O(log N)-size proof.
+
+    The aggregator commits to the A/B/C proof vectors with AFGHO pairing
+    commitments whose structured keys are the τ-power SRSes of
+    {!Zkvc_kzg.Kzg} (G2 powers for the A and C vectors, G1 powers for
+    B), derives per-instance weights z_i = r^i by Fiat–Shamir from the
+    key, statements and commitments, and proves the two inner products
+
+    - TIPP: Z = Π e(A_i, z_i·B_i)   (the batched Groth16 left-hand side)
+    - MIPP: C_agg = Σ z_i·C_i       (the batched C term)
+
+    by a GIPA recursion of log N halving rounds. The verifier folds the
+    GT commitments through the rounds, checks the final single-element
+    relations with a constant number of pairings, validates the claimed
+    folded commitment keys with one KZG opening each (their coefficient
+    vectors are the structured polynomials Π (1 + c_j·X^{2^{k−1−j}}),
+    evaluable in O(log N)), and finally checks the aggregated Groth16
+    equation Z = e(α,β)^{Σz_i} · e(Σ z_i·IC(io_i), γ) · e(C_agg, δ).
+
+    Soundness rests on the algebraic binding of the AFGHO commitments
+    under q-type assumptions in the two-trapdoor SRS; unlike full
+    SnarkPack this implementation uses single commitment keys per group
+    (see DESIGN.md). The SRS trapdoors must be unknown to the
+    aggregator — setup is a local powers-of-tau ceremony. *)
+
+module Fr = Zkvc_field.Fr
+
+(** Two independent-trapdoor KZG SRSes (a: G2 side, b: G1 side). *)
+type srs
+
+(** [setup st ~max_proofs:n] supports aggregating up to [n] (rounded up
+    to a power of two, minimum 2) proofs. Trapdoors are sampled from
+    [st] and dropped. Raises [Invalid_argument] if [n < 2]. *)
+val setup : Random.State.t -> max_proofs:int -> srs
+
+(** Largest batch the SRS supports (a power of two). *)
+val max_proofs : srs -> int
+
+type proof
+
+(** Wire size of the aggregate proof (grows with log N). *)
+val proof_size_bytes : proof -> int
+
+(** [aggregate srs vk instances] aggregates [(public_inputs, proof)]
+    pairs sharing one verifying key. The batch is padded to a power of
+    two by repeating the last instance. Aggregation does not verify the
+    member proofs; an invalid member yields an aggregate proof that
+    {!verify_aggregate} rejects. Raises [Invalid_argument] on an empty
+    batch, a public-input arity mismatch, or a batch exceeding
+    [max_proofs srs]. *)
+val aggregate :
+  srs -> Groth16.verifying_key -> (Fr.t list * Groth16.proof) list -> proof
+
+(** [verify_aggregate srs vk ios proof] checks the aggregate proof
+    against the statement list (same order as aggregation). O(log N)
+    GT exponentiations, a constant number of pairings and one O(N)
+    G1 pass over the statements. Raises [Invalid_argument] on an empty
+    statement list; returns [false] on any count/shape mismatch or
+    failed check. *)
+val verify_aggregate :
+  srs -> Groth16.verifying_key -> Fr.t list list -> proof -> bool
+
+(** {2 Wire encoding}
+
+    Length-prefixed binary blob: tagged uncompressed points (validated
+    on parse: curve equations, G2 subgroup membership) and canonical
+    384-byte GT elements. *)
+
+val proof_to_bytes : proof -> Bytes.t
+
+(** Parses {!proof_to_bytes} output; raises [Invalid_argument] on
+    truncation, trailing bytes, invalid points or non-canonical field
+    encodings. *)
+val proof_of_bytes_exn : Bytes.t -> proof
+
+(** {2 Fault injection}
+
+    Single-component corruptions of an aggregate proof for the
+    adversary harness. Every mutation produces a structurally valid
+    proof (points stay on-curve and in-subgroup, GT elements stay in
+    the target group), so rejection must come from the verification
+    equations, not parsing. Test-only. *)
+module Mutate : sig
+  type site =
+    | Comm_a  (** bump the A-vector commitment *)
+    | Comm_b
+    | Comm_c
+    | Z0  (** bump the claimed batched pairing product *)
+    | C_agg  (** bump the claimed aggregated C *)
+    | Tipp_round of int  (** bump round [i]'s Z_L cross term *)
+    | Tipp_final_a
+    | Tipp_final_b
+    | Tipp_final_v
+    | Tipp_final_w
+    | Tipp_v_wit  (** bump the v* KZG opening witness *)
+    | Tipp_w_wit
+    | Mipp_round of int  (** bump round [i]'s U_L cross term *)
+    | Mipp_final_c
+    | Mipp_final_v
+    | Mipp_v_wit
+
+  (** All sites applicable to this proof (round sites depend on N). *)
+  val sites : proof -> site list
+
+  val site_name : site -> string
+
+  (** Copy of the proof with exactly one component corrupted. *)
+  val apply : site -> proof -> proof
+end

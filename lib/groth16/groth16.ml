@@ -270,6 +270,14 @@ let prove st pk qap assignment =
   in
   { a; b = b2; c }
 
+(* Read-only component accessors for protocols layered on top of plain
+   verification (the SnarkPack-style aggregator in Aggregate). *)
+let vk_alpha vk = vk.vk_alpha_g1
+let vk_beta vk = vk.vk_beta_g2
+let vk_gamma vk = vk.vk_gamma_g2
+let vk_delta vk = vk.vk_delta_g2
+let vk_num_inputs vk = Array.length vk.vk_ic - 1
+
 let ic_sum vk public_inputs =
   List.fold_left
     (fun (acc, j) x -> (G1.add acc (G1.mul_fr vk.vk_ic.(j) x), j + 1))
@@ -281,16 +289,36 @@ let ic_sum vk public_inputs =
      Π e(−z_i·A_i, B_i) · e((Σz_i)·α, β) · e(Σ z_i·IC_i, γ)
        · e(Σ z_i·C_i, δ) = 1.
    Weights are derived by Fiat–Shamir from the statements and proofs, so
-   no trusted randomness is needed. *)
-let verify_batch vk instances =
-  let lengths_ok =
-    List.for_all
-      (fun (io, _) -> List.length io = Array.length vk.vk_ic - 1)
-      instances
+   no trusted randomness is needed.
+
+   The result distinguishes structurally malformed instances (wrong
+   public-input arity for this key — reported by index, cheap to detect,
+   and attributable to a specific submitter) from honest cryptographic
+   rejection (some weighted combination failed; the batch says nothing
+   about which member without a per-item retry). An empty batch has no
+   sound verdict — "all zero members verified" is exactly the vacuous
+   acceptance this API used to ship — so it is a caller error. *)
+type batch_result =
+  | Batch_accepted
+  | Batch_rejected
+  | Batch_malformed of int list
+
+let malformed_indices ~arity_of instances =
+  let _, bad =
+    List.fold_left
+      (fun (i, acc) inst -> (i + 1, if arity_of inst then acc else i :: acc))
+      (0, []) instances
   in
-  if instances = [] then true
-  else if not lengths_ok then false
-  else begin
+  List.rev bad
+
+let verify_batch vk instances =
+  if instances = [] then invalid_arg "Groth16.verify_batch: empty batch";
+  let expected = Array.length vk.vk_ic - 1 in
+  match
+    malformed_indices ~arity_of:(fun (io, _) -> List.length io = expected) instances
+  with
+  | _ :: _ as bad -> Batch_malformed bad
+  | [] ->
     let module T = Zkvc_transcript.Transcript in
     let module Ch = T.Challenge (Fr) in
     let tr = T.create ~label:"zkvc.groth16.batch" in
@@ -310,8 +338,7 @@ let verify_batch vk instances =
           (sum_g1 (fun (io, _) -> ic_sum vk io), vk.vk_gamma_g2);
           (sum_g1 (fun (_, proof) -> proof.c), vk.vk_delta_g2) ]
     in
-    Fq12.is_one (Pairing.multi_pairing pairs)
-  end
+    if Fq12.is_one (Pairing.multi_pairing pairs) then Batch_accepted else Batch_rejected
 
 let verify vk ~public_inputs proof =
   if List.length public_inputs <> Array.length vk.vk_ic - 1 then false

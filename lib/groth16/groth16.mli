@@ -49,16 +49,46 @@ val prove : Random.State.t -> proving_key -> Qap.t -> Fr.t array -> proof
     order, excluding the constant-one wire. *)
 val verify : verifying_key -> public_inputs:Fr.t list -> proof -> bool
 
+(** Verdict of a batched verification. [Batch_malformed] lists the
+    0-based indices of instances whose public-input arity does not match
+    the key — a structural fault attributable to specific members, as
+    opposed to [Batch_rejected], where the weighted combination failed
+    and identifying the culprit needs a per-item retry. *)
+type batch_result =
+  | Batch_accepted
+  | Batch_rejected
+  | Batch_malformed of int list
+
 (** Batch verification of several (public_inputs, proof) pairs under one
     verifying key: (k + 3) Miller loops and a single final exponentiation
     instead of k independent 4-pairing checks. Random weights are derived
     by Fiat–Shamir from the statements, so a batch that verifies contains
-    only valid proofs (up to soundness error k/|F_r|). *)
-val verify_batch : verifying_key -> (Fr.t list * proof) list -> bool
+    only valid proofs (up to soundness error k/|F_r|).
+
+    Raises [Invalid_argument] on an empty batch: there is no sound
+    verdict for zero instances, and the previous behaviour (vacuous
+    [true]) let a dropped-to-empty batch "verify". *)
+val verify_batch : verifying_key -> (Fr.t list * proof) list -> batch_result
 
 (** Byte size of the verifying key (grows only with the public input
     count). *)
 val verifying_key_size_bytes : verifying_key -> int
+
+(** {2 Verifying-key components}
+
+    Read-only accessors for protocols layered on top of the plain
+    verifier — the SnarkPack-style aggregator ({!Aggregate}) re-derives
+    the right-hand side of the Groth16 equation from these. *)
+
+val vk_alpha : verifying_key -> Zkvc_curve.G1.t
+val vk_beta : verifying_key -> Zkvc_curve.G2.t
+val vk_gamma : verifying_key -> Zkvc_curve.G2.t
+val vk_delta : verifying_key -> Zkvc_curve.G2.t
+val vk_num_inputs : verifying_key -> int
+
+(** [ic_sum vk io = IC_0 + Σ io_i·IC_i] — the public-input term of the
+    verification equation. *)
+val ic_sum : verifying_key -> Fr.t list -> Zkvc_curve.G1.t
 
 (** {2 Key wire encodings}
 

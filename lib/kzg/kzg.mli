@@ -38,6 +38,42 @@ val open_at : srs -> P.t -> Fr.t -> opening
 (** One pairing check: [e(C − value·G, G2) = e(W, τG2 − point·G2)]. *)
 val verify : srs -> commitment -> opening -> bool
 
+(** {2 G2-side mirror}
+
+    The same scheme with the group roles swapped: τ-powers in G2, one
+    trapdoor point in G1, commitments in G2, and the opening checked as
+    [e(G1, C − value·G2) = e(τG1 − point·G1, W)]. Needed by the
+    SnarkPack-style aggregator ({!Zkvc_groth16.Aggregate}), whose
+    structured commitment keys live in both groups and whose final GIPA
+    key consistency check is a KZG opening on each side. *)
+
+type srs_g2
+
+val setup_g2 : Random.State.t -> degree:int -> srs_g2
+val max_degree_g2 : srs_g2 -> int
+
+type commitment_g2 = G2.t
+
+(** Raises [Invalid_argument] beyond the SRS degree. *)
+val commit_g2 : srs_g2 -> P.t -> commitment_g2
+
+type opening_g2 =
+  { point_g2 : Fr.t;
+    value_g2 : Fr.t;
+    witness_g2 : G2.t }
+
+val open_at_g2 : srs_g2 -> P.t -> Fr.t -> opening_g2
+val verify_g2 : srs_g2 -> commitment_g2 -> opening_g2 -> bool
+
+(** The raw τ-power arrays, exposed so pairing-based protocols can reuse
+    them as structured commitment keys (the SnarkPack pattern: the
+    AFGHO commitment key v_i = τ^i·G2 IS the G2 SRS, and the GIPA final
+    key check is a KZG opening against the same powers). Callers must
+    not mutate the returned arrays. *)
+val powers : srs -> G1.t array
+
+val powers_g2 : srs_g2 -> G2.t array
+
 (** Commit to a weight matrix (rows flattened into one polynomial) — the
     reusable binding commitment for CRPC challenge derivation. *)
 val commit_matrix : srs -> Fr.t array array -> commitment

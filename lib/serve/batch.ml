@@ -1,26 +1,75 @@
 module Fr = Zkvc_field.Fr
 module Api = Zkvc.Api
 module Groth16 = Zkvc_groth16.Groth16
+module Aggregate = Zkvc_groth16.Aggregate
+module Spartan = Zkvc_spartan.Spartan
+
+type path = Batched | Aggregated | Fallback | Per_item
+
+type outcome =
+  { verdicts : bool list;
+    path : path;
+    malformed : int list }
 
 let verify_one keys (io, proof) =
   match Api.verify_with keys ~public_inputs:io proof with
   | ok -> ok
   | exception Invalid_argument _ -> false
 
-let verify_each keys items =
+let all_true items = List.map (fun _ -> true) items
+
+let verify_each ?aggregate_srs keys items =
+  if items = [] then invalid_arg "Batch.verify_each: empty batch";
+  let per_item path malformed =
+    { verdicts = List.map (verify_one keys) items; path; malformed }
+  in
   match keys with
   | Api.Groth16_keys { vk; _ } -> (
-    let groth_items =
+    let groth =
       List.filter_map
         (function io, Api.Groth16_proof p -> Some (io, p) | _ -> None)
         items
     in
-    match groth_items with
-    | _ :: _ :: _ when List.length groth_items = List.length items ->
-      if Groth16.verify_batch vk groth_items then
-        (List.map (fun _ -> true) items, true)
-      else
-        (* one bad apple: fall back to per-item verdicts *)
-        (List.map (verify_one keys) items, false)
-    | _ -> (List.map (verify_one keys) items, false))
-  | Api.Spartan_keys _ -> (List.map (verify_one keys) items, false)
+    match groth with
+    | _ :: _ :: _ when List.length groth = List.length items -> (
+      let aggregated =
+        (* opt-in alternative fast path: compress the group into one
+           SnarkPack aggregate and check that. Arity faults are
+           pre-screened (aggregation raises on them) so they stay
+           attributable; batches beyond the SRS take the plain path. *)
+        match aggregate_srs with
+        | Some srs when List.length groth <= Aggregate.max_proofs srs -> (
+          let expected = Groth16.vk_num_inputs vk in
+          if List.exists (fun (io, _) -> List.length io <> expected) groth then None
+          else
+            let agg = Aggregate.aggregate srs vk groth in
+            Some (Aggregate.verify_aggregate srs vk (List.map fst groth) agg))
+        | _ -> None
+      in
+      match aggregated with
+      | Some true -> { verdicts = all_true items; path = Aggregated; malformed = [] }
+      | Some false -> per_item Fallback []
+      | None -> (
+        match Groth16.verify_batch vk groth with
+        | Groth16.Batch_accepted ->
+          { verdicts = all_true items; path = Batched; malformed = [] }
+        | Groth16.Batch_rejected ->
+          (* one bad apple: fall back to per-item verdicts so honest
+             members of the batch still pass *)
+          per_item Fallback []
+        | Groth16.Batch_malformed bad -> per_item Fallback bad))
+    | _ -> per_item Per_item [])
+  | Api.Spartan_keys { inst; key } -> (
+    let sp =
+      List.filter_map
+        (function io, Api.Spartan_proof p -> Some (io, p) | _ -> None)
+        items
+    in
+    match sp with
+    | _ :: _ :: _ when List.length sp = List.length items -> (
+      match Spartan.verify_batch key inst sp with
+      | Spartan.Batch_accepted ->
+        { verdicts = all_true items; path = Batched; malformed = [] }
+      | Spartan.Batch_rejected -> per_item Fallback []
+      | Spartan.Batch_malformed bad -> per_item Fallback bad)
+    | _ -> per_item Per_item [])

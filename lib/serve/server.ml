@@ -28,7 +28,11 @@ type config =
     optimize : Api.Opt.config option
         (* run the R1CS optimiser on every prepared circuit; absorbed
            into cache ids and spilled key files so optimised and
-           unoptimised keys never mix *) }
+           unoptimised keys never mix *);
+    batch_aggregate : bool
+        (* route homogeneous Groth16 verify batches through SnarkPack
+           aggregation (Batch.verify_each ?aggregate_srs) instead of the
+           plain weighted batch check *) }
 
 (* Monotonic wall clock (CLOCK_MONOTONIC via bechamel's stub), in
    seconds. Deadlines and uptime must never go through
@@ -51,7 +55,8 @@ let default_config ~socket_path =
     metrics_interval_s = 1.;
     flight_capacity = 128;
     flight_file = None;
-    optimize = None }
+    optimize = None;
+    batch_aggregate = false }
 
 (* serve.* metrics mirror the atomic counters below; the atomics are
    authoritative (Status works with the sink disabled). *)
@@ -61,6 +66,15 @@ let m_cache_miss = Metrics.counter "serve.cache.miss"
 let m_rejected = Metrics.counter "serve.queue.rejected"
 let m_timeout = Metrics.counter "serve.deadline.exceeded"
 let m_batched = Metrics.counter "serve.batch.coalesced"
+
+(* batched-verification outcomes: groups that entered the batch
+   verifier, groups whose combined check failed and fell back to
+   per-item verdicts, and members flagged structurally malformed
+   (attributable faults, distinct from honest rejection) *)
+let m_batch_groups = Metrics.counter "serve.batch.groups"
+let m_batch_fallback = Metrics.counter "serve.batch.fallback"
+let m_batch_malformed = Metrics.counter "serve.batch.malformed"
+let m_batch_aggregated = Metrics.counter "serve.batch.aggregated"
 
 (* worker-pool utilisation: pool size (constant once started) and how
    many workers are executing a job right now *)
@@ -133,6 +147,10 @@ type t =
     listen_fd : Unix.file_descr;
     jobs_q : job Jobs.t;
     cache : Key_cache.t;
+    agg_srs : Zkvc_groth16.Aggregate.srs Lazy.t option;
+    (* aggregation SRS for --batch-aggregate, sampled on first use; the
+       trapdoors are process-local toxic waste (acceptable for a
+       verification accelerator — both SRS halves stay server-side) *)
     flight : flight_record Flight.t;
     started_at : float;
     requests : int Atomic.t;
@@ -253,6 +271,35 @@ let outcome_of = function
   | Wire.Error { code; _ } -> Wire.error_code_to_string code
   | _ -> "ok"
 
+(* Record batch metrics for one verified group and name its path for
+   the group's flight records, so a malformed member (structural fault,
+   attributable) is distinguishable from honest cryptographic rejection
+   and from the clean batched fast path. *)
+let note_batch_outcome t ~n (outcome : Batch.outcome) =
+  Metrics.incr m_batch_groups;
+  (match outcome.Batch.path with
+   | Batch.Batched ->
+     ignore (Atomic.fetch_and_add t.batched n);
+     Metrics.add m_batched n
+   | Batch.Aggregated ->
+     ignore (Atomic.fetch_and_add t.batched n);
+     Metrics.add m_batched n;
+     Metrics.incr m_batch_aggregated
+   | Batch.Fallback -> Metrics.incr m_batch_fallback
+   | Batch.Per_item -> ());
+  (match outcome.Batch.malformed with
+   | [] -> ()
+   | bad -> Metrics.add m_batch_malformed (List.length bad));
+  match (outcome.Batch.path, outcome.Batch.malformed) with
+  | _, _ :: _ -> "ok_malformed"
+  | Batch.Batched, [] -> "ok_batched"
+  | Batch.Aggregated, [] -> "ok_aggregated"
+  | Batch.Fallback, [] -> "ok_fallback"
+  | Batch.Per_item, [] -> "ok"
+
+let aggregate_srs_of t =
+  match t.agg_srs with Some l -> Some (Lazy.force l) | None -> None
+
 (* ---------------- worker: request processing ---------------- *)
 
 (* All deadline arithmetic reads the span clock installed by [start]
@@ -359,7 +406,7 @@ let unknown_key_error =
 (* Run one job's body and return the response (never raises; never
    writes to the socket). [args] tag every [serve.request.*] span with
    the request id so exported traces can be joined across processes. *)
-let execute t job ~args ~hot =
+let execute t job ~args ~hot ~note =
   try
     check_deadline job.deadline;
     match job.req with
@@ -381,18 +428,21 @@ let execute t job ~args ~hot =
         in
         Wire.Verify_ok ok)
     | Wire.Batch_verify { key_id; items; deadline_ms = _ } -> (
-      match Key_cache.find_by_id t.cache key_id with
-      | None -> unknown_key_error
-      | Some entry ->
-        let verdicts, fast =
-          Span.with_span ~args "serve.request.batch_verify" (fun () ->
-              Batch.verify_each entry.Key_cache.keys items)
-        in
-        if fast then begin
-          ignore (Atomic.fetch_and_add t.batched (List.length items));
-          Metrics.add m_batched (List.length items)
-        end;
-        Wire.Batch_ok verdicts)
+      if items = [] then
+        (* no sound verdict exists for zero instances: reject loudly
+           rather than answer an empty (vacuously "all verified") list *)
+        Wire.Error { code = Wire.Bad_request; message = "Batch_verify: empty batch" }
+      else
+        match Key_cache.find_by_id t.cache key_id with
+        | None -> unknown_key_error
+        | Some entry ->
+          let outcome =
+            Span.with_span ~args "serve.request.batch_verify" (fun () ->
+                Batch.verify_each ?aggregate_srs:(aggregate_srs_of t)
+                  entry.Key_cache.keys items)
+          in
+          note := Some (note_batch_outcome t ~n:(List.length items) outcome);
+          Wire.Batch_ok outcome.Batch.verdicts)
     | Wire.Status | Wire.Status_detail | Wire.Shutdown ->
       (* handled on the reader threads; never queued *)
       Wire.Error { code = Wire.Bad_request; message = "unexpected control request in job queue" }
@@ -419,7 +469,7 @@ let phases_of_span root =
 
 (* Send [resp] with a v2 timing block (at the job's own wire version —
    v1 clients get the plain v1 frame) and push a flight record. *)
-let finish ?(hot_region = "-") t job ~wid ~wait_s ~exec_s ~phases resp =
+let finish ?(hot_region = "-") ?outcome t job ~wid ~wait_s ~exec_s ~phases resp =
   let timing =
     Some
       { Wire.tm_request_id =
@@ -441,7 +491,7 @@ let finish ?(hot_region = "-") t job ~wid ~wait_s ~exec_s ~phases resp =
       fr_wait_s = wait_s;
       fr_exec_s = exec_s;
       fr_bytes = job.payload_bytes;
-      fr_outcome = outcome_of resp;
+      fr_outcome = (match outcome with Some s -> s | None -> outcome_of resp);
       fr_hot_region = hot_region }
 
 (* Run a job end to end: span-wrapped execution, timing extraction,
@@ -458,8 +508,9 @@ let run_job t ~wid job =
   in
   let before = Span.last_completed () in
   let hot = ref "-" in
+  let note = ref None in
   let t0 = Span.now () in
-  let resp = execute t job ~args ~hot in
+  let resp = execute t job ~args ~hot ~note in
   let exec_s = Span.now () -. t0 in
   (* the span [execute] just closed, if it opened one (error paths that
      fail before any span leave [last_completed] stale — detect by
@@ -470,7 +521,7 @@ let run_job t ~wid job =
     | _ -> None
   in
   let phases = match root with Some s -> phases_of_span s | None -> [] in
-  finish ~hot_region:!hot t job ~wid ~wait_s ~exec_s ~phases resp
+  finish ~hot_region:!hot ?outcome:!note t job ~wid ~wait_s ~exec_s ~phases resp
 
 (* Coalesce queued single-proof verifies against the same key into one
    batched check; each request still gets its own [Verify_ok], timing
@@ -502,9 +553,9 @@ let process_verify_group t ~wid jobs =
       | _ -> assert false
     in
     let waits = List.map (fun j -> now -. j.admit_s) live in
-    let answer_all exec_s phases resps =
+    let answer_all ?outcome exec_s phases resps =
       List.iter2
-        (fun (j, wait_s) resp -> finish t j ~wid ~wait_s ~exec_s ~phases resp)
+        (fun (j, wait_s) resp -> finish ?outcome t j ~wid ~wait_s ~exec_s ~phases resp)
         (List.combine live waits) resps
     in
     match Key_cache.find_by_id t.cache key_id with
@@ -518,26 +569,27 @@ let process_verify_group t ~wid jobs =
       in
       let before = Span.last_completed () in
       let t0 = Span.now () in
-      let verdicts =
+      let outcome =
         Span.with_span ~args "serve.request.verify_coalesced" (fun () ->
-            fst (Batch.verify_each entry.Key_cache.keys
-                   (List.map
-                      (fun j ->
-                        match j.req with
-                        | Wire.Verify { public_inputs; proof; _ } -> (public_inputs, proof)
-                        | _ -> assert false)
-                      live)))
+            Batch.verify_each ?aggregate_srs:(aggregate_srs_of t)
+              entry.Key_cache.keys
+              (List.map
+                 (fun j ->
+                   match j.req with
+                   | Wire.Verify { public_inputs; proof; _ } -> (public_inputs, proof)
+                   | _ -> assert false)
+                 live))
       in
       let exec_s = Span.now () -. t0 in
-      ignore (Atomic.fetch_and_add t.batched (List.length live));
-      Metrics.add m_batched (List.length live);
+      let oc = note_batch_outcome t ~n:(List.length live) outcome in
       let root =
         match Span.last_completed () with
         | Some s when (match before with Some b -> not (s == b) | None -> true) -> Some s
         | _ -> None
       in
       let phases = match root with Some s -> phases_of_span s | None -> [] in
-      answer_all exec_s phases (List.map (fun ok -> Wire.Verify_ok ok) verdicts))
+      answer_all ~outcome:oc exec_s phases
+        (List.map (fun ok -> Wire.Verify_ok ok) outcome.Batch.verdicts))
 
 (* dedup while preserving first-occurrence order (group client lists) *)
 let distinct ints =
@@ -802,6 +854,14 @@ let start cfg =
       listen_fd;
       jobs_q = Jobs.create ~capacity:cfg.queue_capacity ();
       cache = Key_cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
+      agg_srs =
+        (if cfg.batch_aggregate then
+           Some
+             (lazy
+               (Zkvc_groth16.Aggregate.setup
+                  (Random.State.make_self_init ())
+                  ~max_proofs:64))
+         else None);
       flight = Flight.create ~capacity:(Stdlib.max 1 cfg.flight_capacity);
       started_at = Span.now ();
       requests = Atomic.make 0;

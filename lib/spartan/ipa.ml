@@ -60,12 +60,25 @@ let prove key tr ~a ~b =
     rs = Array.of_list (List.map snd rounds);
     a_final = a.(0) }
 
-let verify key tr ~b ~commitment proof =
+(* Deferred form of the verification equation. The original check
+     P + Σ u_i²L_i + u_i⁻²R_i = a_final·G_final + (a_final·b_final)·Q
+   is rearranged into a single linear group relation that holds iff
+     P + Σ points + ⟨g_scalars, G⟩ + q_scalar·Q = 0,
+   so a caller batching several openings can sum the scalar sides and
+   check one MSM. [deferred] replays the transcript (absorbing every
+   round's L/R before drawing its challenge, exactly as [verify] did)
+   and performs only field work — no group operations. *)
+type deferred =
+  { g_scalars : Fr.t array; (* over the first n key generators *)
+    q_scalar : Fr.t;
+    points : (G1.t * Fr.t) list (* the proof's own L/R round points *) }
+
+let deferred key tr ~b proof =
   let n = Array.length b in
-  if not (check_pow2 n) then false
+  if not (check_pow2 n) then None
   else begin
     let k = Array.length proof.ls in
-    if Array.length proof.rs <> k || 1 lsl k <> n || n > Pedersen.key_size key then false
+    if Array.length proof.rs <> k || 1 lsl k <> n || n > Pedersen.key_size key then None
     else begin
       (* replay the challenges *)
       let us =
@@ -75,16 +88,6 @@ let verify key tr ~b ~commitment proof =
             nonzero_challenge tr)
       in
       let uinvs = Array.map Fr.inv us in
-      (* P' = P + Σ u_i² L_i + u_i⁻² R_i *)
-      let p' =
-        let acc = ref commitment in
-        Array.iteri
-          (fun i l ->
-            acc := G1.add !acc (G1.mul_fr l (Fr.sqr us.(i)));
-            acc := G1.add !acc (G1.mul_fr proof.rs.(i) (Fr.sqr uinvs.(i))))
-          proof.ls;
-        !acc
-      in
       (* s_j = Π u_i^{±1}: +1 when bit (k-1-i) of j is set (right half at
          round i). Both G and b fold as u⁻¹·left + u·right, so
          G_final = ⟨s, G⟩ and b_final = ⟨s, b⟩ (only a folds oppositely). *)
@@ -95,16 +98,31 @@ let verify key tr ~b ~commitment proof =
           s.(j) <- Fr.mul s.(j) (if bit = 1 then us.(i) else uinvs.(i))
         done
       done;
-      let g_final = Msm.msm (Array.sub (Pedersen.generators key) 0 n) s in
       let b_final =
         let acc = ref Fr.zero in
         Array.iteri (fun j v -> acc := Fr.add !acc (Fr.mul s.(j) v)) b;
         !acc
       in
-      let expected =
-        G1.add (G1.mul_fr g_final proof.a_final)
-          (G1.mul_fr q_generator (Fr.mul proof.a_final b_final))
-      in
-      G1.equal p' expected
+      let neg_af = Fr.neg proof.a_final in
+      Some
+        { g_scalars = Array.map (fun sj -> Fr.mul neg_af sj) s;
+          q_scalar = Fr.neg (Fr.mul proof.a_final b_final);
+          points =
+            List.concat
+              (List.init k (fun i ->
+                   [ (proof.ls.(i), Fr.sqr us.(i)); (proof.rs.(i), Fr.sqr uinvs.(i)) ])) }
     end
   end
+
+let verify key tr ~b ~commitment proof =
+  match deferred key tr ~b proof with
+  | None -> false
+  | Some d ->
+    let tail = (commitment, Fr.one) :: (q_generator, d.q_scalar) :: d.points in
+    let points =
+      Array.append
+        (Array.sub (Pedersen.generators key) 0 (Array.length d.g_scalars))
+        (Array.of_list (List.map fst tail))
+    in
+    let scalars = Array.append d.g_scalars (Array.of_list (List.map snd tail)) in
+    G1.equal (Msm.msm points scalars) G1.zero

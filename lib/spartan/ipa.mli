@@ -26,6 +26,21 @@ val q_generator : G1.t
 val prove :
   Pedersen.key -> Zkvc_transcript.Transcript.t -> a:Fr.t array -> b:Fr.t array -> proof
 
+(** Deferred verification: the scalar side of the check, with the group
+    equation left to the caller. [deferred key tr ~b proof] replays the
+    round challenges (absorbing each L/R pair exactly as {!verify} does)
+    and returns [Some d] such that the opening is valid iff
+    [commitment + Σ d.points + ⟨d.g_scalars, G⟩ + d.q_scalar·Q = 0] —
+    a linear relation a batch verifier can weight and sum with other
+    openings before one shared MSM. [None] on shape mismatch. *)
+type deferred =
+  { g_scalars : Fr.t array;
+    q_scalar : Fr.t;
+    points : (G1.t * Fr.t) list }
+
+val deferred :
+  Pedersen.key -> Zkvc_transcript.Transcript.t -> b:Fr.t array -> proof -> deferred option
+
 (** [verify key tr ~b ~commitment proof] with
     [commitment = ⟨a,G⟩ + ⟨a,b⟩·Q]. *)
 val verify :

@@ -386,23 +386,44 @@ let prove ?(opening_mode = `Hyrax_fold) st key t assignment =
   in
   { comm_rows; sc1; va; vb; vc; sc2; opening }
 
-let verify key t ~public_inputs proof =
-  if List.length public_inputs <> t.num_inputs then false
+(* ---- deferred-opening verification ----
+
+   All of Spartan's verifier checks except one are field work: the
+   sumcheck replays, the matrix MLE evaluation and the final
+   [e2 = m̃·z̃] identity. The single group-side check — that the opening
+   is consistent with the row commitments — is a linear relation over a
+   fixed basis (the Pedersen generators, the blinder U, the IPA
+   generator Q) plus per-proof points (row commitments, IPA round L/Rs):
+
+     ⟨d_gen, G⟩ + d_blinder·U + d_q·Q + Σ d_points = 0.
+
+   [verify_deferred] runs every field check and returns that relation
+   instead of evaluating it, so [verify_batch] can take a random linear
+   combination of N relations (the basis scalars sum; the per-proof
+   points concatenate) and evaluate ONE MSM for the whole batch. *)
+type deferred =
+  { d_gen : Fr.t array; (* scalars over the Pedersen generators, length ncols *)
+    d_blinder : Fr.t;
+    d_q : Fr.t;
+    d_points : (G1.t * Fr.t) list }
+
+let verify_deferred key t ~public_inputs proof =
+  if List.length public_inputs <> t.num_inputs then None
   else begin
     let nrows = 1 lsl key.wrows and ncols = 1 lsl key.wcols in
-    if Array.length proof.comm_rows <> nrows then false
+    if Array.length proof.comm_rows <> nrows then None
     else begin
       let tr = transcript_init t ~public_inputs in
       Array.iter (fun c -> T.absorb_bytes tr ~label:"comm" (G1.to_bytes c)) proof.comm_rows;
       let tau = Ch.challenges tr ~label:"tau" t.mu in
       match Sc.verify tr ~label:"sc1" ~degree:3 ~claim:Fr.zero proof.sc1 with
-      | None -> false
+      | None -> None
       | Some (e1, rx) ->
         let eq_tau_rx = Ml.eq_eval tau rx in
         let expected1 =
           Fr.mul eq_tau_rx (Fr.sub (Fr.mul proof.va proof.vb) proof.vc)
         in
-        if not (Fr.equal e1 expected1) then false
+        if not (Fr.equal e1 expected1) then None
         else begin
           Ch.absorb_list tr ~label:"claims" [ proof.va; proof.vb; proof.vc ];
           let ra = Ch.challenge tr ~label:"ra" in
@@ -412,7 +433,7 @@ let verify key t ~public_inputs proof =
             Fr.add (Fr.mul ra proof.va) (Fr.add (Fr.mul rb proof.vb) (Fr.mul rc proof.vc))
           in
           match Sc.verify tr ~label:"sc2" ~degree:2 ~claim:claim2 proof.sc2 with
-          | None -> false
+          | None -> None
           | Some (e2, ry) ->
             (* combined matrix MLE at (rx, ry), O(nnz) *)
             let m_eval =
@@ -422,44 +443,50 @@ let verify key t ~public_inputs proof =
                     (Fr.add (Fr.mul rb (Sm.eval t.b ~rx ~ry)) (Fr.mul rc (Sm.eval t.c ~rx ~ry))))
             in
             match ry with
-            | [] -> false
+            | [] -> None
             | ry0 :: ry_w ->
               let lcoords, rcoords = split_at key.wrows ry_w in
               let lweights = Ml.evals (Ml.eq_table lcoords) in
               let rweights = Ml.evals (Ml.eq_table rcoords) in
-              let w_eval_opt =
+              let comm_terms () =
+                Array.to_list (Array.mapi (fun i c -> (c, lweights.(i))) proof.comm_rows)
+              in
+              let opening_opt =
                 match proof.opening with
                 | Fold_opening { folded; fold_blind } ->
                   if Array.length folded <> ncols then None
-                  else if
-                    not
-                      (Pedersen.check_fold key.pedersen ~commitments:proof.comm_rows
-                         ~weights:lweights ~folded ~blind:fold_blind)
-                  then None
                   else begin
-                    let acc = ref Fr.zero in
+                    (* check_fold rearranged:
+                       Σ L_i·C_i − ⟨folded, G⟩ − fold_blind·U = 0 *)
+                    let w_eval = ref Fr.zero in
                     for j = 0 to ncols - 1 do
-                      acc := Fr.add !acc (Fr.mul folded.(j) rweights.(j))
+                      w_eval := Fr.add !w_eval (Fr.mul folded.(j) rweights.(j))
                     done;
-                    Some !acc
+                    Some
+                      ( !w_eval,
+                        { d_gen = Array.map Fr.neg folded;
+                          d_blinder = Fr.neg fold_blind;
+                          d_q = Fr.zero;
+                          d_points = comm_terms () } )
                   end
-                | Ipa_opening { blind; w_eval; ipa } ->
-                  (* P = Σ L_i·C_i − blind·U + w_eval·Q *)
+                | Ipa_opening { blind; w_eval; ipa } -> (
+                  (* P = Σ L_i·C_i − blind·U + w_eval·Q, folded into the
+                     IPA's own deferred relation *)
                   Ch.absorb tr ~label:"open-blind" blind;
                   Ch.absorb tr ~label:"open-eval" w_eval;
-                  let cstar = Msm_g1.msm proof.comm_rows lweights in
-                  let p_stmt =
-                    G1.add
-                      (G1.add cstar (G1.neg (G1.mul_fr (Pedersen.blinder key.pedersen) blind)))
-                      (G1.mul_fr Ipa.q_generator w_eval)
-                  in
-                  if Ipa.verify key.pedersen tr ~b:rweights ~commitment:p_stmt ipa then
-                    Some w_eval
-                  else None
+                  match Ipa.deferred key.pedersen tr ~b:rweights ipa with
+                  | None -> None
+                  | Some idef ->
+                    Some
+                      ( w_eval,
+                        { d_gen = idef.Ipa.g_scalars;
+                          d_blinder = Fr.neg blind;
+                          d_q = Fr.add w_eval idef.Ipa.q_scalar;
+                          d_points = comm_terms () @ idef.Ipa.points } ))
               in
-              match w_eval_opt with
-              | None -> false
-              | Some w_eval ->
+              match opening_opt with
+              | None -> None
+              | Some (w_eval, d) ->
                 (* public half: [1; io; 0...] evaluated directly *)
                 let k = t.nu - 1 in
                 let pub_eval = ref (chi ry_w k 0) in
@@ -472,10 +499,111 @@ let verify key t ~public_inputs proof =
                     (Fr.mul (Fr.sub Fr.one ry0) !pub_eval)
                     (Fr.mul ry0 w_eval)
                 in
-                Fr.equal e2 (Fr.mul m_eval z_eval)
+                if Fr.equal e2 (Fr.mul m_eval z_eval) then Some d else None
         end
     end
   end
+
+(* Evaluate a weighted sum of deferred relations as one MSM over
+   [generators; U; Q; all per-proof points]. *)
+let check_deferred key weighted =
+  let ncols = 1 lsl key.wcols in
+  let gen_scalars = Array.make ncols Fr.zero in
+  let blinder_scalar = ref Fr.zero in
+  let q_scalar = ref Fr.zero in
+  let extra = ref [] in
+  List.iter
+    (fun (z, d) ->
+      Array.iteri
+        (fun j s -> gen_scalars.(j) <- Fr.add gen_scalars.(j) (Fr.mul z s))
+        d.d_gen;
+      blinder_scalar := Fr.add !blinder_scalar (Fr.mul z d.d_blinder);
+      q_scalar := Fr.add !q_scalar (Fr.mul z d.d_q);
+      List.iter (fun (p, s) -> extra := (p, Fr.mul z s) :: !extra) d.d_points)
+    weighted;
+  let tail =
+    (Pedersen.blinder key.pedersen, !blinder_scalar)
+    :: (Ipa.q_generator, !q_scalar)
+    :: !extra
+  in
+  let points =
+    Array.append
+      (Array.sub (Pedersen.generators key.pedersen) 0 ncols)
+      (Array.of_list (List.map fst tail))
+  in
+  let scalars = Array.append gen_scalars (Array.of_list (List.map snd tail)) in
+  G1.equal (Msm_g1.msm points scalars) G1.zero
+
+let verify key t ~public_inputs proof =
+  match verify_deferred key t ~public_inputs proof with
+  | None -> false
+  | Some d ->
+    Span.with_span "verify.opening_msm" (fun () -> check_deferred key [ (Fr.one, d) ])
+
+(* Structural well-formedness relative to a key: shape faults a batch
+   verifier reports by index (attributable to one member) rather than
+   folding into the batch-wide cryptographic verdict. *)
+let well_formed key t ~public_inputs proof =
+  List.length public_inputs = t.num_inputs
+  && Array.length proof.comm_rows = 1 lsl key.wrows
+  && (match proof.opening with
+     | Fold_opening { folded; _ } -> Array.length folded = 1 lsl key.wcols
+     | Ipa_opening { ipa; _ } ->
+       Array.length ipa.Ipa.ls = key.wcols
+       && Array.length ipa.Ipa.rs = key.wcols
+       && 1 lsl key.wcols <= Pedersen.key_size key.pedersen)
+
+type batch_result =
+  | Batch_accepted
+  | Batch_rejected
+  | Batch_malformed of int list
+
+(* Randomised batch verification, mirroring Groth16.verify_batch's
+   transcript discipline: each instance's statement and full proof bytes
+   are absorbed before any weight is drawn, so every z_i depends on the
+   whole batch and a prover cannot craft member i against a weight it
+   can predict. Field work (sumchecks, matrix evaluation) still runs per
+   proof — it is inherently per-instance — but the group side collapses
+   into one MSM: the z-weighted sum of the N deferred opening relations
+   over the shared generator basis. A cheating opening survives only if
+   its relation's nonzero residual is annihilated by the random weights,
+   probability ≤ N/|F_r|. *)
+let verify_batch key t instances =
+  if instances = [] then invalid_arg "Spartan.verify_batch: empty batch";
+  let bad =
+    let _, acc =
+      List.fold_left
+        (fun (i, acc) (io, p) ->
+          (i + 1, if well_formed key t ~public_inputs:io p then acc else i :: acc))
+        (0, []) instances
+    in
+    List.rev acc
+  in
+  match bad with
+  | _ :: _ -> Batch_malformed bad
+  | [] ->
+    let deferreds =
+      List.map (fun (io, p) -> verify_deferred key t ~public_inputs:io p) instances
+    in
+    if List.exists Option.is_none deferreds then Batch_rejected
+    else begin
+      let tr = T.create ~label:"zkvc.spartan.batch" in
+      T.absorb_int tr ~label:"n" (List.length instances);
+      T.absorb_int tr ~label:"mu" t.mu;
+      T.absorb_int tr ~label:"nu" t.nu;
+      List.iter
+        (fun (io, p) ->
+          Ch.absorb_list tr ~label:"io" io;
+          T.absorb_bytes tr ~label:"proof" (proof_to_bytes p))
+        instances;
+      let weighted =
+        List.map (fun d -> (Ch.challenge tr ~label:"z", Option.get d)) deferreds
+      in
+      let ok =
+        Span.with_span "verify.batch_msm" (fun () -> check_deferred key weighted)
+      in
+      if ok then Batch_accepted else Batch_rejected
+    end
 
 (* Fault-injection sites for the adversary harness (lib/adversary). The
    proof type is abstract in the interface, so the enumeration of

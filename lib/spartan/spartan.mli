@@ -66,6 +66,32 @@ val prove :
 
 val verify : key -> instance -> public_inputs:Fr.t list -> proof -> bool
 
+(** Verdict of a batched verification, mirroring
+    [Groth16.batch_result]: [Batch_malformed] lists the 0-based indices
+    of structurally ill-shaped members (wrong public-input arity, wrong
+    commitment-grid or opening shape for this key) — cheap to detect and
+    attributable — while [Batch_rejected] means some weighted
+    combination of the cryptographic checks failed and identifying the
+    culprit needs a per-item retry. *)
+type batch_result =
+  | Batch_accepted
+  | Batch_rejected
+  | Batch_malformed of int list
+
+(** Randomised batch verification of several (public_inputs, proof)
+    pairs under one key. Per-proof field work (sumcheck replays, matrix
+    MLE evaluation) still runs for every member, but the group-side
+    opening checks — the expensive O(√n) MSMs — are combined: each
+    proof's opening is expressed as a linear relation over the shared
+    Pedersen basis, Fiat–Shamir weights are drawn from a transcript
+    binding every statement and proof in the batch (label
+    "zkvc.spartan.batch"), and the weighted sum is evaluated as ONE MSM.
+    Soundness error ≤ N/|F_r| on top of the per-proof checks.
+
+    Raises [Invalid_argument] on an empty batch — zero instances have no
+    sound verdict. *)
+val verify_batch : key -> instance -> (Fr.t list * proof) list -> batch_result
+
 (** {2 Fault injection}
 
     The proof type is abstract, so the adversary harness

@@ -670,9 +670,16 @@ let batch_tests =
   [ Alcotest.test_case "honest groth16 batch takes the fast path" `Quick (fun () ->
         let keys, honest = Lazy.force batch_fixture in
         let items = [ honest.(0); honest.(1); honest.(0) ] in
-        let verdicts, fast = Batch.verify_each keys items in
-        check_bool "fast path" true fast;
-        check_bool "all true" true (List.for_all Fun.id verdicts));
+        let o = Batch.verify_each keys items in
+        check_bool "fast path" true (o.Batch.path = Batch.Batched);
+        check_bool "none malformed" true (o.Batch.malformed = []);
+        check_bool "all true" true (List.for_all Fun.id o.Batch.verdicts));
+    Alcotest.test_case "empty batch raises" `Quick (fun () ->
+        let keys, _ = Lazy.force batch_fixture in
+        check_bool "Invalid_argument" true
+          (match Batch.verify_each keys [] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
     qtest ~count:4 "a corrupted member is rejected, honest members pass"
       QCheck.(pair (int_range 2 4) small_nat)
       (fun (n, pos) ->
@@ -685,15 +692,31 @@ let batch_tests =
                 (fst honest.((i + 1) mod 2), snd honest.(i mod 2))
               else honest.(i mod 2))
         in
-        let verdicts, fast = Batch.verify_each keys items in
-        (not fast)
+        let o = Batch.verify_each keys items in
+        o.Batch.path = Batch.Fallback
+        && o.Batch.malformed = []
         && List.for_all2 (fun i ok -> if i = pos then not ok else ok)
-             (List.init n Fun.id) verdicts);
-    Alcotest.test_case "spartan batches verify per item" `Quick (fun () ->
+             (List.init n Fun.id) o.Batch.verdicts);
+    Alcotest.test_case "arity mismatch flagged malformed, not just rejected" `Quick
+      (fun () ->
+        let keys, honest = Lazy.force batch_fixture in
+        let io0, p0 = honest.(0) in
+        let items = [ honest.(1); (Zkvc_field.Fr.one :: io0, p0) ] in
+        let o = Batch.verify_each keys items in
+        check_bool "fell back" true (o.Batch.path = Batch.Fallback);
+        check_bool "culprit attributed" true (o.Batch.malformed = [ 1 ]);
+        check_bool "honest member passes, malformed fails" true
+          (o.Batch.verdicts = [ true; false ]));
+    Alcotest.test_case "honest spartan batch takes the fast path" `Quick (fun () ->
         let lazy (_, keys, io, p) = spartan_fix in
-        let verdicts, fast = Batch.verify_each keys [ (io, p); (io, p) ] in
-        check_bool "no fast path" false fast;
-        check_bool "all true" true (List.for_all Fun.id verdicts)) ]
+        let o = Batch.verify_each keys [ (io, p); (io, p) ] in
+        check_bool "fast path" true (o.Batch.path = Batch.Batched);
+        check_bool "all true" true (List.for_all Fun.id o.Batch.verdicts));
+    Alcotest.test_case "singleton verifies per item" `Quick (fun () ->
+        let lazy (_, keys, io, p) = spartan_fix in
+        let o = Batch.verify_each keys [ (io, p) ] in
+        check_bool "per-item path" true (o.Batch.path = Batch.Per_item);
+        check_bool "true" true (o.Batch.verdicts = [ true ])) ]
 
 (* ---------------- job scheduler ---------------- *)
 

@@ -158,8 +158,14 @@ let batch_tests =
             [ 2; 3; 7 ]
         in
         ignore out;
-        check_bool "batch accepts" true (Groth16.verify_batch vk instances);
-        check_bool "empty batch accepts" true (Groth16.verify_batch vk []);
+        let accepted = function Groth16.Batch_accepted -> true | _ -> false in
+        check_bool "batch accepts" true (accepted (Groth16.verify_batch vk instances));
+        (* the empty batch has no sound verdict: it must raise, not
+           vacuously accept (the bug shipped in the first version) *)
+        check_bool "empty batch raises" true
+          (match Groth16.verify_batch vk [] with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
         (* corrupt one statement's claimed output *)
         let bad =
           match instances with
@@ -167,7 +173,7 @@ let batch_tests =
           | [] -> assert false
         in
         check_bool "batch with one bad statement rejects" false
-          (Groth16.verify_batch vk bad);
+          (accepted (Groth16.verify_batch vk bad));
         (* corrupt one proof point *)
         let bad =
           match instances with
@@ -175,7 +181,16 @@ let batch_tests =
           | [] -> assert false
         in
         check_bool "batch with one bad proof rejects" false
-          (Groth16.verify_batch vk bad));
+          (accepted (Groth16.verify_batch vk bad));
+        (* arity mismatch is malformed (with the culprit index), not a
+           mere rejection *)
+        let bad =
+          match instances with
+          | (io, p) :: rest -> ((Fr.one :: io), p) :: rest
+          | [] -> assert false
+        in
+        check_bool "arity mismatch flagged malformed" true
+          (Groth16.verify_batch vk bad = Groth16.Batch_malformed [ 0 ]));
     Alcotest.test_case "batch faster than sequential" `Slow (fun () ->
         let b, out = cubic_circuit 5 in
         let cs, assignment = Bld.finalize b in
@@ -189,7 +204,9 @@ let batch_tests =
           let r = f () in
           (r, Sys.time () -. t0)
         in
-        let ok_b, t_batch = time (fun () -> Groth16.verify_batch vk instances) in
+        let ok_b, t_batch =
+          time (fun () -> Groth16.verify_batch vk instances = Groth16.Batch_accepted)
+        in
         let ok_s, t_seq =
           time (fun () ->
               List.for_all (fun (io, p) -> Groth16.verify vk ~public_inputs:io p) instances)
@@ -199,6 +216,108 @@ let batch_tests =
           (Printf.sprintf "batch %.3fs < sequential %.3fs" t_batch t_seq)
           true (t_batch < t_seq)) ]
 
+(* ---------------- SnarkPack-style aggregation ---------------- *)
+
+module Aggregate = Zkvc_groth16.Aggregate
+
+let aggregate_tests =
+  (* One shared setup for the whole suite: a circuit, its keys, an
+     aggregation SRS for up to 8 proofs, and a pool of valid instances. *)
+  let setup_once =
+    lazy
+      (let b, _ = cubic_circuit 3 in
+       let cs, _ = Bld.finalize b in
+       let qap = Qap.create cs in
+       let pk, vk = Groth16.setup st qap in
+       let srs = Aggregate.setup st ~max_proofs:8 in
+       let make x =
+         let b, out = cubic_circuit x in
+         let _, assignment = Bld.finalize b in
+         ([ out ], Groth16.prove st pk qap assignment)
+       in
+       (vk, srs, List.map make [ 2; 3; 5; 7; 11 ]))
+  in
+  [ Alcotest.test_case "aggregate roundtrip (incl. padding)" `Slow (fun () ->
+        let vk, srs, instances = Lazy.force setup_once in
+        (* n = 5 exercises the pad-to-8 path; n = 4 the exact-power path;
+           n = 1 pads to the minimum batch of 2 *)
+        List.iter
+          (fun n ->
+            let insts = List.filteri (fun i _ -> i < n) instances in
+            let agg = Aggregate.aggregate srs vk insts in
+            check_bool
+              (Printf.sprintf "aggregate of %d verifies" n)
+              true
+              (Aggregate.verify_aggregate srs vk (List.map fst insts) agg))
+          [ 1; 4; 5 ]);
+    Alcotest.test_case "aggregate rejects wrong statement" `Slow (fun () ->
+        let vk, srs, instances = Lazy.force setup_once in
+        let agg = Aggregate.aggregate srs vk instances in
+        let ios = List.map fst instances in
+        check_bool "honest statements accepted" true
+          (Aggregate.verify_aggregate srs vk ios agg);
+        let bad_ios =
+          match ios with
+          | io :: rest -> [ Fr.add (List.hd io) Fr.one ] :: rest
+          | [] -> assert false
+        in
+        check_bool "corrupted statement rejected" false
+          (Aggregate.verify_aggregate srs vk bad_ios agg);
+        check_bool "statement count mismatch rejected" false
+          (Aggregate.verify_aggregate srs vk (List.tl ios) agg));
+    Alcotest.test_case "aggregate of one invalid member rejects" `Slow (fun () ->
+        let vk, srs, instances = Lazy.force setup_once in
+        (* aggregation itself must not detect anything (it never verifies
+           members); the verifier must *)
+        let bad =
+          match instances with
+          | (io, p) :: rest ->
+            (io, { p with Groth16.c = G1.add p.Groth16.c G1.generator }) :: rest
+          | [] -> assert false
+        in
+        let agg = Aggregate.aggregate srs vk bad in
+        check_bool "aggregate of corrupt member rejected" false
+          (Aggregate.verify_aggregate srs vk (List.map fst bad) agg));
+    Alcotest.test_case "wire roundtrip" `Slow (fun () ->
+        let vk, srs, instances = Lazy.force setup_once in
+        let agg = Aggregate.aggregate srs vk instances in
+        let bytes = Aggregate.proof_to_bytes agg in
+        Alcotest.(check int)
+          "declared size matches" (Bytes.length bytes)
+          (Aggregate.proof_size_bytes agg);
+        let agg' = Aggregate.proof_of_bytes_exn bytes in
+        check_bool "decoded proof verifies" true
+          (Aggregate.verify_aggregate srs vk (List.map fst instances) agg');
+        (* truncation and trailing garbage must raise *)
+        check_bool "truncated raises" true
+          (match
+             Aggregate.proof_of_bytes_exn (Bytes.sub bytes 0 (Bytes.length bytes - 1))
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        check_bool "trailing byte raises" true
+          (match
+             Aggregate.proof_of_bytes_exn (Bytes.cat bytes (Bytes.make 1 '\000'))
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "every mutation site rejected" `Slow (fun () ->
+        let vk, srs, instances = Lazy.force setup_once in
+        let insts = List.filteri (fun i _ -> i < 4) instances in
+        let agg = Aggregate.aggregate srs vk insts in
+        let ios = List.map fst insts in
+        List.iter
+          (fun site ->
+            let mutated = Aggregate.Mutate.apply site agg in
+            check_bool
+              (Printf.sprintf "mutated %s rejected" (Aggregate.Mutate.site_name site))
+              false
+              (Aggregate.verify_aggregate srs vk ios mutated))
+          (Aggregate.Mutate.sites agg)) ]
+
 let () =
   Alcotest.run "zkvc_snark"
-    [ ("qap", qap_tests); ("groth16", groth16_tests); ("batch", batch_tests) ]
+    [ ("qap", qap_tests);
+      ("groth16", groth16_tests);
+      ("batch", batch_tests);
+      ("aggregate", aggregate_tests) ]

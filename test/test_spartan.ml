@@ -257,6 +257,62 @@ let e2e_tests =
         let proof = Spartan.prove ~opening_mode:`Ipa st key inst bad in
         check_bool "reject" false
           (Spartan.verify key inst ~public_inputs:[ assignment.(1) ] proof));
+    Alcotest.test_case "batch verification" `Quick (fun () ->
+        let cs, assignment = circuit 10 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let io = [ assignment.(1) ] in
+        (* mixed opening modes share the one batched MSM *)
+        let instances =
+          [ (io, Spartan.prove st key inst assignment);
+            (io, Spartan.prove ~opening_mode:`Ipa st key inst assignment);
+            (io, Spartan.prove st key inst assignment) ]
+        in
+        check_bool "honest batch accepted" true
+          (Spartan.verify_batch key inst instances = Spartan.Batch_accepted);
+        check_bool "empty batch raises" true
+          (match Spartan.verify_batch key inst [] with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        (* one corrupted statement poisons the whole batch *)
+        let bad =
+          match instances with
+          | (io, p) :: rest -> ([ Fr.add (List.hd io) Fr.one ], p) :: rest
+          | [] -> assert false
+        in
+        check_bool "bad statement rejects batch" true
+          (Spartan.verify_batch key inst bad = Spartan.Batch_rejected);
+        (* wrong arity is attributable, not a mere rejection *)
+        let bad =
+          match instances with
+          | first :: (io, p) :: rest -> first :: ((Fr.one :: io, p)) :: rest
+          | _ -> assert false
+        in
+        check_bool "arity mismatch flagged malformed" true
+          (Spartan.verify_batch key inst bad = Spartan.Batch_malformed [ 1 ]);
+        (* a proof corrupted in a group element still rejects — the
+           weighted combined MSM must catch it *)
+        let bad =
+          match instances with
+          | (io, p) :: rest ->
+            (io, Spartan.Mutate.apply (List.hd (Spartan.Mutate.sites p)) p) :: rest
+          | [] -> assert false
+        in
+        check_bool "corrupt member rejects batch" true
+          (Spartan.verify_batch key inst bad = Spartan.Batch_rejected));
+    Alcotest.test_case "batch agrees with individual verification" `Quick (fun () ->
+        let cs, assignment = circuit 8 in
+        let inst = Spartan.preprocess cs in
+        let key = Spartan.setup inst in
+        let io = [ assignment.(1) ] in
+        let ps = List.init 3 (fun _ -> Spartan.prove st key inst assignment) in
+        let instances = List.map (fun p -> (io, p)) ps in
+        let individually =
+          List.for_all (fun p -> Spartan.verify key inst ~public_inputs:io p) ps
+        in
+        check_bool "both accept" true
+          (individually
+           && Spartan.verify_batch key inst instances = Spartan.Batch_accepted));
     Alcotest.test_case "proofs differ run to run (blinding)" `Quick (fun () ->
         let cs, assignment = circuit 4 in
         let inst = Spartan.preprocess cs in

@@ -458,4 +458,162 @@ dune exec bin/zkvc_cli.exe -- adversary --seed "$ADVERSARY_SEED" \
 }
 echo "ci: adversary sweep clean (seed=$ADVERSARY_SEED)"
 
+echo "== amortised verification: batch + aggregate =="
+# Offline round trip: one vanilla key reused across seeds (prove --key), a
+# batched verify (one combined check for all members), a SnarkPack-style
+# aggregate and its verification — then the failure paths: a member whose
+# trailing Groth16 proof bytes were spliced from another statement (the
+# combined check must sink and the per-item fallback must isolate it), and
+# an SRS-seed mismatch (the KZG checks on the structured commitment keys
+# must reject).
+AGG_TMP=$(mktemp -d /tmp/zkvc-agg-ci.XXXXXX)
+"$ZKVC_BIN" keygen --backend groth16 --strategy vanilla --dims 2,2,2 \
+    --seed 41 --out "$AGG_TMP/k.zkvk" > /dev/null
+BATCH_ARGS=""
+for S in 41 42 43 44; do
+    "$ZKVC_BIN" prove --key "$AGG_TMP/k.zkvk" --seed "$S" \
+        --out "$AGG_TMP/p$S.zkvp" > /dev/null
+    BATCH_ARGS="$BATCH_ARGS --batch $AGG_TMP/p$S.zkvp"
+done
+# shellcheck disable=SC2086
+"$ZKVC_BIN" verify --key "$AGG_TMP/k.zkvk" $BATCH_ARGS | tee "$AGG_TMP/batch.out"
+grep -q "batch of 4: batched" "$AGG_TMP/batch.out" || {
+    echo "ci: batched verify should take the combined path" >&2
+    exit 1
+}
+[ "$(grep -c "verified: true" "$AGG_TMP/batch.out")" = 4 ] || {
+    echo "ci: batched verify should accept all four members" >&2
+    exit 1
+}
+"$ZKVC_BIN" aggregate --key "$AGG_TMP/k.zkvk" --srs-seed 99 \
+    --out "$AGG_TMP/agg.zkva" \
+    "$AGG_TMP/p41.zkvp" "$AGG_TMP/p42.zkvp" "$AGG_TMP/p43.zkvp" "$AGG_TMP/p44.zkvp"
+"$ZKVC_BIN" verify --key "$AGG_TMP/k.zkvk" --aggregate "$AGG_TMP/agg.zkva" \
+    --srs-seed 99 | grep -q "verified: true" || {
+    echo "ci: aggregate verification failed" >&2
+    exit 1
+}
+if "$ZKVC_BIN" verify --key "$AGG_TMP/k.zkvk" --aggregate "$AGG_TMP/agg.zkva" \
+    --srs-seed 7 > "$AGG_TMP/srs.out" 2>&1; then
+    echo "ci: aggregate verified under the wrong SRS seed" >&2
+    exit 1
+fi
+grep -q "verified: false" "$AGG_TMP/srs.out" || {
+    echo "ci: wrong-SRS rejection should be a false verdict, not a crash" >&2
+    cat "$AGG_TMP/srs.out" >&2
+    exit 1
+}
+PROOF_LEN=$(wc -c < "$AGG_TMP/p41.zkvp")
+head -c $((PROOF_LEN - 259)) "$AGG_TMP/p41.zkvp" > "$AGG_TMP/bad.zkvp"
+tail -c 259 "$AGG_TMP/p42.zkvp" >> "$AGG_TMP/bad.zkvp"
+if "$ZKVC_BIN" verify --key "$AGG_TMP/k.zkvk" --batch "$AGG_TMP/bad.zkvp" \
+    --batch "$AGG_TMP/p42.zkvp" --batch "$AGG_TMP/p43.zkvp" \
+    > "$AGG_TMP/fallback.out" 2>&1; then
+    echo "ci: batch with a spliced member should exit non-zero" >&2
+    exit 1
+fi
+grep -q "bad.zkvp: verified: false" "$AGG_TMP/fallback.out" \
+    && grep -q "p42.zkvp: verified: true" "$AGG_TMP/fallback.out" \
+    && grep -q "batch of 3: fallback" "$AGG_TMP/fallback.out" || {
+    echo "ci: batch fallback should isolate the spliced member" >&2
+    cat "$AGG_TMP/fallback.out" >&2
+    exit 1
+}
+
+# server side: --batch-aggregate coalesces same-key Batch_verify members
+# into one aggregated check; the counters must land in the Prometheus
+# snapshot
+AGG_SOCK="$AGG_TMP/zkvc.sock"
+"$ZKVC_BIN" serve --socket "$AGG_SOCK" --batch-aggregate --metrics \
+    --metrics-file "$AGG_TMP/metrics.prom" --metrics-interval 0.2 \
+    > "$AGG_TMP/serve.log" 2>&1 &
+AGG_PID=$!
+i=0
+while [ ! -S "$AGG_SOCK" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -S "$AGG_SOCK" ]; then
+    echo "ci: batch-aggregate proof service did not come up" >&2
+    cat "$AGG_TMP/serve.log" >&2
+    exit 1
+fi
+SRV_BATCH_ARGS=""
+for S in 11 12 13; do
+    "$ZKVC_BIN" client prove --socket "$AGG_SOCK" --dims 2,2,2 \
+        --backend groth16 --strategy vanilla --seed "$S" \
+        --out "$AGG_TMP/s$S.zkvp" > /dev/null
+    SRV_BATCH_ARGS="$SRV_BATCH_ARGS --batch $AGG_TMP/s$S.zkvp"
+done
+# shellcheck disable=SC2086
+"$ZKVC_BIN" client verify --socket "$AGG_SOCK" $SRV_BATCH_ARGS \
+    | tee "$AGG_TMP/srv-batch.out"
+[ "$(grep -c "verified: true" "$AGG_TMP/srv-batch.out")" = 3 ] || {
+    echo "ci: server-side batch verify should accept all three members" >&2
+    exit 1
+}
+sleep 0.5
+"$ZKVC_BIN" client shutdown --socket "$AGG_SOCK" > /dev/null
+wait "$AGG_PID"
+grep -Eq "^zkvc_serve_batch_aggregated_total [1-9]" "$AGG_TMP/metrics.prom" || {
+    echo "ci: serve.batch.aggregated should have fired under --batch-aggregate" >&2
+    cat "$AGG_TMP/metrics.prom" >&2
+    exit 1
+}
+grep -Eq "^zkvc_serve_batch_groups_total [1-9]" "$AGG_TMP/metrics.prom" || {
+    echo "ci: serve.batch.groups counter missing from the metrics snapshot" >&2
+    exit 1
+}
+# the adversary families covering these paths (one-bad-member isolation,
+# statement swaps, aggregate tampering, frame bit flips) at the CI seed
+"$ZKVC_BIN" adversary --seed "$ADVERSARY_SEED" --backend groth16 \
+    --strategy vanilla --dims 2,2,2 --only batch. || {
+    echo "ci: adversary batch family found an accepted forgery" >&2
+    exit 1
+}
+"$ZKVC_BIN" adversary --seed "$ADVERSARY_SEED" --backend groth16 \
+    --strategy vanilla --dims 2,2,2 --only aggregate. || {
+    echo "ci: adversary aggregate family found an accepted forgery" >&2
+    exit 1
+}
+echo "ci: batch + aggregate round trip ok ($AGG_TMP)"
+
+echo "-- amortisation gate vs BENCH_0010.json --"
+# same agg bench that produced the committed baseline: batch-nN rows carry
+# per-proof individual verify in setup_s and per-proof batched verify in
+# verify_s, so perf_diff gates both against BENCH_0010.json, and the awk
+# below asserts the headline claim on the fresh run — at N=16 the batched
+# per-proof cost beats the individual per-proof cost on both backends
+BENCH_AGG_JSON=${BENCH_AGG_JSON:-/tmp/bench-agg.json}
+rm -f "$BENCH_AGG_JSON"
+dune exec bench/main.exe -- --only agg --scale 16 --repeat 3 --jobs 1 \
+    --agg-max 16 --json "$BENCH_AGG_JSON"
+AGG_BASELINE=${AGG_BASELINE:-BENCH_0010.json}
+if [ ! -s "$AGG_BASELINE" ]; then
+    echo "ci: amortisation baseline report missing: $AGG_BASELINE" >&2
+    exit 1
+fi
+AGG_BASE_NPROC=$(json_nproc "$AGG_BASELINE")
+if [ "$AGG_BASE_NPROC" = "$(json_nproc "$BENCH_AGG_JSON")" ]; then
+    dune exec tools/perf_diff.exe -- "$AGG_BASELINE" "$BENCH_AGG_JSON"
+else
+    echo "ci: amortisation baseline nproc=$AGG_BASE_NPROC differs; cost ledger only"
+    dune exec tools/perf_diff.exe -- --skip-time "$AGG_BASELINE" "$BENCH_AGG_JSON"
+fi
+awk '
+/"scheme": "batch-n16"/ { want = 1 }
+want && /^      "setup_s":/ { ind = $2 + 0 }
+want && /^      "verify_s":/ {
+    per = $2 + 0
+    if (!(per < ind)) {
+        printf "ci: batch-n16 per-proof %.4fs is not cheaper than individual %.4fs\n", per, ind
+        exit 1
+    }
+    rows += 1
+    want = 0
+}
+END { if (rows < 2) { print "ci: expected a batch-n16 row per backend"; exit 1 } }' \
+    "$BENCH_AGG_JSON" || exit 1
+echo "ci: amortisation gate ok ($BENCH_AGG_JSON)"
+
 echo "ci: ok ($BENCH_JSON, $BENCH_JSON_PAR)"
